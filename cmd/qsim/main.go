@@ -1,0 +1,187 @@
+// Command qsim runs the paper's experiments and prints their tables.
+//
+// Usage:
+//
+//	qsim -exp fig4            # per-period performance, no class control
+//	qsim -exp fig6 -seed 7    # Query Scheduler run with another seed
+//	qsim -exp all             # everything, in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|replicated|all")
+	replications := flag.Int("seeds", 5, "number of seeds for -exp replicated")
+	seed := flag.Uint64("seed", 1, "random seed")
+	chart := flag.Bool("chart", false, "draw figures as terminal line charts in addition to tables")
+	scenario := flag.String("scenario", "", "run a custom JSON scenario file instead of a named experiment")
+	csvDir := flag.String("csv", "", "also write each experiment's data as CSV files into this directory")
+	flag.Parse()
+
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	out := os.Stdout
+	run := func(name string) bool { return *exp == name || *exp == "all" }
+	any := false
+
+	if *scenario != "" {
+		f, err := os.Open(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc, err := experiment.ParseScenario(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *seed != 1 {
+			sc.Seed = *seed
+		}
+		if sc.Name != "" {
+			fmt.Fprintf(out, "Scenario: %s\n", sc.Name)
+		}
+		res := sc.Run()
+		experiment.WriteMixed(out, res)
+		if res.CostLimits != nil {
+			experiment.WriteCostLimits(out, res)
+		}
+		if *chart {
+			experiment.WriteMixedCharts(out, res)
+		}
+		return
+	}
+
+	if run("syslimit") {
+		any = true
+		cfg := experiment.DefaultSaturationConfig()
+		cfg.Seed = *seed
+		points := experiment.RunSaturation(cfg)
+		experiment.WriteSaturation(out, points)
+		if *chart {
+			experiment.WriteSaturationChart(out, points)
+		}
+		writeCSV("syslimit.csv", experiment.SaturationCSV(points))
+		fmt.Fprintln(out)
+	}
+	if run("fig2") {
+		any = true
+		cfg := experiment.DefaultFig2Config()
+		cfg.Seed = *seed
+		curves := experiment.RunFig2(cfg)
+		experiment.WriteFig2(out, curves)
+		if *chart {
+			experiment.WriteFig2Charts(out, curves)
+		}
+		writeCSV("fig2.csv", experiment.Fig2CSV(curves))
+		fmt.Fprintln(out)
+	}
+	if run("fig3") {
+		any = true
+		experiment.WriteSchedule(out, workload.PaperSchedule(), workload.PaperClasses())
+		if *chart {
+			experiment.WriteScheduleChart(out, workload.PaperSchedule(), workload.PaperClasses())
+		}
+		fmt.Fprintln(out)
+	}
+	mixed := func(mode experiment.Mode) *experiment.MixedResult {
+		cfg := experiment.DefaultMixedConfig(mode)
+		cfg.Seed = *seed
+		res := experiment.RunMixed(cfg)
+		if err := res.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return res
+	}
+	writeMixed := func(name string, res *experiment.MixedResult) {
+		experiment.WriteMixed(out, res)
+		if *chart {
+			experiment.WriteMixedCharts(out, res)
+		}
+		writeCSV(name+".csv", experiment.MixedCSV(res))
+		fmt.Fprintln(out)
+	}
+	if run("fig4") {
+		any = true
+		writeMixed("fig4", mixed(experiment.NoControl))
+	}
+	if run("fig5") {
+		any = true
+		writeMixed("fig5", mixed(experiment.QPPriority))
+	}
+	if run("fig6") || run("fig7") {
+		any = true
+		res := mixed(experiment.QueryScheduler)
+		if run("fig6") {
+			writeMixed("fig6", res)
+		}
+		if run("fig7") {
+			experiment.WriteCostLimits(out, res)
+			if *chart {
+				experiment.WriteCostLimitCharts(out, res)
+			}
+			writeCSV("fig7.csv", experiment.CostLimitsCSV(res))
+			fmt.Fprintln(out)
+		}
+	}
+	if run("overhead") {
+		any = true
+		experiment.WriteInterception(out, experiment.RunInterceptionOverhead(20, 0.025, *seed))
+		fmt.Fprintln(out)
+	}
+	if *exp == "replicated" { // not part of "all": it reruns everything n times
+		any = true
+		sched := workload.PaperSchedule()
+		seeds := experiment.DefaultSeeds(*replications)
+		var reps []experiment.Replication
+		for _, mode := range []experiment.Mode{
+			experiment.NoControl, experiment.QPPriority, experiment.QueryScheduler,
+		} {
+			reps = append(reps, experiment.RunReplicated(mode, sched, seeds))
+		}
+		experiment.WriteReplication(out, workload.PaperClasses(), reps)
+		fmt.Fprintln(out)
+	}
+	if run("detection") {
+		any = true
+		dcfg := experiment.DefaultDetectionConfig()
+		dcfg.Seed = *seed
+		experiment.WriteDetection(out, experiment.RunDetection(dcfg))
+		fmt.Fprintln(out)
+	}
+	if run("direct") {
+		any = true
+		cfg := experiment.DefaultDirectControlConfig()
+		cfg.Seed = *seed
+		experiment.WriteDirectControl(out, cfg, experiment.RunDirectControl(cfg))
+		fmt.Fprintln(out)
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

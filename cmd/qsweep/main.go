@@ -1,0 +1,129 @@
+// Command qsweep sweeps one Query Scheduler parameter across a list of
+// values and tabulates goal satisfaction on the paper's workload — the
+// generalization of the fixed ablation benchmarks.
+//
+// Usage:
+//
+//	qsweep -param control-interval -values 30,60,120,300
+//	qsweep -param system-cost-limit -values 20000,30000,40000 -seed 2
+//
+// Parameters: control-interval, snapshot-interval, plan-step,
+// min-olap-limit, system-cost-limit, oltp-window.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+// setters maps parameter names to config mutations.
+var setters = map[string]func(*core.Config, float64) error{
+	"control-interval": func(c *core.Config, v float64) error {
+		c.ControlInterval = v
+		return nil
+	},
+	"snapshot-interval": func(c *core.Config, v float64) error {
+		c.SnapshotInterval = v
+		return nil
+	},
+	"plan-step": func(c *core.Config, v float64) error {
+		c.PlanStep = v
+		return nil
+	},
+	"min-olap-limit": func(c *core.Config, v float64) error {
+		c.MinOLAPLimit = v
+		return nil
+	},
+	"system-cost-limit": func(c *core.Config, v float64) error {
+		c.SystemCostLimit = v
+		return nil
+	},
+	"oltp-window": func(c *core.Config, v float64) error {
+		if v < 2 || v != float64(int(v)) {
+			return fmt.Errorf("oltp-window must be an integer >= 2")
+		}
+		c.OLTP.Window = int(v)
+		return nil
+	},
+}
+
+func main() {
+	param := flag.String("param", "", "parameter to sweep (see -help)")
+	values := flag.String("values", "", "comma-separated values")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	setter, ok := setters[*param]
+	if !ok {
+		var names []string
+		for n := range setters {
+			names = append(names, n)
+		}
+		fmt.Fprintf(os.Stderr, "unknown -param %q; choose one of: %s\n",
+			*param, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	var sweep []float64
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", raw, err)
+			os.Exit(2)
+		}
+		sweep = append(sweep, v)
+	}
+	if len(sweep) == 0 {
+		fmt.Fprintln(os.Stderr, "no -values given")
+		os.Exit(2)
+	}
+
+	classes := workload.PaperClasses()
+	fmt.Printf("Sweeping %s over the paper workload (seed %d)\n\n", *param, *seed)
+	fmt.Printf("%14s", *param)
+	for _, c := range classes {
+		fmt.Printf(" %12s", c.Name+" %")
+	}
+	fmt.Printf(" %14s\n", "oltp-heavy(ms)")
+
+	for _, v := range sweep {
+		cfg := core.DefaultConfig()
+		cfg.SystemCostLimit = experiment.SystemCostLimit
+		if err := setter(&cfg, v); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res := experiment.RunMixed(experiment.MixedConfig{
+			Mode:  experiment.QueryScheduler,
+			Sched: workload.PaperSchedule(),
+			Seed:  *seed,
+			QS:    &cfg,
+		})
+		fmt.Printf("%14g", v)
+		for i := range classes {
+			fmt.Printf(" %11.0f%%", 100*res.Satisfaction[i])
+		}
+		var heavy float64
+		var n int
+		for p := 2; p < res.Periods; p += 3 {
+			if res.Measurable[2][p] {
+				heavy += res.Metric[2][p]
+				n++
+			}
+		}
+		if n > 0 {
+			fmt.Printf(" %14.0f", heavy/float64(n)*1000)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Adapting Mixed
+// Workloads to Meet SLOs in Autonomic DBMSs" (Niu, Martin, Powley, Bird,
+// Horman; ICDE 2007).
+//
+// The system under study — the Query Scheduler — lives in internal/core;
+// every substrate it depends on (a simulated DB2-like engine, a Query
+// Patroller substitute, an optimizer cost model, TPC-H-like and
+// TPC-C-like workloads) is implemented in the sibling internal packages.
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation; see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-vs-measured results.
+package repro

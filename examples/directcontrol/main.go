@@ -1,0 +1,77 @@
+// Direct control: the paper's future-work direction, runnable.
+//
+// "The most effective way to manage performance of OLTP workload is to
+// directly control it. One approach is to implement the control mechanism
+// inside the DBMS itself."
+//
+// This example holds the paper's peak intensity (25 OLTP clients plus two
+// OLAP classes) and compares four strategies: no class control, indirect
+// admission control (the Query Scheduler), direct in-DBMS weighted
+// sharing (the wlm controller), and both combined — then shows the direct
+// controller's weight trajectory as it converges.
+//
+//	go run ./examples/directcontrol
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/experiment"
+	"repro/internal/report"
+	"repro/internal/wlm"
+)
+
+func main() {
+	cfg := experiment.DefaultDirectControlConfig()
+	results := experiment.RunDirectControl(cfg)
+	experiment.WriteDirectControl(os.Stdout, cfg, results)
+
+	fmt.Println("\nConvergence of the direct controller's OLTP share weight:")
+	trajectory := weightTrajectory(cfg)
+	chart := report.Chart{
+		Title:  "wlm weight and measured OLTP RT (one control record per 30s)",
+		XLabel: "control interval",
+		Series: []report.Series{
+			{Name: "weight", Values: trajectory.weights},
+			{Name: "RT x100 (s)", Values: trajectory.rts},
+		},
+	}
+	fmt.Print(chart.Render())
+	fmt.Printf("\nFinal weight %.1f holds the OLTP class at %.0f ms against the 250 ms goal.\n",
+		trajectory.weights[len(trajectory.weights)-1],
+		trajectory.rts[len(trajectory.rts)-1]*10)
+}
+
+type trajectory struct {
+	weights []float64
+	rts     []float64 // scaled x100 to share an axis with the weight
+}
+
+// weightTrajectory reruns the direct-only strategy and extracts the
+// controller history for plotting.
+func weightTrajectory(cfg experiment.DirectControlConfig) trajectory {
+	sched := experiment.ConstantSchedule(cfg.Window, cfg.Window, map[engine.ClassID]int{
+		1: cfg.OLAPClients, 2: cfg.OLAPClients, 3: cfg.OLTPClients,
+	})
+	rig := experiment.NewRig(cfg.Seed, sched)
+	oltp := rig.OLTPClass()
+	ctl, err := wlm.New(wlm.DefaultConfig(), rig.Eng, oltp.ID, oltp.Goal.Target,
+		func() []engine.ClientID { return rig.Pool.ActiveClients(oltp.ID) })
+	if err != nil {
+		panic(err)
+	}
+	ctl.Start()
+	rig.Run()
+
+	var tr trajectory
+	hist := ctl.History()
+	// Keep the chart readable: at most ~80 points.
+	stride := len(hist)/80 + 1
+	for i := 0; i < len(hist); i += stride {
+		tr.weights = append(tr.weights, hist[i].Weight)
+		tr.rts = append(tr.rts, hist[i].MeanRT*100)
+	}
+	return tr
+}

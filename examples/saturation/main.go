@@ -1,0 +1,32 @@
+// Saturation: the calibration step that picks the system cost limit.
+//
+// The paper fixes the sum of all class cost limits to a *system cost
+// limit* "determined experimentally by plotting the curve of the
+// throughput versus the system cost limit to ensure the system running in
+// a healthy state or under-saturated". This example regenerates that
+// curve for the simulated testbed and marks the chosen operating point.
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	cfg := experiment.DefaultSaturationConfig()
+	cal := experiment.FindSystemCostLimit(cfg)
+	experiment.WriteSaturation(os.Stdout, cal.Points)
+
+	fmt.Printf("\nPeak throughput:       %.0f queries/hour\n", cal.PeakThroughput)
+	fmt.Printf("Healthy plateau:       %.0f - %.0f timerons\n", cal.PlateauLow, cal.PlateauHigh)
+	fmt.Printf("Autonomic suggestion:  %.0f timerons\n", cal.Recommended)
+	fmt.Printf("Committed limit:       %d timerons (the paper's 30,000)\n",
+		experiment.SystemCostLimit)
+	if float64(experiment.SystemCostLimit) < cal.PlateauLow || float64(experiment.SystemCostLimit) > cal.PlateauHigh {
+		fmt.Println("WARNING: committed limit is off the measured plateau; recalibrate.")
+	}
+}

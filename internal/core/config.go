@@ -1,0 +1,132 @@
+// Package core implements the paper's contribution: the Query Scheduler, a
+// prototype of the workload-adaptation framework for autonomic DBMSs,
+// extended to mixed OLAP/OLTP workloads.
+//
+// Architecture (the paper's Figure 1): Query Patroller intercepts queries
+// of the managed (OLAP) classes and blocks them; the Monitor collects
+// query information from the control tables and — for the unmanaged OLTP
+// class — from the engine's snapshot monitor; the Classifier assigns each
+// query to a service class; the Scheduling Planner periodically consults
+// the Performance Solver for a utility-optimal scheduling plan (a vector
+// of class cost limits summing to the system cost limit); and the
+// Dispatcher releases blocked queries so each class's executing cost stays
+// within its limit.
+//
+// The OLTP class is never intercepted (the interception overhead would
+// dwarf sub-second transactions); it is controlled indirectly: its
+// "virtual" cost limit claims a share of the system cost limit, and
+// whatever the OLTP class holds is withheld from the OLAP classes.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/perfmodel"
+	"repro/internal/solver"
+)
+
+// Config tunes the Query Scheduler.
+type Config struct {
+	// SystemCostLimit is the fixed total the class cost limits sum to,
+	// in timerons — determined experimentally so the DBMS stays
+	// under-saturated (30,000 in the paper; see the saturation example).
+	SystemCostLimit float64
+	// ControlInterval is how often the Scheduling Planner re-plans, in
+	// seconds.
+	ControlInterval float64
+	// SnapshotInterval is how often the Monitor samples the snapshot
+	// monitor for OLTP response times, in seconds (10 in the paper —
+	// small enough for accuracy, large enough to keep overhead low).
+	SnapshotInterval float64
+	// PlanStep is the solver's cost-limit granularity in timerons.
+	PlanStep float64
+	// MinOLAPLimit is the smallest limit an OLAP class may be assigned;
+	// keeping it positive lets a throttled class still make progress so
+	// its measured velocity stays informative.
+	MinOLAPLimit float64
+	// MinOLTPLimit is the smallest virtual limit for the OLTP class.
+	MinOLTPLimit float64
+	// StarvationGuard, when true, releases a class's head-of-queue query
+	// even if its cost alone exceeds the class limit, provided the class
+	// has nothing executing. The paper's dispatcher has no such guard
+	// (an under-allocated class's velocity collapses and the planner
+	// reacts instead); it is kept as an ablation.
+	StarvationGuard bool
+	// Solver picks the plan optimizer (default: greedy coordinate
+	// exchange; the grid solver is the exhaustive ablation).
+	Solver solver.Solver
+	// OLTP tunes the OLTP response-time model.
+	OLTP perfmodel.OLTPConfig
+	// OLTPModel selects the prediction model for the OLTP class:
+	// LinearOLTPModel is the paper's t + s·ΔC; ThroughputOLTPModel is
+	// the future-work saturation-aware model (R = N/X with X affine in
+	// the virtual limit), falling back to the linear model until its fit
+	// is usable.
+	OLTPModel OLTPModelKind
+	// Detection tunes the workload detector that characterizes each
+	// class and flags intensity shifts (always running; its output is
+	// recorded in the plan history).
+	Detection detect.Config
+	// FeedForward, when true, lets the planner use the detector's
+	// demand forecast: an OLAP class forecast to intensify has its
+	// velocity anchor discounted proportionally, so the plan leads the
+	// workload change instead of trailing it by one interval.
+	FeedForward bool
+}
+
+// OLTPModelKind selects the OLTP performance model.
+type OLTPModelKind int
+
+// OLTP model kinds.
+const (
+	// LinearOLTPModel is the paper's regression-fitted linear model.
+	LinearOLTPModel OLTPModelKind = iota
+	// ThroughputOLTPModel predicts through the throughput curve
+	// (perfmodel.OLTPThroughput).
+	ThroughputOLTPModel
+)
+
+// DefaultConfig returns the configuration used in the paper's experiments.
+func DefaultConfig() Config {
+	return Config{
+		SystemCostLimit:  30000,
+		ControlInterval:  60,
+		SnapshotInterval: 10,
+		PlanStep:         500,
+		MinOLAPLimit:     500,
+		MinOLTPLimit:     0,
+		StarvationGuard:  false,
+		Solver:           solver.Greedy{},
+		OLTP:             perfmodel.DefaultOLTPConfig(),
+		Detection:        detect.DefaultConfig(),
+	}
+}
+
+// withDefaults fills in zero-valued sub-configurations so hand-built
+// Configs keep working.
+func (c Config) withDefaults() Config {
+	if c.Detection == (detect.Config{}) {
+		c.Detection = detect.DefaultConfig()
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.SystemCostLimit <= 0 {
+		return fmt.Errorf("core: system cost limit %v must be positive", c.SystemCostLimit)
+	}
+	if c.ControlInterval <= 0 || c.SnapshotInterval <= 0 {
+		return fmt.Errorf("core: intervals must be positive")
+	}
+	if c.PlanStep <= 0 || c.PlanStep > c.SystemCostLimit {
+		return fmt.Errorf("core: plan step %v out of range", c.PlanStep)
+	}
+	if c.MinOLAPLimit < 0 || c.MinOLTPLimit < 0 {
+		return fmt.Errorf("core: negative class minimum")
+	}
+	if c.Solver == nil {
+		return fmt.Errorf("core: nil solver")
+	}
+	return nil
+}

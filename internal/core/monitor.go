@@ -1,0 +1,234 @@
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/patroller"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// monitor is the Query Scheduler's Monitor component. It measures, per
+// control interval:
+//
+//   - each managed (OLAP) class's query velocity, from control-table rows
+//     of queries that completed during the interval, falling back to
+//     in-flight progress estimates when nothing completed (big queries can
+//     outlive an interval); and
+//   - the OLTP class's average response time, by sampling the engine's
+//     snapshot monitor every SnapshotInterval seconds across the active
+//     OLTP clients and averaging the samples — exactly the workaround the
+//     paper describes for observing a class that is not intercepted.
+type monitor struct {
+	eng   *engine.Engine
+	pat   *patroller.Patroller
+	clock *simclock.Clock
+
+	olapClasses []*workload.Class
+	oltpClass   *workload.Class
+	oltpClients func() []engine.ClientID
+
+	velWindow map[engine.ClassID]*stats.Summary
+	oltpResp  stats.Summary
+	lastOLTP  float64 // sticky last measured OLTP mean RT
+	ticker    *simclock.Ticker
+
+	arrivals    map[engine.ClassID]int
+	arrivalCost map[engine.ClassID]*stats.Summary
+	inflight    map[engine.ClassID]int
+	tracked     map[engine.ClassID]bool
+}
+
+func newMonitor(eng *engine.Engine, pat *patroller.Patroller, olap []*workload.Class,
+	oltp *workload.Class, oltpClients func() []engine.ClientID, snapshotInterval float64) *monitor {
+
+	m := &monitor{
+		eng:         eng,
+		pat:         pat,
+		clock:       eng.Clock(),
+		olapClasses: olap,
+		oltpClass:   oltp,
+		oltpClients: oltpClients,
+		velWindow:   make(map[engine.ClassID]*stats.Summary),
+		arrivals:    make(map[engine.ClassID]int),
+		arrivalCost: make(map[engine.ClassID]*stats.Summary),
+		inflight:    make(map[engine.ClassID]int),
+		tracked:     make(map[engine.ClassID]bool),
+	}
+	for _, c := range olap {
+		m.velWindow[c.ID] = &stats.Summary{}
+		m.tracked[c.ID] = true
+	}
+	if oltp != nil {
+		m.tracked[oltp.ID] = true
+	}
+	// Arrivals are observed at the engine (not the patroller) so the
+	// unintercepted OLTP class is characterized too.
+	eng.OnSubmit(func(q *engine.Query) {
+		if !m.tracked[q.Class] {
+			return
+		}
+		m.arrivals[q.Class]++
+		m.inflight[q.Class]++
+		cs, ok := m.arrivalCost[q.Class]
+		if !ok {
+			cs = &stats.Summary{}
+			m.arrivalCost[q.Class] = cs
+		}
+		cs.Add(q.Cost)
+	})
+	eng.OnDone(func(q *engine.Query) {
+		if m.tracked[q.Class] {
+			m.inflight[q.Class]--
+		}
+	})
+	if oltp != nil {
+		m.lastOLTP = oltp.Goal.Target // optimistic prior until measured
+		m.ticker = m.clock.StartTicker(snapshotInterval, m.sampleSnapshot)
+	}
+	prev := pat.OnManagedDone
+	pat.OnManagedDone = func(qi *patroller.QueryInfo) {
+		if prev != nil {
+			prev(qi)
+		}
+		m.onManagedDone(qi)
+	}
+	return m
+}
+
+// onManagedDone folds a completed managed query's velocity into its
+// class's interval window.
+func (m *monitor) onManagedDone(qi *patroller.QueryInfo) {
+	w, ok := m.velWindow[qi.Class]
+	if !ok {
+		return
+	}
+	resp := qi.DoneTime - qi.SubmitTime
+	if resp <= 0 {
+		w.Add(1)
+		return
+	}
+	w.Add((qi.DoneTime - qi.ReleaseTime) / resp)
+}
+
+// sampleSnapshot polls the snapshot monitor: one response-time sample per
+// active OLTP client that has finished at least one statement.
+func (m *monitor) sampleSnapshot() {
+	for _, id := range m.oltpClients() {
+		if s, ok := m.eng.LastFinished(id); ok {
+			m.oltpResp.Add(s.RespTime)
+		}
+	}
+}
+
+// Measurement is what the monitor hands the planner each control interval.
+type Measurement struct {
+	Time simclock.Time
+	// Velocity holds each managed class's measured mean velocity.
+	Velocity map[engine.ClassID]float64
+	// VelocitySamples counts the completions behind each velocity (0
+	// means the value is an in-flight estimate or idle default).
+	VelocitySamples map[engine.ClassID]int
+	// Idle marks managed classes that had neither completions nor
+	// in-flight queries during the interval: no workload to speed up, so
+	// any cost limit yields ideal velocity.
+	Idle map[engine.ClassID]bool
+	// OLTPRespTime is the OLTP class's mean response time over the
+	// interval's snapshot samples (sticky from the previous interval if
+	// no sample arrived).
+	OLTPRespTime float64
+	// OLTPSamples counts snapshot samples behind OLTPRespTime.
+	OLTPSamples int
+	// Arrivals counts the interval's submissions per tracked class —
+	// input to workload detection.
+	Arrivals map[engine.ClassID]int
+	// ArrivalMeanCost is the mean timeron cost of the interval's
+	// arrivals per class (0 when none arrived).
+	ArrivalMeanCost map[engine.ClassID]float64
+	// Population is the number of in-system (queued or executing)
+	// queries per class at harvest time — with zero-think-time clients,
+	// exactly the active client count. The detector's change signal.
+	Population map[engine.ClassID]int
+}
+
+// harvest closes the current interval: it computes the measurement and
+// resets the windows.
+func (m *monitor) harvest() Measurement {
+	meas := Measurement{
+		Time:            m.clock.Now(),
+		Velocity:        make(map[engine.ClassID]float64),
+		VelocitySamples: make(map[engine.ClassID]int),
+		Idle:            make(map[engine.ClassID]bool),
+	}
+	// Index in-flight managed queries per class for fallback estimates.
+	held := make(map[engine.ClassID][]*patroller.QueryInfo)
+	for _, qi := range m.pat.ControlTable() {
+		if qi.State != patroller.Completed {
+			held[qi.Class] = append(held[qi.Class], qi)
+		}
+	}
+	now := m.clock.Now()
+	for _, c := range m.olapClasses {
+		w := m.velWindow[c.ID]
+		switch {
+		case w.Count() > 0:
+			meas.Velocity[c.ID] = w.Mean()
+			meas.VelocitySamples[c.ID] = w.Count()
+		case len(held[c.ID]) > 0:
+			// No completions: estimate velocity from in-flight progress.
+			// A still-blocked query has velocity 0 so far; an executing
+			// one has exec/(wait+exec) so far.
+			var est stats.Summary
+			for _, qi := range held[c.ID] {
+				total := now - qi.SubmitTime
+				if total <= 0 {
+					continue
+				}
+				exec := 0.0
+				if qi.State == patroller.Running {
+					exec = now - qi.ReleaseTime
+				}
+				est.Add(exec / total)
+			}
+			if est.Count() > 0 {
+				meas.Velocity[c.ID] = est.Mean()
+			} else {
+				meas.Velocity[c.ID] = 1
+			}
+		default:
+			// Idle class: nothing to speed up; report the ideal and
+			// flag it so the planner knows the limit is irrelevant.
+			meas.Velocity[c.ID] = 1
+			meas.Idle[c.ID] = true
+		}
+		w.Reset()
+	}
+	if m.oltpClass != nil {
+		if m.oltpResp.Count() > 0 {
+			m.lastOLTP = m.oltpResp.Mean()
+			meas.OLTPSamples = m.oltpResp.Count()
+		}
+		meas.OLTPRespTime = m.lastOLTP
+		m.oltpResp.Reset()
+	}
+	meas.Arrivals = make(map[engine.ClassID]int, len(m.arrivals))
+	meas.ArrivalMeanCost = make(map[engine.ClassID]float64, len(m.arrivals))
+	meas.Population = make(map[engine.ClassID]int, len(m.inflight))
+	for cls := range m.tracked {
+		meas.Arrivals[cls] = m.arrivals[cls]
+		meas.Population[cls] = m.inflight[cls]
+		if cs, ok := m.arrivalCost[cls]; ok && cs.Count() > 0 {
+			meas.ArrivalMeanCost[cls] = cs.Mean()
+			cs.Reset()
+		}
+		m.arrivals[cls] = 0
+	}
+	return meas
+}
+
+// stop halts the snapshot ticker.
+func (m *monitor) stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/patroller"
+	"repro/internal/perfmodel"
+	"repro/internal/simclock"
+	"repro/internal/solver"
+	"repro/internal/utility"
+	"repro/internal/workload"
+)
+
+// Classifier assigns an intercepted query to a service class based on its
+// recorded information. The default keeps the class the submitting
+// connection was tagged with — the common production setup where service
+// classes map to applications or user groups.
+type Classifier interface {
+	Classify(qi *patroller.QueryInfo) engine.ClassID
+}
+
+// TagClassifier classifies by the query's submitted class tag.
+type TagClassifier struct{}
+
+// Classify implements Classifier.
+func (TagClassifier) Classify(qi *patroller.QueryInfo) engine.ClassID { return qi.Class }
+
+// PlanRecord is one control interval's outcome: the measurements the
+// planner saw and the scheduling plan it chose. The sequence of records
+// regenerates the paper's Figure 7.
+type PlanRecord struct {
+	Time        simclock.Time
+	Measurement Measurement
+	Limits      solver.Plan
+	Utility     float64
+	OLTPSlope   float64
+	// Workload holds the detector's characterization per class at
+	// planning time.
+	Workload map[engine.ClassID]detect.Characterization
+}
+
+// QueryScheduler wires Monitor, Classifier, Dispatcher, Scheduling
+// Planner, and Performance Solver around a Query Patroller, adapting a
+// mixed workload to its SLOs.
+type QueryScheduler struct {
+	cfg        Config
+	eng        *engine.Engine
+	pat        *patroller.Patroller
+	classifier Classifier
+
+	classes     []*workload.Class
+	olapClasses []*workload.Class
+	oltpClass   *workload.Class
+
+	mon       *monitor
+	oltpModel *perfmodel.OLTPResponse
+	oltpTput  *perfmodel.OLTPThroughput
+	velModel  perfmodel.OLAPVelocity
+	detector  *detect.Detector
+
+	limits  solver.Plan
+	ticker  *simclock.Ticker
+	history []PlanRecord
+	running bool
+}
+
+// New builds a Query Scheduler for the given classes. At most one class
+// may be OLTP-kind (the paper's setup); it is left unintercepted and
+// controlled indirectly. oltpClients must return the currently active
+// OLTP client connections for snapshot sampling (nil is allowed when there
+// is no OLTP class).
+func New(cfg Config, eng *engine.Engine, pat *patroller.Patroller,
+	classes []*workload.Class, oltpClients func() []engine.ClientID) (*QueryScheduler, error) {
+
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("core: no service classes")
+	}
+	qs := &QueryScheduler{
+		cfg:        cfg,
+		eng:        eng,
+		pat:        pat,
+		classifier: TagClassifier{},
+		classes:    classes,
+		oltpModel:  perfmodel.NewOLTPResponse(cfg.OLTP),
+		oltpTput:   perfmodel.NewOLTPThroughput(perfmodel.DefaultThroughputConfig()),
+		velModel:   perfmodel.OLAPVelocity{Floor: perfmodel.DefaultVelocityFloor},
+		detector:   detect.New(cfg.Detection),
+	}
+	for _, c := range classes {
+		switch c.Kind {
+		case workload.OLAP:
+			if !pat.Manages(c.ID) {
+				return nil, fmt.Errorf("core: OLAP class %d is not managed by the patroller", c.ID)
+			}
+			qs.olapClasses = append(qs.olapClasses, c)
+		case workload.OLTP:
+			if qs.oltpClass != nil {
+				return nil, fmt.Errorf("core: more than one OLTP class")
+			}
+			if pat.Manages(c.ID) {
+				return nil, fmt.Errorf("core: OLTP class %d must not be intercepted (overhead)", c.ID)
+			}
+			qs.oltpClass = c
+		}
+	}
+	if qs.oltpClass != nil && oltpClients == nil {
+		return nil, fmt.Errorf("core: OLTP class present but no client source for snapshots")
+	}
+	sort.Slice(qs.olapClasses, func(i, j int) bool { return qs.olapClasses[i].ID < qs.olapClasses[j].ID })
+
+	qs.limits = qs.initialPlan()
+	qs.mon = newMonitor(eng, pat, qs.olapClasses, qs.oltpClass, oltpClients, cfg.SnapshotInterval)
+	return qs, nil
+}
+
+// SetClassifier replaces the default classifier.
+func (qs *QueryScheduler) SetClassifier(c Classifier) {
+	if c == nil {
+		panic("core: nil classifier")
+	}
+	qs.classifier = c
+}
+
+// initialPlan splits the system cost limit equally across all classes
+// (including the OLTP class's virtual share).
+func (qs *QueryScheduler) initialPlan() solver.Plan {
+	plan := make(solver.Plan)
+	n := len(qs.olapClasses)
+	if qs.oltpClass != nil {
+		n++
+	}
+	share := qs.cfg.SystemCostLimit / float64(n)
+	for _, c := range qs.olapClasses {
+		plan[c.ID] = share
+	}
+	if qs.oltpClass != nil {
+		plan[qs.oltpClass.ID] = share
+	}
+	return plan
+}
+
+// Start installs the dispatcher as the patroller's policy and begins the
+// control loop.
+func (qs *QueryScheduler) Start() {
+	if qs.running {
+		panic("core: scheduler already started")
+	}
+	qs.running = true
+	qs.pat.SetPolicy(qs)
+	qs.ticker = qs.eng.Clock().StartTicker(qs.cfg.ControlInterval, qs.controlTick)
+}
+
+// Stop halts the control loop (held queries stay held until released).
+func (qs *QueryScheduler) Stop() {
+	if !qs.running {
+		return
+	}
+	qs.running = false
+	qs.ticker.Stop()
+	qs.mon.stop()
+}
+
+// CostLimits returns the current scheduling plan (class cost limits,
+// including the OLTP class's virtual limit). The returned plan is a copy.
+func (qs *QueryScheduler) CostLimits() solver.Plan { return qs.limits.Clone() }
+
+// History returns all control-interval records so far.
+func (qs *QueryScheduler) History() []PlanRecord { return qs.history }
+
+// OLTPModel exposes the fitted response-time model (for diagnostics).
+func (qs *QueryScheduler) OLTPModel() *perfmodel.OLTPResponse { return qs.oltpModel }
+
+// Detector exposes the workload detector (for diagnostics and reports).
+func (qs *QueryScheduler) Detector() *detect.Detector { return qs.detector }
+
+// SelectReleases implements patroller.Policy — the Dispatcher. Per class,
+// queries are released in arrival order while the class's executing cost
+// plus the candidate's cost stays within the class cost limit.
+func (qs *QueryScheduler) SelectReleases(v *patroller.View) []engine.QueryID {
+	activeCost := v.ActiveCostByClass()
+	activeCount := make(map[engine.ClassID]int)
+	for _, qi := range v.Active {
+		activeCount[qi.Class]++
+	}
+	var out []engine.QueryID
+	for _, qi := range v.Held {
+		class := qs.classifier.Classify(qi)
+		limit, ok := qs.limits[class]
+		if !ok {
+			// Unknown class: release immediately rather than strand it.
+			out = append(out, qi.ID)
+			continue
+		}
+		fits := activeCost[class]+qi.Cost <= limit+1e-9
+		starving := qs.cfg.StarvationGuard && activeCount[class] == 0 && qi.Cost > limit
+		if !fits && !starving {
+			continue // head-of-line blocks only its own class
+		}
+		activeCost[class] += qi.Cost
+		activeCount[class]++
+		out = append(out, qi.ID)
+	}
+	return out
+}
+
+// controlTick is one Scheduling Planner cycle: harvest measurements, feed
+// the performance models, consult the Performance Solver, and hand the new
+// plan to the dispatcher.
+func (qs *QueryScheduler) controlTick() {
+	meas := qs.mon.harvest()
+
+	// Workload detection: characterize each class's interval and, when
+	// feed-forward is enabled, compute demand forecasts for the coming
+	// interval.
+	chars := make(map[engine.ClassID]detect.Characterization, len(qs.classes))
+	for _, c := range qs.classes {
+		chars[c.ID] = qs.detector.Observe(detect.Observation{
+			Time:       meas.Time,
+			Class:      c.ID,
+			Arrivals:   meas.Arrivals[c.ID],
+			MeanCost:   meas.ArrivalMeanCost[c.ID],
+			Interval:   qs.cfg.ControlInterval,
+			Population: float64(meas.Population[c.ID]),
+		})
+	}
+
+	if qs.oltpClass != nil {
+		qs.oltpModel.Observe(qs.limits[qs.oltpClass.ID], meas.OLTPRespTime)
+		qs.oltpTput.ObserveLoad(qs.limits[qs.oltpClass.ID], meas.OLTPRespTime,
+			float64(meas.Population[qs.oltpClass.ID]))
+	}
+
+	problem := solver.Problem{
+		Total: qs.cfg.SystemCostLimit,
+		Step:  qs.cfg.PlanStep,
+	}
+	for _, c := range qs.olapClasses {
+		c := c
+		vPrev := meas.Velocity[c.ID]
+		cPrev := qs.limits[c.ID]
+		idle := meas.Idle[c.ID]
+		if qs.cfg.FeedForward && !idle {
+			vPrev = qs.feedForwardAnchor(c.ID, vPrev, chars[c.ID])
+		}
+		problem.Classes = append(problem.Classes, solver.ClassSpec{
+			ID:      c.ID,
+			Utility: utility.NewVelocity(c.Goal.Target, c.Importance),
+			Min:     qs.cfg.MinOLAPLimit,
+			Predict: func(limit float64) float64 {
+				if idle {
+					// No workload to delay: ideal at any limit.
+					return 1
+				}
+				return qs.velModel.Predict(vPrev, cPrev, limit)
+			},
+		})
+	}
+	if qs.oltpClass != nil {
+		c := qs.oltpClass
+		tPrev := meas.OLTPRespTime
+		cPrev := qs.limits[c.ID]
+		useTput := qs.cfg.OLTPModel == ThroughputOLTPModel && qs.oltpTput.Usable()
+		problem.Classes = append(problem.Classes, solver.ClassSpec{
+			ID:      c.ID,
+			Utility: utility.NewResponseTime(c.Goal.Target, c.Importance),
+			Min:     qs.cfg.MinOLTPLimit,
+			Predict: func(limit float64) float64 {
+				if useTput {
+					return qs.oltpTput.Predict(tPrev, cPrev, limit)
+				}
+				return qs.oltpModel.Predict(tPrev, cPrev, limit)
+			},
+		})
+	}
+
+	plan := qs.cfg.Solver.Solve(problem, qs.limits)
+	qs.limits = plan
+	qs.history = append(qs.history, PlanRecord{
+		Time:        meas.Time,
+		Measurement: meas,
+		Limits:      plan.Clone(),
+		Utility:     solver.Utility(problem, plan),
+		OLTPSlope:   qs.oltpModel.Slope(),
+		Workload:    chars,
+	})
+	qs.pat.Poke() // apply the new limits right away
+}
+
+// feedForwardAnchor discounts a class's measured velocity by the
+// forecast demand growth: with a class cost limit fixed, velocity is
+// inversely proportional to offered demand (more clients waiting behind
+// the same admission budget), so an intensity forecast of +20% anchors
+// the model at vMeas/1.2 before the solver runs.
+func (qs *QueryScheduler) feedForwardAnchor(class engine.ClassID, vMeas float64,
+	char detect.Characterization) float64 {
+
+	fc := qs.detector.Forecast(class, qs.cfg.ControlInterval)
+	if fc.Confidence <= 0 || char.DemandRate <= 0 || fc.DemandRate <= 0 {
+		return vMeas
+	}
+	ratio := fc.DemandRate / char.DemandRate
+	// Blend by confidence and keep the correction bounded.
+	ratio = 1 + fc.Confidence*(ratio-1)
+	if ratio < 0.5 {
+		ratio = 0.5
+	}
+	if ratio > 2 {
+		ratio = 2
+	}
+	return vMeas / ratio
+}

@@ -1,0 +1,593 @@
+// Package engine is a flow-level discrete-event simulation of a database
+// server — the stand-in for the paper's IBM DB2 UDB 8.2 instance on an
+// xSeries 240 (dual 1 GHz CPUs, 17-disk SCSI array).
+//
+// The model is deliberately minimal but preserves the three properties the
+// paper's experiments depend on:
+//
+//  1. Queries have widely varying resource demands (set by the optimizer's
+//     per-plan CPU/I/O service demands).
+//  2. OLAP queries are I/O-intensive while OLTP queries are CPU-intensive,
+//     so the two workload types contend differently.
+//  3. Throughput saturates as concurrent load grows past a knee — which is
+//     what makes a "system cost limit" meaningful.
+//
+// Each executing query progresses at a rate set by processor sharing over
+// two stations (CPU and I/O) plus a multiprogramming-level contention
+// overhead. Time is virtual (see simclock), so the paper's 24-hour runs
+// complete in well under a second.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// QueryID uniquely identifies a query within one engine.
+type QueryID uint64
+
+// ClientID identifies a submitting client connection.
+type ClientID int
+
+// ClassID identifies a service class (assigned by the classifier).
+type ClassID int
+
+// State is a query's lifecycle state.
+type State int
+
+// Query lifecycle states.
+const (
+	StateNew State = iota
+	StateQueued
+	StateExecuting
+	StateDone
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateQueued:
+		return "queued"
+	case StateExecuting:
+		return "executing"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Demand is a query's resource requirement.
+//
+// Work is the execution time, in seconds, when the query runs alone on an
+// idle system. While the query makes progress at rate r (r = 1 when alone),
+// it consumes r·CPURate CPU-units and r·IORate I/O-units per second; rates
+// above 1 model intra-query parallelism (multiple subagents / prefetchers).
+type Demand struct {
+	Work    float64
+	CPURate float64
+	IORate  float64
+}
+
+// Validate reports whether the demand is executable.
+func (d Demand) Validate() error {
+	if d.Work <= 0 || math.IsNaN(d.Work) || math.IsInf(d.Work, 0) {
+		return fmt.Errorf("engine: non-positive work %v", d.Work)
+	}
+	if d.CPURate < 0 || d.IORate < 0 {
+		return fmt.Errorf("engine: negative resource rate (%v cpu, %v io)", d.CPURate, d.IORate)
+	}
+	if d.CPURate == 0 && d.IORate == 0 {
+		return fmt.Errorf("engine: demand consumes no resources")
+	}
+	return nil
+}
+
+// CPUSeconds returns the total CPU service demand of the query.
+func (d Demand) CPUSeconds() float64 { return d.Work * d.CPURate }
+
+// IOSeconds returns the total I/O service demand of the query.
+func (d Demand) IOSeconds() float64 { return d.Work * d.IORate }
+
+// Query is one statement moving through the engine. Fields through Demand
+// are set by the submitter; the engine fills in the timestamps.
+type Query struct {
+	ID       QueryID
+	Client   ClientID
+	Class    ClassID
+	Template string  // workload template name, for reporting
+	Cost     float64 // optimizer's timeron estimate (what controllers see)
+	Demand   Demand
+
+	State      State
+	SubmitTime simclock.Time // when the client issued the statement
+	StartTime  simclock.Time // when the engine began executing it
+	DoneTime   simclock.Time // when execution finished
+
+	remaining float64 // work not yet performed
+	rate      float64 // current progress rate
+	index     int     // position in the active slice, -1 when inactive
+}
+
+// ResponseTime returns end-to-end latency (queueing + execution). Valid
+// once the query is done.
+func (q *Query) ResponseTime() float64 { return q.DoneTime - q.SubmitTime }
+
+// ExecutionTime returns time spent executing inside the engine. Valid once
+// the query is done.
+func (q *Query) ExecutionTime() float64 { return q.DoneTime - q.StartTime }
+
+// Velocity returns ExecutionTime/ResponseTime — the paper's query velocity
+// metric, in (0, 1]. Valid once the query is done.
+func (q *Query) Velocity() float64 {
+	rt := q.ResponseTime()
+	if rt <= 0 {
+		return 1
+	}
+	return q.ExecutionTime() / rt
+}
+
+// Interceptor is the hook a workload controller (Query Patroller or the
+// Query Scheduler's dispatcher) installs to perform admission control.
+// Intercept is called at submit time; returning true means the interceptor
+// holds the query (it must call Engine.Start later), false means the engine
+// starts it immediately.
+type Interceptor interface {
+	Intercept(q *Query) (hold bool)
+}
+
+// Listener receives query completion notifications. Completion callbacks
+// may submit or start new queries.
+type Listener func(q *Query)
+
+// Config sets the engine's resource model.
+type Config struct {
+	// CPUCapacity is the number of CPUs (the paper's box had 2).
+	CPUCapacity float64
+	// IOCapacity is the effective number of parallel I/O streams the disk
+	// array sustains.
+	IOCapacity float64
+	// ContentionAlpha scales the multiprogramming overhead: every active
+	// query runs at 1/(1+alpha·(n-1)) of its contention-free rate. This
+	// is what bends the throughput curve down past saturation.
+	ContentionAlpha float64
+}
+
+// DefaultConfig approximates the paper's testbed.
+func DefaultConfig() Config {
+	return Config{CPUCapacity: 2, IOCapacity: 14, ContentionAlpha: 0.006}
+}
+
+// Snapshot is what the snapshot monitor records per client: the execution
+// and response time of the most recently finished statement. This mirrors
+// the DB2 snapshot monitor interface the paper uses to observe the OLTP
+// class without intercepting it.
+type Snapshot struct {
+	Client    ClientID
+	Class     ClassID
+	ExecTime  float64
+	RespTime  float64
+	DoneAt    simclock.Time
+	QueryCost float64
+}
+
+// Stats aggregates engine-level counters for calibration and tests.
+type Stats struct {
+	Submitted      uint64
+	Started        uint64
+	Completed      uint64
+	CPUSecondsUsed float64
+	IOSecondsUsed  float64
+	BusyTime       float64 // virtual seconds with at least one active query
+}
+
+// Engine is the simulated DBMS.
+type Engine struct {
+	cfg             Config
+	clock           *simclock.Clock
+	interceptor     Interceptor
+	listeners       []Listener
+	submitListeners []Listener
+
+	nextID     QueryID
+	active     []*Query
+	lastUpdate simclock.Time
+	pendingEvt simclock.EventID
+	hasEvt     bool
+
+	snapshots map[ClientID]Snapshot
+	stats     Stats
+
+	// weights, when non-nil, turns both stations into weighted fair
+	// sharing across service classes (see SetClassWeights).
+	weights map[ClassID]float64
+}
+
+// New returns an engine on the given clock. Config values must be positive
+// (ContentionAlpha may be zero).
+func New(cfg Config, clock *simclock.Clock) *Engine {
+	if clock == nil {
+		panic("engine: nil clock")
+	}
+	if cfg.CPUCapacity <= 0 || cfg.IOCapacity <= 0 || cfg.ContentionAlpha < 0 {
+		panic(fmt.Sprintf("engine: invalid config %+v", cfg))
+	}
+	return &Engine{
+		cfg:       cfg,
+		clock:     clock,
+		snapshots: make(map[ClientID]Snapshot),
+	}
+}
+
+// Clock returns the engine's simulation clock.
+func (e *Engine) Clock() *simclock.Clock { return e.clock }
+
+// Config returns the engine's resource configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SetInterceptor installs the admission-control hook. Passing nil removes
+// it (all queries start immediately).
+func (e *Engine) SetInterceptor(i Interceptor) { e.interceptor = i }
+
+// OnDone registers a completion listener. Listeners run in registration
+// order after the finished query's bookkeeping is complete.
+func (e *Engine) OnDone(l Listener) {
+	if l == nil {
+		panic("engine: nil listener")
+	}
+	e.listeners = append(e.listeners, l)
+}
+
+// OnSubmit registers a submission listener, called for every query as it
+// arrives (before interception). Workload-detection monitors use this to
+// observe classes that are not intercepted.
+func (e *Engine) OnSubmit(l Listener) {
+	if l == nil {
+		panic("engine: nil listener")
+	}
+	e.submitListeners = append(e.submitListeners, l)
+}
+
+// Submit hands a query to the engine at the current virtual time. The
+// interceptor, if any, may hold it; otherwise execution starts immediately.
+func (e *Engine) Submit(q *Query) {
+	if q == nil {
+		panic("engine: nil query")
+	}
+	if err := q.Demand.Validate(); err != nil {
+		panic(err)
+	}
+	if q.State != StateNew {
+		panic(fmt.Sprintf("engine: submit of query in state %v", q.State))
+	}
+	e.nextID++
+	q.ID = e.nextID
+	q.SubmitTime = e.clock.Now()
+	q.index = -1
+	e.stats.Submitted++
+	for _, l := range e.submitListeners {
+		l(q)
+	}
+	if e.interceptor != nil && e.interceptor.Intercept(q) {
+		q.State = StateQueued
+		return
+	}
+	e.Start(q)
+}
+
+// Start begins executing a submitted query. Interceptors call this to
+// release a held query; Submit calls it directly when nothing holds the
+// query.
+func (e *Engine) Start(q *Query) {
+	if q.State != StateNew && q.State != StateQueued {
+		panic(fmt.Sprintf("engine: start of query %d in state %v", q.ID, q.State))
+	}
+	if err := q.Demand.Validate(); err != nil {
+		panic(err) // interceptors may rewrite demand; re-check at start
+	}
+	q.remaining = q.Demand.Work
+	e.advanceTo(e.clock.Now())
+	q.State = StateExecuting
+	q.StartTime = e.clock.Now()
+	q.index = len(e.active)
+	e.active = append(e.active, q)
+	e.stats.Started++
+	e.reschedule()
+}
+
+// Active returns the number of currently executing queries.
+func (e *Engine) Active() int { return len(e.active) }
+
+// ActiveQueries returns the currently executing queries. The slice is
+// owned by the engine; callers must not mutate it.
+func (e *Engine) ActiveQueries() []*Query { return e.active }
+
+// ActiveCostByClass sums the timeron cost of executing queries per class —
+// what a controller reads to enforce class cost limits.
+func (e *Engine) ActiveCostByClass() map[ClassID]float64 {
+	m := make(map[ClassID]float64)
+	for _, q := range e.active {
+		m[q.Class] += q.Cost
+	}
+	return m
+}
+
+// LastFinished returns the snapshot-monitor record for a client: execution
+// and response time of its most recently finished statement.
+func (e *Engine) LastFinished(c ClientID) (Snapshot, bool) {
+	s, ok := e.snapshots[c]
+	return s, ok
+}
+
+// Stats returns cumulative engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Utilization returns the current requested load on each station relative
+// to capacity (may exceed 1 when oversubscribed).
+func (e *Engine) Utilization() (cpu, io float64) {
+	var cpuLoad, ioLoad float64
+	for _, q := range e.active {
+		cpuLoad += q.Demand.CPURate
+		ioLoad += q.Demand.IORate
+	}
+	return cpuLoad / e.cfg.CPUCapacity, ioLoad / e.cfg.IOCapacity
+}
+
+// advanceTo applies progress to all active queries for the interval since
+// the last update, harvesting any completions.
+func (e *Engine) advanceTo(now simclock.Time) {
+	dt := now - e.lastUpdate
+	if dt < 0 {
+		panic(fmt.Sprintf("engine: time moved backwards (%v -> %v)", e.lastUpdate, now))
+	}
+	e.lastUpdate = now
+	if dt == 0 || len(e.active) == 0 {
+		return
+	}
+	e.stats.BusyTime += dt
+	var done []*Query
+	for _, q := range e.active {
+		progress := q.rate * dt
+		if progress > q.remaining {
+			progress = q.remaining
+		}
+		q.remaining -= progress
+		e.stats.CPUSecondsUsed += progress * q.Demand.CPURate
+		e.stats.IOSecondsUsed += progress * q.Demand.IORate
+		if q.remaining <= completionEpsilon*q.Demand.Work {
+			done = append(done, q)
+		}
+	}
+	for _, q := range done {
+		e.remove(q)
+		q.State = StateDone
+		q.DoneTime = now
+		q.remaining = 0
+		e.stats.Completed++
+		e.snapshots[q.Client] = Snapshot{
+			Client:    q.Client,
+			Class:     q.Class,
+			ExecTime:  q.ExecutionTime(),
+			RespTime:  q.ResponseTime(),
+			DoneAt:    now,
+			QueryCost: q.Cost,
+		}
+	}
+	// Notify after all bookkeeping so listeners observe a consistent
+	// engine; listeners may start queries, which re-enters advanceTo with
+	// dt == 0 and then reschedules.
+	for _, q := range done {
+		for _, l := range e.listeners {
+			l(q)
+		}
+	}
+}
+
+// completionEpsilon absorbs floating-point residue when a completion event
+// fires at the exact computed finish time.
+const completionEpsilon = 1e-9
+
+// remove takes q out of the active set in O(1).
+func (e *Engine) remove(q *Query) {
+	i := q.index
+	last := len(e.active) - 1
+	e.active[i] = e.active[last]
+	e.active[i].index = i
+	e.active[last] = nil
+	e.active = e.active[:last]
+	q.index = -1
+}
+
+// SetClassWeights switches both stations to weighted fair sharing across
+// service classes: under contention, each class with runnable work
+// receives station capacity in proportion to its weight, with any share a
+// class cannot use redistributed to the others (work-conserving).
+// Classes absent from the map get weight 1; passing nil restores plain
+// per-query processor sharing.
+//
+// This is the "control mechanism inside the DBMS itself" the paper's
+// future-work section calls for (and what DB2 later shipped as WLM):
+// it shifts resources between classes without intercepting any query, so
+// it can manage sub-second OLTP work that admission control cannot touch.
+func (e *Engine) SetClassWeights(w map[ClassID]float64) {
+	for c, v := range w {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("engine: invalid weight %v for class %d", v, c))
+		}
+	}
+	e.advanceTo(e.clock.Now())
+	if w == nil {
+		e.weights = nil
+	} else {
+		e.weights = make(map[ClassID]float64, len(w))
+		for c, v := range w {
+			e.weights[c] = v
+		}
+	}
+	e.reschedule()
+}
+
+// ClassWeight returns the effective sharing weight of a class.
+func (e *Engine) ClassWeight(c ClassID) float64 {
+	if e.weights == nil {
+		return 1
+	}
+	if w, ok := e.weights[c]; ok {
+		return w
+	}
+	return 1
+}
+
+// recomputeRates assigns each active query its progress rate under the
+// current mix: processor sharing per station (optionally weighted by
+// class) plus the MPL contention overhead. A query is limited by the more
+// congested of the stations it uses, and can never progress faster than 1
+// (its stand-alone speed).
+func (e *Engine) recomputeRates() {
+	n := len(e.active)
+	if n == 0 {
+		return
+	}
+	cpuScale := e.stationScales(func(d Demand) float64 { return d.CPURate }, e.cfg.CPUCapacity)
+	ioScale := e.stationScales(func(d Demand) float64 { return d.IORate }, e.cfg.IOCapacity)
+	overhead := 1 + e.cfg.ContentionAlpha*float64(n-1)
+	for _, q := range e.active {
+		r := 1.0
+		if q.Demand.CPURate > 0 {
+			if s := cpuScale[q.Class]; s < r {
+				r = s
+			}
+		}
+		if q.Demand.IORate > 0 {
+			if s := ioScale[q.Class]; s < r {
+				r = s
+			}
+		}
+		q.rate = r / overhead
+	}
+}
+
+// stationScales computes, per class, the fraction of its requested rate a
+// station can deliver. Without class weights every class sees the same
+// scale (plain processor sharing). With weights, capacity is divided by
+// weighted max-min fairness: satisfied classes keep their full demand and
+// the remainder is re-divided among the still-contending classes.
+func (e *Engine) stationScales(rate func(Demand) float64, capacity float64) map[ClassID]float64 {
+	demand := make(map[ClassID]float64)
+	var total float64
+	for _, q := range e.active {
+		r := rate(q.Demand)
+		demand[q.Class] += r
+		total += r
+	}
+	scales := make(map[ClassID]float64, len(demand))
+	if total <= capacity {
+		for c := range demand {
+			scales[c] = 1
+		}
+		return scales
+	}
+	if e.weights == nil {
+		s := capacity / total
+		for c := range demand {
+			scales[c] = s
+		}
+		return scales
+	}
+	// Weighted water-filling over the contending classes. All iteration
+	// runs over a sorted class list: map order would perturb the
+	// floating-point accumulation (and therefore event times) from run
+	// to run, breaking reproducibility.
+	remaining := capacity
+	classes := make([]ClassID, 0, len(demand))
+	pending := make(map[ClassID]float64, len(demand)) // class -> demand
+	for c, d := range demand {
+		if d > 0 {
+			classes = append(classes, c)
+			pending[c] = d
+		} else {
+			scales[c] = 1
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for len(pending) > 0 {
+		var weightSum float64
+		for _, c := range classes {
+			if _, ok := pending[c]; ok {
+				weightSum += e.ClassWeight(c)
+			}
+		}
+		// Find classes whose fair share covers their whole demand. The
+		// pass is decided against a fixed remaining/weightSum and only
+		// then applied.
+		var done []ClassID
+		for _, c := range classes {
+			if d, ok := pending[c]; ok && remaining*e.ClassWeight(c)/weightSum >= d {
+				done = append(done, c)
+			}
+		}
+		if len(done) > 0 {
+			for _, c := range done {
+				scales[c] = 1
+				remaining -= pending[c]
+				delete(pending, c)
+			}
+			continue
+		}
+		// Everyone left is constrained: split the remainder by weight.
+		for _, c := range classes {
+			if d, ok := pending[c]; ok {
+				scales[c] = remaining * e.ClassWeight(c) / weightSum / d
+				delete(pending, c)
+			}
+		}
+	}
+	return scales
+}
+
+// reschedule recomputes rates and re-arms the next-completion event.
+func (e *Engine) reschedule() {
+	if e.hasEvt {
+		e.clock.Cancel(e.pendingEvt)
+		e.hasEvt = false
+	}
+	e.recomputeRates()
+	if len(e.active) == 0 {
+		return
+	}
+	next := math.Inf(1)
+	for _, q := range e.active {
+		if q.rate <= 0 {
+			panic(fmt.Sprintf("engine: query %d has non-positive rate", q.ID))
+		}
+		t := q.remaining / q.rate
+		if t < next {
+			next = t
+		}
+	}
+	// Guard against a zero-length step looping forever on fp residue.
+	if next < minEventStep {
+		next = minEventStep
+	}
+	e.pendingEvt = e.clock.After(next, e.onCompletionEvent)
+	e.hasEvt = true
+}
+
+const minEventStep = 1e-9
+
+func (e *Engine) onCompletionEvent() {
+	e.hasEvt = false
+	e.advanceTo(e.clock.Now())
+	e.reschedule()
+}
+
+// Quiesce advances internal accounting to the current time without firing
+// events — used by monitors that read utilization mid-interval.
+func (e *Engine) Quiesce() {
+	e.advanceTo(e.clock.Now())
+	e.reschedule()
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/simclock"
+)
+
+// These tests validate the flow-level engine against closed-form queueing
+// theory in the regimes where exact results exist. The reproduction's
+// conclusions rest on this simulator standing in for real hardware, so
+// its macroscopic behaviour must match the operational laws and the
+// asymptotic/MVA predictions for closed systems — not merely look
+// plausible.
+
+// closedLoop drives n zero-think-time clients, each submitting a fixed
+// demand repeatedly, and returns steady-state throughput and mean
+// response time measured over [warmup, horizon].
+func closedLoop(t *testing.T, cfg Config, n int, d Demand, warmup, horizon float64) (x, rt float64) {
+	t.Helper()
+	clock := simclock.New()
+	e := New(cfg, clock)
+	var completed int
+	var rtSum float64
+	measuring := false
+	submit := func(c ClientID) {
+		e.Submit(&Query{Client: c, Demand: d})
+	}
+	e.OnDone(func(q *Query) {
+		if measuring {
+			completed++
+			rtSum += q.ResponseTime()
+		}
+		submit(q.Client)
+	})
+	for c := 0; c < n; c++ {
+		submit(ClientID(c))
+	}
+	clock.RunUntil(warmup)
+	measuring = true
+	clock.RunUntil(horizon)
+	elapsed := horizon - warmup
+	if completed == 0 {
+		t.Fatal("no completions in measurement window")
+	}
+	return float64(completed) / elapsed, rtSum / float64(completed)
+}
+
+func TestEngineMatchesBottleneckThroughputBound(t *testing.T) {
+	// 8 CPU-bound clients, 2 CPUs, demand 0.1s: saturated closed system.
+	// Theory: X = c/D = 20/s, R = N·D/c = 0.4s.
+	cfg := Config{CPUCapacity: 2, IOCapacity: 10}
+	x, rt := closedLoop(t, cfg, 8, Demand{Work: 0.1, CPURate: 1}, 50, 150)
+	if math.Abs(x-20) > 0.2 {
+		t.Fatalf("X = %v, theory says 20/s", x)
+	}
+	if math.Abs(rt-0.4) > 0.01 {
+		t.Fatalf("R = %v, theory says 0.4s", rt)
+	}
+}
+
+func TestEngineObeysLittlesLaw(t *testing.T) {
+	cfg := Config{CPUCapacity: 3, IOCapacity: 10}
+	n := 11
+	x, rt := closedLoop(t, cfg, n, Demand{Work: 0.05, CPURate: 1}, 20, 120)
+	// In a closed zero-think system the population equals X·R exactly.
+	if got := queueing.LittlesLaw(x, rt); math.Abs(got-float64(n)) > 0.2 {
+		t.Fatalf("X·R = %v, want N = %d", got, n)
+	}
+}
+
+func TestEngineUndersaturatedRunsAtFullSpeed(t *testing.T) {
+	// 2 clients on 4 CPUs: no contention, R = D, X = N/D.
+	cfg := Config{CPUCapacity: 4, IOCapacity: 10}
+	x, rt := closedLoop(t, cfg, 2, Demand{Work: 0.2, CPURate: 1}, 10, 60)
+	if math.Abs(rt-0.2) > 1e-6 {
+		t.Fatalf("R = %v, want the bare demand 0.2", rt)
+	}
+	if math.Abs(x-10) > 0.2 {
+		t.Fatalf("X = %v, want N/D = 10", x)
+	}
+}
+
+func TestEngineThroughputRespectsAsymptoticBounds(t *testing.T) {
+	cfg := Config{CPUCapacity: 2, IOCapacity: 10}
+	d := Demand{Work: 0.1, CPURate: 1}
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		x, _ := closedLoop(t, cfg, n, d, 50, 150)
+		b := queueing.AsymptoticBounds(float64(n), 0.1, 0.1, 2, 0)
+		if x > b.MaxThroughput*1.02 {
+			t.Fatalf("N=%d: X = %v exceeds bound %v", n, x, b.MaxThroughput)
+		}
+		// Processor sharing with deterministic demands achieves the
+		// bound (no stochastic slack): check tightness too.
+		if x < b.MaxThroughput*0.95 {
+			t.Fatalf("N=%d: X = %v far below achievable bound %v", n, x, b.MaxThroughput)
+		}
+	}
+}
+
+func TestEngineMatchesMVAWithTwoStations(t *testing.T) {
+	// A two-station closed network is only product-form when each
+	// query uses one station; build half CPU-bound, half I/O-bound
+	// clients and compare against per-chain bottleneck analysis.
+	cfg := Config{CPUCapacity: 1, IOCapacity: 1}
+	clock := simclock.New()
+	e := New(cfg, clock)
+	const nPerClass = 4
+	var cpuDone, ioDone int
+	measuring := false
+	submit := func(c ClientID, d Demand) {
+		e.Submit(&Query{Client: c, Demand: d})
+	}
+	cpuD := Demand{Work: 0.1, CPURate: 1}
+	ioD := Demand{Work: 0.2, IORate: 1}
+	e.OnDone(func(q *Query) {
+		if measuring {
+			if q.Demand.CPURate > 0 {
+				cpuDone++
+			} else {
+				ioDone++
+			}
+		}
+		submit(q.Client, q.Demand)
+	})
+	for c := 0; c < nPerClass; c++ {
+		submit(ClientID(c), cpuD)
+		submit(ClientID(100+c), ioD)
+	}
+	clock.RunUntil(100)
+	measuring = true
+	clock.RunUntil(300)
+	// Disjoint stations: each class saturates its own station.
+	xCPU := float64(cpuDone) / 200
+	xIO := float64(ioDone) / 200
+	if math.Abs(xCPU-10) > 0.2 {
+		t.Fatalf("CPU-chain X = %v, want 1/0.1 = 10", xCPU)
+	}
+	if math.Abs(xIO-5) > 0.2 {
+		t.Fatalf("IO-chain X = %v, want 1/0.2 = 5", xIO)
+	}
+}
+
+func TestEngineContentionOverheadMatchesModel(t *testing.T) {
+	// With alpha > 0 and the station unsaturated, R = D·(1+alpha·(N-1)).
+	alpha := 0.05
+	cfg := Config{CPUCapacity: 16, IOCapacity: 16, ContentionAlpha: alpha}
+	n := 8
+	_, rt := closedLoop(t, cfg, n, Demand{Work: 0.1, CPURate: 1}, 20, 120)
+	want := 0.1 * (1 + alpha*float64(n-1))
+	if math.Abs(rt-want) > 1e-3 {
+		t.Fatalf("R = %v, overhead model says %v", rt, want)
+	}
+}
+
+func TestEngineWeightedSharesMatchTheory(t *testing.T) {
+	// Two classes, weights 3:1, one CPU, both saturating: class rates
+	// must be 0.75 and 0.25 of capacity, so throughputs 7.5/s and 2.5/s
+	// with demand 0.1.
+	clock := simclock.New()
+	e := New(Config{CPUCapacity: 1, IOCapacity: 10}, clock)
+	e.SetClassWeights(map[ClassID]float64{1: 3, 2: 1})
+	counts := map[ClassID]int{}
+	measuring := false
+	submit := func(c ClientID, class ClassID) {
+		e.Submit(&Query{Client: c, Class: class, Demand: Demand{Work: 0.1, CPURate: 1}})
+	}
+	e.OnDone(func(q *Query) {
+		if measuring {
+			counts[q.Class]++
+		}
+		submit(q.Client, q.Class)
+	})
+	for c := 0; c < 4; c++ {
+		submit(ClientID(c), 1)
+		submit(ClientID(100+c), 2)
+	}
+	clock.RunUntil(50)
+	measuring = true
+	clock.RunUntil(250)
+	x1 := float64(counts[1]) / 200
+	x2 := float64(counts[2]) / 200
+	if math.Abs(x1-7.5) > 0.2 || math.Abs(x2-2.5) > 0.2 {
+		t.Fatalf("weighted throughputs %v/%v, theory says 7.5/2.5", x1, x2)
+	}
+}

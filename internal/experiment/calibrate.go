@@ -1,0 +1,78 @@
+// Autonomic calibration of the system cost limit. The paper determines
+// the limit "experimentally by plotting the curve of the throughput
+// versus the system cost limit" — a human reading a chart. An autonomic
+// DBMS should do the reading itself; FindSystemCostLimit automates the
+// knee selection from the measured curve.
+package experiment
+
+// Calibration is the outcome of automatic system-cost-limit selection.
+type Calibration struct {
+	// Points is the measured throughput curve.
+	Points []SaturationPoint
+	// PeakThroughput is the highest measured queries/hour.
+	PeakThroughput float64
+	// PlateauLow / PlateauHigh bound the healthy region: limits whose
+	// throughput is within Tolerance of the peak.
+	PlateauLow, PlateauHigh float64
+	// Recommended is the selected operating point: the midpoint of the
+	// plateau, rounded to the sweep's granularity, biased low (staying
+	// under-saturated is the stated objective).
+	Recommended float64
+}
+
+// calibrationTolerance is the fraction of peak throughput a limit may
+// lose and still count as healthy.
+const calibrationTolerance = 0.05
+
+// FindSystemCostLimit runs the saturation sweep and picks the operating
+// point automatically.
+func FindSystemCostLimit(cfg SaturationConfig) Calibration {
+	points := RunSaturation(cfg)
+	return CalibrateFromCurve(points)
+}
+
+// CalibrateFromCurve selects the operating point from an existing curve
+// (exposed separately so tests can feed synthetic curves).
+func CalibrateFromCurve(points []SaturationPoint) Calibration {
+	cal := Calibration{Points: points}
+	if len(points) == 0 {
+		return cal
+	}
+	for _, p := range points {
+		if p.QueriesPerHour > cal.PeakThroughput {
+			cal.PeakThroughput = p.QueriesPerHour
+		}
+	}
+	threshold := (1 - calibrationTolerance) * cal.PeakThroughput
+	for _, p := range points {
+		if p.QueriesPerHour < threshold {
+			continue
+		}
+		if cal.PlateauLow == 0 {
+			cal.PlateauLow = p.Limit
+		}
+		cal.PlateauHigh = p.Limit
+	}
+	if cal.PlateauLow == 0 {
+		// Degenerate curve: recommend the best single point.
+		for _, p := range points {
+			if p.QueriesPerHour == cal.PeakThroughput {
+				cal.Recommended = p.Limit
+				cal.PlateauLow, cal.PlateauHigh = p.Limit, p.Limit
+				break
+			}
+		}
+		return cal
+	}
+	// Bias toward the low-middle of the plateau: maximal headroom before
+	// the saturation overhead region while keeping full throughput.
+	cal.Recommended = cal.PlateauLow + (cal.PlateauHigh-cal.PlateauLow)*0.4
+	// Snap to the sweep granularity for a reportable number.
+	if len(points) > 1 {
+		step := points[1].Limit - points[0].Limit
+		if step > 0 {
+			cal.Recommended = float64(int(cal.Recommended/step+0.5)) * step
+		}
+	}
+	return cal
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import "testing"
+
+func curve(pairs ...[2]float64) []SaturationPoint {
+	var out []SaturationPoint
+	for _, p := range pairs {
+		out = append(out, SaturationPoint{Limit: p[0], QueriesPerHour: p[1]})
+	}
+	return out
+}
+
+func TestCalibrateFromCurvePicksPlateau(t *testing.T) {
+	// Ramp, plateau 20k-40k, decline.
+	c := CalibrateFromCurve(curve(
+		[2]float64{10000, 100}, [2]float64{20000, 360}, [2]float64{30000, 370},
+		[2]float64{40000, 355}, [2]float64{50000, 300},
+	))
+	if c.PeakThroughput != 370 {
+		t.Fatalf("peak = %v", c.PeakThroughput)
+	}
+	if c.PlateauLow != 20000 || c.PlateauHigh != 40000 {
+		t.Fatalf("plateau = [%v, %v]", c.PlateauLow, c.PlateauHigh)
+	}
+	if c.Recommended < 20000 || c.Recommended > 40000 {
+		t.Fatalf("recommended %v off the plateau", c.Recommended)
+	}
+	// Biased toward the low-middle, snapped to the 10k sweep step.
+	if c.Recommended != 30000 {
+		t.Fatalf("recommended = %v, want 30000", c.Recommended)
+	}
+}
+
+func TestCalibrateFromCurveDegenerate(t *testing.T) {
+	if c := CalibrateFromCurve(nil); c.Recommended != 0 {
+		t.Fatal("empty curve should recommend nothing")
+	}
+	c := CalibrateFromCurve(curve([2]float64{5000, 42}))
+	if c.Recommended != 5000 {
+		t.Fatalf("single point recommendation = %v", c.Recommended)
+	}
+}
+
+func TestFindSystemCostLimitOnSimulator(t *testing.T) {
+	cal := FindSystemCostLimit(DefaultSaturationConfig())
+	if cal.PeakThroughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	// The committed operating point must lie in the measured plateau.
+	if float64(SystemCostLimit) < cal.PlateauLow || float64(SystemCostLimit) > cal.PlateauHigh {
+		t.Fatalf("30k outside measured plateau [%v, %v]", cal.PlateauLow, cal.PlateauHigh)
+	}
+	if cal.Recommended < cal.PlateauLow || cal.Recommended > cal.PlateauHigh {
+		t.Fatalf("recommendation %v off its own plateau", cal.Recommended)
+	}
+}

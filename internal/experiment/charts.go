@@ -1,0 +1,103 @@
+// Chart renderings of the experiment results — the paper's figures as
+// terminal line charts (see internal/report).
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// WriteMixedCharts draws the Figure 4/5/6-style plot: OLAP velocities and
+// OLTP response time per period, with the goal lines, matching the
+// paper's shared 0..1 axis ("Query Velocity / Response Time (s)").
+func WriteMixedCharts(w io.Writer, r *MixedResult) {
+	chart := report.Chart{
+		Title:  fmt.Sprintf("Performance with %s (periods 1-%d)", r.Mode, r.Periods),
+		YLabel: "velocity / response time (s)",
+		XLabel: "period",
+		YMin:   0,
+		YMax:   1,
+	}
+	for i, c := range r.Classes {
+		chart.Series = append(chart.Series, report.Series{
+			Name:   fmt.Sprintf("%s (%s)", c.Name, c.Goal.Metric),
+			Values: r.Metric[i],
+			Mask:   r.Measurable[i],
+		})
+		chart.Goals = append(chart.Goals, c.Goal.Target)
+	}
+	io.WriteString(w, chart.Render())
+}
+
+// WriteCostLimitCharts draws Figure 7: per-period class cost limits.
+func WriteCostLimitCharts(w io.Writer, r *MixedResult) {
+	if r.CostLimits == nil {
+		fmt.Fprintf(w, "(no cost-limit history: mode %s does not adapt limits)\n", r.Mode)
+		return
+	}
+	chart := report.Chart{
+		Title:  "Adjustment of class cost limits (timerons)",
+		XLabel: "period",
+		YMin:   0,
+		YMax:   SystemCostLimit,
+	}
+	for i, c := range r.Classes {
+		chart.Series = append(chart.Series, report.Series{
+			Name:   c.Name,
+			Values: r.CostLimits[i],
+		})
+	}
+	io.WriteString(w, chart.Render())
+}
+
+// WriteFig2Charts draws Figure 2: OLTP response time vs. OLAP cost limit.
+func WriteFig2Charts(w io.Writer, curves []Fig2Curve) {
+	chart := report.Chart{
+		Title:  "OLTP response time vs. OLAP cost limit",
+		YLabel: "avg response time (s)",
+		XLabel: "OLAP cost limit sweep (2k..40k timerons)",
+	}
+	for _, c := range curves {
+		chart.Series = append(chart.Series, report.Series{
+			Name:   fmt.Sprintf("(%d,%d)", c.OLTPClients, c.OLAPClients),
+			Values: c.MeanRT,
+		})
+	}
+	io.WriteString(w, chart.Render())
+}
+
+// WriteSaturationChart draws the E0 calibration curve.
+func WriteSaturationChart(w io.Writer, points []SaturationPoint) {
+	var xs []float64
+	for _, p := range points {
+		xs = append(xs, p.QueriesPerHour)
+	}
+	chart := report.Chart{
+		Title:  "Throughput vs. system cost limit (calibration)",
+		YLabel: "queries/hour",
+		XLabel: fmt.Sprintf("limit sweep (%.0f..%.0f timerons)", points[0].Limit, points[len(points)-1].Limit),
+		Series: []report.Series{{Name: "OLAP throughput", Values: xs}},
+	}
+	io.WriteString(w, chart.Render())
+}
+
+// WriteScheduleChart draws Figure 3: client counts per period.
+func WriteScheduleChart(w io.Writer, s workload.Schedule, classes []*workload.Class) {
+	chart := report.Chart{
+		Title:  "Workload (clients per period)",
+		XLabel: "period",
+		YMin:   0,
+		YMax:   26,
+	}
+	for _, c := range classes {
+		var counts []float64
+		for p := 0; p < s.Periods(); p++ {
+			counts = append(counts, float64(s.Clients[p][c.ID]))
+		}
+		chart.Series = append(chart.Series, report.Series{Name: c.Name, Values: counts})
+	}
+	io.WriteString(w, chart.Render())
+}

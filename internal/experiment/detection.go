@@ -1,0 +1,158 @@
+// E10: workload-detection accuracy. The framework's detection process
+// must "identify workload changes"; this experiment runs the Figure 3
+// schedule and scores the detector's shift reports against the true
+// period boundaries (which the detector never sees).
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// DetectionResult scores one class's shift detection.
+type DetectionResult struct {
+	Class engine.ClassID
+	Name  string
+	// TrueShifts counts period boundaries where the class's client count
+	// actually changed.
+	TrueShifts int
+	// Detected counts shifts the detector reported.
+	Detected int
+	// Matched counts detections within MatchWindow seconds after a true
+	// boundary (each boundary matches at most one detection).
+	Matched int
+	// FalseAlarms counts detections matching no boundary.
+	FalseAlarms int
+	// MeanDelay is the average seconds from a matched boundary to its
+	// detection.
+	MeanDelay float64
+}
+
+// Precision returns matched / detected (1 when nothing was detected).
+func (r DetectionResult) Precision() float64 {
+	if r.Detected == 0 {
+		return 1
+	}
+	return float64(r.Matched) / float64(r.Detected)
+}
+
+// Recall returns matched / true shifts (1 when nothing changed).
+func (r DetectionResult) Recall() float64 {
+	if r.TrueShifts == 0 {
+		return 1
+	}
+	return float64(r.Matched) / float64(r.TrueShifts)
+}
+
+// DetectionConfig tunes E10.
+type DetectionConfig struct {
+	Sched workload.Schedule
+	Seed  uint64
+	// MatchWindow is how long after a boundary a detection still counts
+	// as that boundary's (seconds).
+	MatchWindow float64
+	// MinRelativeChange ignores boundaries whose client count changed by
+	// less than this fraction — sub-noise changes are not detectable
+	// even in principle.
+	MinRelativeChange float64
+}
+
+// DefaultDetectionConfig scores detection over the paper schedule with a
+// half-period match window.
+func DefaultDetectionConfig() DetectionConfig {
+	sched := workload.PaperSchedule()
+	return DetectionConfig{
+		Sched:             sched,
+		Seed:              1,
+		MatchWindow:       sched.PeriodSeconds / 2,
+		MinRelativeChange: 0.25,
+	}
+}
+
+// RunDetection runs the Query Scheduler over the schedule and scores its
+// embedded detector's shift log per class.
+func RunDetection(cfg DetectionConfig) []DetectionResult {
+	rig := NewRig(cfg.Seed, cfg.Sched)
+	rig.AttachController(QueryScheduler, nil)
+	rig.Run()
+	shifts := rig.QS.Detector().Shifts()
+
+	var out []DetectionResult
+	for _, c := range rig.Classes {
+		res := DetectionResult{Class: c.ID, Name: c.Name}
+		// True boundaries with a material intensity change.
+		var boundaries []float64
+		for p := 1; p < cfg.Sched.Periods(); p++ {
+			prev := cfg.Sched.Clients[p-1][c.ID]
+			cur := cfg.Sched.Clients[p][c.ID]
+			if prev == cur {
+				continue
+			}
+			base := prev
+			if cur > base {
+				base = cur
+			}
+			if base == 0 {
+				continue
+			}
+			rel := float64(abs(cur-prev)) / float64(base)
+			if rel < cfg.MinRelativeChange {
+				continue
+			}
+			boundaries = append(boundaries, float64(p)*cfg.Sched.PeriodSeconds)
+		}
+		res.TrueShifts = len(boundaries)
+
+		var detections []float64
+		for _, s := range shifts {
+			if s.Class == c.ID {
+				detections = append(detections, s.Time)
+			}
+		}
+		sort.Float64s(detections)
+		res.Detected = len(detections)
+
+		used := make([]bool, len(detections))
+		var delaySum float64
+		for _, b := range boundaries {
+			for i, d := range detections {
+				if used[i] || d < b || d > b+cfg.MatchWindow {
+					continue
+				}
+				used[i] = true
+				res.Matched++
+				delaySum += d - b
+				break
+			}
+		}
+		res.FalseAlarms = res.Detected - res.Matched
+		if res.Matched > 0 {
+			res.MeanDelay = delaySum / float64(res.Matched)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteDetection renders the E10 scores.
+func WriteDetection(w io.Writer, results []DetectionResult) {
+	fmt.Fprintf(w, "Workload-shift detection accuracy (CUSUM on in-system population)\n")
+	fmt.Fprintf(w, "%-10s %8s %9s %8s %8s %10s %8s %11s\n",
+		"class", "shifts", "detected", "matched", "false+", "precision", "recall", "delay(s)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %8d %9d %8d %8d %9.0f%% %7.0f%% %11.0f\n",
+			r.Name, r.TrueShifts, r.Detected, r.Matched, r.FalseAlarms,
+			100*r.Precision(), 100*r.Recall(), r.MeanDelay)
+	}
+}

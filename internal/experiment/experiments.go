@@ -1,0 +1,324 @@
+// The paper's experiments, one runner per table/figure. See DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/patroller"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ConstantSchedule returns a two-period schedule with fixed client counts:
+// the first period is warm-up, the second is the measurement window.
+func ConstantSchedule(warmup, measure float64, clients map[engine.ClassID]int) workload.Schedule {
+	if warmup != measure {
+		// The Schedule type uses equal-length periods; split into equal
+		// chunks so both windows are representable.
+		panic("experiment: warmup and measure windows must match")
+	}
+	return workload.Schedule{
+		PeriodSeconds: warmup,
+		Clients: []map[engine.ClassID]int{
+			cloneCounts(clients),
+			cloneCounts(clients),
+		},
+	}
+}
+
+func cloneCounts(m map[engine.ClassID]int) map[engine.ClassID]int {
+	out := make(map[engine.ClassID]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// SaturationPoint is one sample of the system cost-limit calibration curve
+// (E0): throughput and performance of an OLAP-only workload at one system
+// cost limit.
+type SaturationPoint struct {
+	Limit           float64
+	QueriesPerHour  float64
+	MeanRespSeconds float64
+	MeanVelocity    float64
+}
+
+// SaturationConfig tunes E0.
+type SaturationConfig struct {
+	Limits      []float64
+	OLAPClients int
+	Window      float64 // seconds per warm-up/measure window
+	Seed        uint64
+}
+
+// DefaultSaturationConfig sweeps 2k-60k timerons with a saturating client
+// population.
+func DefaultSaturationConfig() SaturationConfig {
+	var limits []float64
+	for l := 2000.0; l <= 60000; l += 4000 {
+		limits = append(limits, l)
+	}
+	return SaturationConfig{Limits: limits, OLAPClients: 16, Window: 3600, Seed: 1}
+}
+
+// RunSaturation regenerates the paper's calibration step: "plotting the
+// curve of the throughput versus the system cost limit" to pick a healthy
+// (under-saturated) operating point. The knee of the resulting curve
+// motivates SystemCostLimit = 30,000.
+func RunSaturation(cfg SaturationConfig) []SaturationPoint {
+	var out []SaturationPoint
+	for _, limit := range cfg.Limits {
+		sched := ConstantSchedule(cfg.Window, cfg.Window, map[engine.ClassID]int{
+			1: cfg.OLAPClients, 2: 0, 3: 0,
+		})
+		rig := NewRig(cfg.Seed, sched)
+		rig.Pat = patroller.New(rig.Eng, rig.OLAPClassIDs()...)
+		rig.Pat.SetPolicy(patroller.SystemLimit{Limit: limit})
+		rig.Run()
+
+		agg := rig.Collector.Agg(1, 1) // class 1, measurement period
+		out = append(out, SaturationPoint{
+			Limit:           limit,
+			QueriesPerHour:  float64(agg.Completed) / cfg.Window * 3600,
+			MeanRespSeconds: agg.Resp.Mean(),
+			MeanVelocity:    agg.Velocity.Mean(),
+		})
+	}
+	return out
+}
+
+// Fig2Curve is one legend entry of Figure 2: OLTP average response time as
+// a function of the total OLAP cost limit, for a fixed client mix.
+type Fig2Curve struct {
+	OLTPClients int
+	OLAPClients int
+	Limits      []float64
+	MeanRT      []float64
+}
+
+// Fig2Config tunes E1.
+type Fig2Config struct {
+	// Pairs lists (OLTP clients, OLAP clients) mixes. The paper's legend
+	// reads (30,4), (30,8), (30,2), (50,8).
+	Pairs  [][2]int
+	Limits []float64
+	Window float64
+	Seed   uint64
+}
+
+// DefaultFig2Config matches the paper's Figure 2 axes: OLAP cost limits up
+// to 40k timerons.
+func DefaultFig2Config() Fig2Config {
+	var limits []float64
+	for l := 2000.0; l <= 40000; l += 4000 {
+		limits = append(limits, l)
+	}
+	return Fig2Config{
+		Pairs:  [][2]int{{30, 4}, {30, 8}, {30, 2}, {50, 8}},
+		Limits: limits,
+		Window: 2400,
+		Seed:   1,
+	}
+}
+
+// RunFig2 measures OLTP performance against the OLAP cost limit — the
+// experiment justifying the linear OLTP performance model. All OLAP
+// clients run under a single static cost limit; the OLTP class runs
+// unintercepted.
+func RunFig2(cfg Fig2Config) []Fig2Curve {
+	var out []Fig2Curve
+	for _, pair := range cfg.Pairs {
+		curve := Fig2Curve{OLTPClients: pair[0], OLAPClients: pair[1], Limits: cfg.Limits}
+		for _, limit := range cfg.Limits {
+			sched := ConstantSchedule(cfg.Window, cfg.Window, map[engine.ClassID]int{
+				1: pair[1], 2: 0, 3: pair[0],
+			})
+			rig := NewRig(cfg.Seed, sched)
+			rig.Pat = patroller.New(rig.Eng, rig.OLAPClassIDs()...)
+			rig.Pat.SetPolicy(patroller.SystemLimit{Limit: limit})
+			rig.Run()
+
+			agg := rig.Collector.Agg(1, 3)
+			curve.MeanRT = append(curve.MeanRT, agg.Resp.Mean())
+		}
+		out = append(out, curve)
+	}
+	return out
+}
+
+// MixedResult is the outcome of one full 18-period mixed-workload run —
+// the data behind Figures 4, 5, 6, and (for Query Scheduler mode) 7.
+type MixedResult struct {
+	Mode    Mode
+	Classes []*workload.Class
+	Periods int
+	// Metric[i][p] is class i's goal-metric value in period p (velocity
+	// for OLAP classes, mean response time for the OLTP class).
+	Metric [][]float64
+	// Measurable[i][p] reports whether the class completed anything in p.
+	Measurable [][]bool
+	// GoalMet[i][p] reports goal attainment (false when unmeasurable).
+	GoalMet [][]bool
+	// Satisfaction[i] is the fraction of measurable periods class i met
+	// its goal in.
+	Satisfaction []float64
+	// Completed[i][p] counts class i completions in period p.
+	Completed [][]int
+	// RespP95[i][p] is the 95th-percentile response time of class i in
+	// period p (0 when nothing completed) — tail visibility the paper's
+	// mean-based goals hide.
+	RespP95 [][]float64
+	// CostLimits[i][p], present only in Query Scheduler mode, is the mean
+	// cost limit assigned to class i during period p (Figure 7).
+	CostLimits [][]float64
+	// PlanHistory, present only in Query Scheduler mode, is the full
+	// control-interval record.
+	PlanHistory []core.PlanRecord
+}
+
+// MixedConfig tunes the mixed-workload experiments.
+type MixedConfig struct {
+	Mode  Mode
+	Sched workload.Schedule
+	Seed  uint64
+	// QS optionally overrides the Query Scheduler configuration.
+	QS *core.Config
+	// Classes optionally replaces the paper's three service classes.
+	Classes []*workload.Class
+}
+
+// DefaultMixedConfig runs the given mode over the paper's Figure 3
+// schedule (18 periods, 24 hours).
+func DefaultMixedConfig(mode Mode) MixedConfig {
+	return MixedConfig{Mode: mode, Sched: workload.PaperSchedule(), Seed: 1}
+}
+
+// RunMixed executes one mixed-workload experiment.
+func RunMixed(cfg MixedConfig) *MixedResult {
+	classes := cfg.Classes
+	if classes == nil {
+		classes = workload.PaperClasses()
+	}
+	rig := NewCustomRig(cfg.Seed, cfg.Sched, classes)
+	rig.AttachController(cfg.Mode, cfg.QS)
+	rig.Run()
+
+	res := &MixedResult{
+		Mode:    cfg.Mode,
+		Classes: rig.Classes,
+		Periods: cfg.Sched.Periods(),
+	}
+	for _, cl := range rig.Classes {
+		metricRow := make([]float64, res.Periods)
+		measurableRow := make([]bool, res.Periods)
+		metRow := make([]bool, res.Periods)
+		completedRow := make([]int, res.Periods)
+		p95Row := make([]float64, res.Periods)
+		for p := 0; p < res.Periods; p++ {
+			v, ok := rig.Collector.Metric(p, cl.ID)
+			metricRow[p] = v
+			measurableRow[p] = ok
+			if ok {
+				metRow[p] = cl.Goal.Met(v)
+			}
+			completedRow[p] = rig.Collector.Agg(p, cl.ID).Completed
+			p95Row[p] = rig.Collector.RespQuantile(p, cl.ID, 0.95)
+		}
+		res.Metric = append(res.Metric, metricRow)
+		res.Measurable = append(res.Measurable, measurableRow)
+		res.GoalMet = append(res.GoalMet, metRow)
+		res.Completed = append(res.Completed, completedRow)
+		res.RespP95 = append(res.RespP95, p95Row)
+		res.Satisfaction = append(res.Satisfaction, rig.Collector.GoalSatisfaction(cl.ID))
+	}
+
+	if rig.QS != nil {
+		res.PlanHistory = rig.QS.History()
+		res.CostLimits = averageLimitsPerPeriod(res.PlanHistory, rig.Classes, cfg.Sched)
+	}
+	return res
+}
+
+// averageLimitsPerPeriod folds per-interval plans into per-period means —
+// the series Figure 7 plots.
+func averageLimitsPerPeriod(hist []core.PlanRecord, classes []*workload.Class,
+	sched workload.Schedule) [][]float64 {
+
+	sums := make([][]stats.Summary, len(classes))
+	for i := range sums {
+		sums[i] = make([]stats.Summary, sched.Periods())
+	}
+	for _, rec := range hist {
+		// A plan chosen at time T governs the interval starting at T;
+		// attribute it to the period containing T.
+		p := sched.PeriodAt(rec.Time)
+		for i, cl := range classes {
+			sums[i][p].Add(rec.Limits[cl.ID])
+		}
+	}
+	out := make([][]float64, len(classes))
+	for i := range sums {
+		out[i] = make([]float64, sched.Periods())
+		for p := range sums[i] {
+			out[i][p] = sums[i][p].Mean()
+		}
+	}
+	return out
+}
+
+// InterceptionOverheadResult quantifies the paper's Section 3 argument:
+// intercepting sub-second OLTP queries costs more than running them.
+type InterceptionOverheadResult struct {
+	OLTPClients      int
+	DirectMeanRT     float64 // OLTP intercepted and managed (with overhead)
+	UnmanagedMeanRT  float64 // OLTP left alone (the paper's choice)
+	OverheadCPU      float64
+	MeanOLTPExecTime float64
+}
+
+// RunInterceptionOverhead compares the OLTP class intercepted-with-
+// overhead against the unmanaged baseline, holding everything else fixed.
+func RunInterceptionOverhead(oltpClients int, overheadCPU float64, seed uint64) InterceptionOverheadResult {
+	window := 1200.0
+	run := func(manage bool) (meanRT, meanExec float64) {
+		sched := ConstantSchedule(window, window, map[engine.ClassID]int{
+			1: 0, 2: 0, 3: oltpClients,
+		})
+		rig := NewRig(seed, sched)
+		if manage {
+			pat := patroller.New(rig.Eng, 3)
+			pat.InterceptOverheadCPU = overheadCPU
+			pat.SetPolicy(patroller.SystemLimit{Limit: SystemCostLimit})
+		}
+		rig.Run()
+		agg := rig.Collector.Agg(1, 3)
+		return agg.Resp.Mean(), agg.Exec.Mean()
+	}
+	direct, _ := run(true)
+	unmanaged, exec := run(false)
+	return InterceptionOverheadResult{
+		OLTPClients:      oltpClients,
+		DirectMeanRT:     direct,
+		UnmanagedMeanRT:  unmanaged,
+		OverheadCPU:      overheadCPU,
+		MeanOLTPExecTime: exec,
+	}
+}
+
+// Validate sanity-checks a mixed result's shape; used by tests and by
+// cmd/qsim before printing.
+func (r *MixedResult) Validate() error {
+	if len(r.Metric) != len(r.Classes) {
+		return fmt.Errorf("experiment: %d metric rows for %d classes", len(r.Metric), len(r.Classes))
+	}
+	for i, row := range r.Metric {
+		if len(row) != r.Periods {
+			return fmt.Errorf("experiment: class %d has %d periods, want %d", i, len(row), r.Periods)
+		}
+	}
+	return nil
+}

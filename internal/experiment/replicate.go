@@ -1,0 +1,105 @@
+// Multi-seed replication: the paper reports single 24-hour runs; the
+// simulator can afford replications, so the headline comparisons come
+// with run-to-run variance attached.
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Replication summarizes one mode across several seeded runs.
+type Replication struct {
+	Mode  Mode
+	Seeds []uint64
+	// Satisfaction[i] aggregates class i's goal satisfaction across runs.
+	Satisfaction []stats.Summary
+	// HeavyOLTPRT aggregates the mean OLTP response time over the
+	// heavy-intensity periods (3, 6, 9, ... in the paper's schedule).
+	HeavyOLTPRT stats.Summary
+	// Class2Beats1 aggregates the fraction of comparable periods where
+	// class 2's velocity was at least class 1's.
+	Class2Beats1 stats.Summary
+}
+
+// RunReplicated runs the mixed experiment across the given seeds.
+func RunReplicated(mode Mode, sched workload.Schedule, seeds []uint64) Replication {
+	if len(seeds) == 0 {
+		panic("experiment: no seeds")
+	}
+	rep := Replication{Mode: mode, Seeds: seeds}
+	for _, seed := range seeds {
+		res := RunMixed(MixedConfig{Mode: mode, Sched: sched, Seed: seed})
+		if rep.Satisfaction == nil {
+			rep.Satisfaction = make([]stats.Summary, len(res.Classes))
+		}
+		for i := range res.Classes {
+			rep.Satisfaction[i].Add(res.Satisfaction[i])
+		}
+		var heavy stats.Summary
+		for p := 2; p < res.Periods; p += 3 {
+			if res.Measurable[2][p] {
+				heavy.Add(res.Metric[2][p])
+			}
+		}
+		if heavy.Count() > 0 {
+			rep.HeavyOLTPRT.Add(heavy.Mean())
+		}
+		better, comparable := 0, 0
+		for p := 0; p < res.Periods; p++ {
+			if res.Measurable[0][p] && res.Measurable[1][p] {
+				comparable++
+				if res.Metric[1][p] >= res.Metric[0][p] {
+					better++
+				}
+			}
+		}
+		if comparable > 0 {
+			rep.Class2Beats1.Add(float64(better) / float64(comparable))
+		}
+	}
+	return rep
+}
+
+// DefaultSeeds returns the seed set used for replicated results.
+func DefaultSeeds(n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	return seeds
+}
+
+// WriteReplication renders a replicated comparison across modes.
+func WriteReplication(w io.Writer, classes []*workload.Class, reps []Replication) {
+	if len(reps) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Replicated results over %d seeds (mean ± stddev)\n", len(reps[0].Seeds))
+	fmt.Fprintf(w, "%-34s", "goal satisfaction")
+	for _, r := range reps {
+		fmt.Fprintf(w, " %22s", r.Mode)
+	}
+	fmt.Fprintln(w)
+	for ci, c := range classes {
+		fmt.Fprintf(w, "%-34s", fmt.Sprintf("%s (%s)", c.Name, c.Goal))
+		for _, r := range reps {
+			s := r.Satisfaction[ci]
+			fmt.Fprintf(w, " %14.0f%% ± %3.0f%%", 100*s.Mean(), 100*s.StdDev())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-34s", "OLTP heavy-period mean RT (ms)")
+	for _, r := range reps {
+		fmt.Fprintf(w, " %15.0f ± %3.0f", 1000*r.HeavyOLTPRT.Mean(), 1000*r.HeavyOLTPRT.StdDev())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-34s", "P(class2 >= class1)")
+	for _, r := range reps {
+		fmt.Fprintf(w, " %14.0f%% ± %3.0f%%", 100*r.Class2Beats1.Mean(), 100*r.Class2Beats1.StdDev())
+	}
+	fmt.Fprintln(w)
+}

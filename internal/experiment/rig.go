@@ -1,0 +1,222 @@
+// Package experiment assembles complete testbeds — engine, workloads,
+// controllers, metrics — and runs the paper's experiments. Every figure in
+// the paper's evaluation section has a runner here; cmd/qsim and the
+// benchmarks in bench_test.go are thin wrappers over this package.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/patroller"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// Mode selects the workload controller under test.
+type Mode int
+
+// Controller modes, matching the paper's three experiment configurations.
+const (
+	// NoControl exerts nothing beyond the system cost limit (Figure 4).
+	NoControl Mode = iota
+	// QPPriority is static DB2 QP control: cost groups plus class
+	// priorities (Figure 5).
+	QPPriority
+	// QPNoPriority is DB2 QP group control without priorities; the paper
+	// notes its results match NoControl.
+	QPNoPriority
+	// QueryScheduler is the paper's dynamic workload adaptation
+	// (Figures 6 and 7).
+	QueryScheduler
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoControl:
+		return "no-control"
+	case QPPriority:
+		return "qp-priority"
+	case QPNoPriority:
+		return "qp-no-priority"
+	case QueryScheduler:
+		return "query-scheduler"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SystemCostLimit is the experimentally determined healthy operating
+// point (timerons) — the paper's 30,000. The saturation experiment (E0)
+// regenerates the curve this value is read from.
+const SystemCostLimit = 30000
+
+// Rig is one fully wired testbed.
+type Rig struct {
+	Clock     *simclock.Clock
+	Eng       *engine.Engine
+	Pool      *workload.Pool
+	Classes   []*workload.Class
+	OLAPSet   *workload.Set
+	OLTPSet   *workload.Set
+	Sched     workload.Schedule
+	Collector *metrics.Collector
+	Pat       *patroller.Patroller
+	QS        *core.QueryScheduler
+}
+
+// OLAPClassIDs returns the IDs of the rig's OLAP classes.
+func (r *Rig) OLAPClassIDs() []engine.ClassID {
+	var ids []engine.ClassID
+	for _, c := range r.Classes {
+		if c.Kind == workload.OLAP {
+			ids = append(ids, c.ID)
+		}
+	}
+	return ids
+}
+
+// OLTPClass returns the rig's OLTP class (nil if none).
+func (r *Rig) OLTPClass() *workload.Class {
+	for _, c := range r.Classes {
+		if c.Kind == workload.OLTP {
+			return c
+		}
+	}
+	return nil
+}
+
+// NewRig builds the paper's testbed: a simulated DB2-like engine, the
+// TPC-H-like and TPC-C-like template sets in separate databases, the three
+// service classes, and enough parked clients to cover the schedule. No
+// controller is attached yet.
+func NewRig(seed uint64, sched workload.Schedule) *Rig {
+	return NewCustomRig(seed, sched, workload.PaperClasses())
+}
+
+// NewCustomRig is NewRig with caller-defined service classes: every OLAP
+// class draws from the TPC-H-like set, every OLTP class from the
+// TPC-C-like set.
+func NewCustomRig(seed uint64, sched workload.Schedule, classes []*workload.Class) *Rig {
+	clock := simclock.New()
+	eng := engine.New(engine.DefaultConfig(), clock)
+
+	model := optimizer.DefaultModel()
+	olapOpt := optimizer.New(model, workload.TPCHCatalog())
+	oltpOpt := optimizer.New(model, workload.TPCCCatalog())
+	olapSet := workload.NewSet(olapOpt, workload.TPCHTemplates())
+	oltpSet := workload.NewSet(oltpOpt, workload.TPCCTemplates())
+
+	pool := workload.NewPool(eng)
+	src := rng.New(seed)
+	maxClients := sched.MaxClients()
+	for _, c := range classes {
+		set := olapSet
+		if c.Kind == workload.OLTP {
+			set = oltpSet
+		}
+		pool.AddClients(c, set, maxClients[c.ID], src)
+	}
+
+	return &Rig{
+		Clock:     clock,
+		Eng:       eng,
+		Pool:      pool,
+		Classes:   classes,
+		OLAPSet:   olapSet,
+		OLTPSet:   oltpSet,
+		Sched:     sched,
+		Collector: metrics.NewCollector(eng, classes, sched),
+	}
+}
+
+// SampleOLAPCosts draws a cost sample from the rig's OLAP workload — what
+// an administrator would mine from QP's historical control tables to set
+// the group thresholds.
+func (r *Rig) SampleOLAPCosts(n int, seed uint64) []float64 {
+	src := rng.New(seed)
+	costs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		costs = append(costs, r.OLAPSet.Generate(src).Timerons)
+	}
+	return costs
+}
+
+// AttachController wires the controller for the given mode. For
+// QueryScheduler the scheduler is started immediately (its dispatcher
+// becomes the patroller's policy). qsCfg customizes the scheduler; pass
+// nil for the paper defaults.
+func (r *Rig) AttachController(mode Mode, qsCfg *core.Config) {
+	olap := r.OLAPClassIDs()
+	r.Pat = patroller.New(r.Eng, olap...)
+	limit := float64(SystemCostLimit)
+	if qsCfg != nil && qsCfg.SystemCostLimit > 0 {
+		limit = qsCfg.SystemCostLimit
+	}
+
+	switch mode {
+	case NoControl:
+		r.Pat.SetPolicy(patroller.SystemLimit{Limit: limit})
+
+	case QPPriority, QPNoPriority:
+		thresholds := patroller.ThresholdsFromSample(r.SampleOLAPCosts(4096, 99))
+		pol := patroller.GroupPriority{
+			TotalLimit:    limit,
+			Thresholds:    thresholds,
+			MaxConcurrent: patroller.DefaultGroupCaps(),
+			Priority:      map[engine.ClassID]int{},
+		}
+		if mode == QPPriority {
+			// The paper sets Class 2's priority above Class 1's; in
+			// general QP priorities follow class importance.
+			for _, c := range r.Classes {
+				if c.Kind == workload.OLAP {
+					pol.Priority[c.ID] = c.Importance
+				}
+			}
+		}
+		r.Pat.SetPolicy(pol)
+
+	case QueryScheduler:
+		cfg := core.DefaultConfig()
+		cfg.SystemCostLimit = limit
+		if qsCfg != nil {
+			cfg = *qsCfg
+		}
+		oltp := r.OLTPClass()
+		var clients func() []engine.ClientID
+		if oltp != nil {
+			id := oltp.ID
+			clients = func() []engine.ClientID { return r.Pool.ActiveClients(id) }
+		}
+		qs, err := core.New(cfg, r.Eng, r.Pat, r.Classes, clients)
+		if err != nil {
+			panic(err)
+		}
+		r.QS = qs
+		qs.Start()
+
+	default:
+		panic(fmt.Sprintf("experiment: unknown mode %v", mode))
+	}
+}
+
+// Run installs the schedule and runs the simulation to the end of the
+// last period.
+func (r *Rig) Run() {
+	r.Sched.Install(r.Clock, r.Pool, nil)
+	r.Clock.RunUntil(r.Sched.Duration())
+}
+
+// QSPlan exposes the Query Scheduler's current plan; nil in other modes.
+func (r *Rig) QSPlan() solver.Plan {
+	if r.QS == nil {
+		return nil
+	}
+	return r.QS.CostLimits()
+}

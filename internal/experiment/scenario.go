@@ -1,0 +1,178 @@
+// JSON scenario definitions: run a custom mix of service classes, goals,
+// and a client schedule through any of the controllers without writing
+// Go. Used by `qsim -scenario file.json`; see examples/scenarios/.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// ScenarioSpec is the JSON shape of a custom experiment.
+type ScenarioSpec struct {
+	// Name labels the scenario in output.
+	Name string `json:"name"`
+	// Mode is one of "no-control", "qp-priority", "qp-no-priority",
+	// "query-scheduler".
+	Mode string `json:"mode"`
+	// Seed is the run's random seed (default 1).
+	Seed uint64 `json:"seed"`
+	// PeriodMinutes is the length of every schedule period.
+	PeriodMinutes float64 `json:"period_minutes"`
+	// Classes defines the service classes in order; the i-th entry of
+	// each Periods row is the client count for Classes[i].
+	Classes []ScenarioClass `json:"classes"`
+	// Periods lists client counts per period, one row per period.
+	Periods [][]int `json:"periods"`
+	// SystemCostLimit overrides the default 30,000 timerons (optional).
+	SystemCostLimit float64 `json:"system_cost_limit"`
+	// ControlIntervalSeconds overrides the Query Scheduler's re-planning
+	// period (optional).
+	ControlIntervalSeconds float64 `json:"control_interval_seconds"`
+}
+
+// ScenarioClass is one service class in a scenario file.
+type ScenarioClass struct {
+	Name string `json:"name"`
+	// Kind is "olap" or "oltp".
+	Kind string `json:"kind"`
+	// GoalMetric is "velocity" or "response_time".
+	GoalMetric string  `json:"goal_metric"`
+	GoalTarget float64 `json:"goal_target"`
+	Importance int     `json:"importance"`
+}
+
+// Scenario is a parsed, validated scenario ready to run.
+type Scenario struct {
+	Name    string
+	Mode    Mode
+	Seed    uint64
+	Classes []*workload.Class
+	Sched   workload.Schedule
+	QS      *core.Config
+}
+
+// ParseScenario reads and validates a JSON scenario.
+func ParseScenario(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec ScenarioSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return buildScenario(spec)
+}
+
+func buildScenario(spec ScenarioSpec) (*Scenario, error) {
+	s := &Scenario{Name: spec.Name, Seed: spec.Seed}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	switch spec.Mode {
+	case "no-control", "":
+		s.Mode = NoControl
+	case "qp-priority":
+		s.Mode = QPPriority
+	case "qp-no-priority":
+		s.Mode = QPNoPriority
+	case "query-scheduler":
+		s.Mode = QueryScheduler
+	default:
+		return nil, fmt.Errorf("scenario: unknown mode %q", spec.Mode)
+	}
+
+	if len(spec.Classes) == 0 {
+		return nil, fmt.Errorf("scenario: no classes")
+	}
+	oltpCount := 0
+	for i, sc := range spec.Classes {
+		c := &workload.Class{
+			ID:         engine.ClassID(i + 1),
+			Name:       sc.Name,
+			Importance: sc.Importance,
+		}
+		if c.Name == "" {
+			c.Name = fmt.Sprintf("Class %d", i+1)
+		}
+		if c.Importance < 1 {
+			return nil, fmt.Errorf("scenario: class %q importance %d < 1", c.Name, sc.Importance)
+		}
+		switch sc.Kind {
+		case "olap":
+			c.Kind = workload.OLAP
+		case "oltp":
+			c.Kind = workload.OLTP
+			oltpCount++
+		default:
+			return nil, fmt.Errorf("scenario: class %q has unknown kind %q", c.Name, sc.Kind)
+		}
+		switch sc.GoalMetric {
+		case "velocity":
+			if sc.GoalTarget <= 0 || sc.GoalTarget > 1 {
+				return nil, fmt.Errorf("scenario: class %q velocity goal %v out of (0,1]", c.Name, sc.GoalTarget)
+			}
+			c.Goal = workload.Goal{Metric: workload.Velocity, Target: sc.GoalTarget}
+		case "response_time":
+			if sc.GoalTarget <= 0 {
+				return nil, fmt.Errorf("scenario: class %q response-time goal %v must be positive", c.Name, sc.GoalTarget)
+			}
+			c.Goal = workload.Goal{Metric: workload.AvgResponseTime, Target: sc.GoalTarget}
+		default:
+			return nil, fmt.Errorf("scenario: class %q has unknown goal metric %q", c.Name, sc.GoalMetric)
+		}
+		s.Classes = append(s.Classes, c)
+	}
+	if oltpCount > 1 {
+		return nil, fmt.Errorf("scenario: at most one OLTP class is supported, got %d", oltpCount)
+	}
+
+	if spec.PeriodMinutes <= 0 {
+		return nil, fmt.Errorf("scenario: period_minutes %v must be positive", spec.PeriodMinutes)
+	}
+	if len(spec.Periods) == 0 {
+		return nil, fmt.Errorf("scenario: no periods")
+	}
+	s.Sched = workload.Schedule{PeriodSeconds: spec.PeriodMinutes * 60}
+	for p, row := range spec.Periods {
+		if len(row) != len(s.Classes) {
+			return nil, fmt.Errorf("scenario: period %d has %d counts for %d classes",
+				p+1, len(row), len(s.Classes))
+		}
+		counts := make(map[engine.ClassID]int, len(row))
+		for i, n := range row {
+			if n < 0 {
+				return nil, fmt.Errorf("scenario: period %d class %d negative count", p+1, i+1)
+			}
+			counts[s.Classes[i].ID] = n
+		}
+		s.Sched.Clients = append(s.Sched.Clients, counts)
+	}
+
+	if spec.SystemCostLimit != 0 || spec.ControlIntervalSeconds != 0 {
+		cfg := core.DefaultConfig()
+		if spec.SystemCostLimit != 0 {
+			cfg.SystemCostLimit = spec.SystemCostLimit
+		}
+		if spec.ControlIntervalSeconds != 0 {
+			cfg.ControlInterval = spec.ControlIntervalSeconds
+		}
+		s.QS = &cfg
+	}
+	return s, nil
+}
+
+// Run executes the scenario.
+func (s *Scenario) Run() *MixedResult {
+	return RunMixed(MixedConfig{
+		Mode:    s.Mode,
+		Sched:   s.Sched,
+		Seed:    s.Seed,
+		QS:      s.QS,
+		Classes: s.Classes,
+	})
+}

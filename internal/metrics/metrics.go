@@ -1,0 +1,159 @@
+// Package metrics aggregates per-class performance over the experiment's
+// periods — the numbers plotted in the paper's Figures 4-6: query velocity
+// for the OLAP classes and average response time for the OLTP class,
+// per 8-minute period.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ClassAgg accumulates one class's statistics within one period.
+type ClassAgg struct {
+	Completed int
+	Velocity  stats.Summary // per-query velocity of completions
+	Resp      stats.Summary // response times
+	Exec      stats.Summary // execution times
+	Cost      stats.Summary // timeron costs of completions
+	// RespSample is a fixed-size uniform sample of response times for
+	// tail quantiles (see Collector.RespQuantile).
+	RespSample *stats.Reservoir
+}
+
+// Collector listens to engine completions and buckets them by schedule
+// period and class.
+type Collector struct {
+	classes map[engine.ClassID]*workload.Class
+	sched   workload.Schedule
+	periods []map[engine.ClassID]*ClassAgg
+}
+
+// NewCollector builds a collector for the given classes and schedule and
+// hooks it into the engine.
+func NewCollector(eng *engine.Engine, classes []*workload.Class, sched workload.Schedule) *Collector {
+	c := &Collector{
+		classes: make(map[engine.ClassID]*workload.Class),
+		sched:   sched,
+		periods: make([]map[engine.ClassID]*ClassAgg, sched.Periods()),
+	}
+	for _, cl := range classes {
+		c.classes[cl.ID] = cl
+	}
+	for p := range c.periods {
+		c.periods[p] = make(map[engine.ClassID]*ClassAgg)
+		for _, cl := range classes {
+			// Seed per period and class so runs stay reproducible.
+			seed := uint64(p)*1000003 + uint64(cl.ID)
+			c.periods[p][cl.ID] = &ClassAgg{RespSample: stats.NewReservoir(512, seed)}
+		}
+	}
+	eng.OnDone(c.onDone)
+	return c
+}
+
+func (c *Collector) onDone(q *engine.Query) {
+	agg, ok := c.periods[c.sched.PeriodAt(q.DoneTime)][q.Class]
+	if !ok {
+		return // class not tracked (e.g. ad-hoc test query)
+	}
+	agg.Completed++
+	agg.Velocity.Add(q.Velocity())
+	agg.Resp.Add(q.ResponseTime())
+	agg.RespSample.Add(q.ResponseTime())
+	agg.Exec.Add(q.ExecutionTime())
+	agg.Cost.Add(q.Cost)
+}
+
+// Classes returns the tracked classes.
+func (c *Collector) Classes() map[engine.ClassID]*workload.Class { return c.classes }
+
+// Periods returns the number of schedule periods.
+func (c *Collector) Periods() int { return len(c.periods) }
+
+// Agg returns the aggregate for a period and class.
+func (c *Collector) Agg(period int, class engine.ClassID) *ClassAgg {
+	if period < 0 || period >= len(c.periods) {
+		panic(fmt.Sprintf("metrics: period %d out of range", period))
+	}
+	agg, ok := c.periods[period][class]
+	if !ok {
+		panic(fmt.Sprintf("metrics: unknown class %d", class))
+	}
+	return agg
+}
+
+// Metric returns the class's goal-metric value for a period: mean velocity
+// for OLAP classes, mean response time for OLTP classes. ok is false when
+// the period had no completions to measure.
+func (c *Collector) Metric(period int, class engine.ClassID) (v float64, ok bool) {
+	cl := c.classes[class]
+	agg := c.Agg(period, class)
+	if agg.Completed == 0 {
+		return 0, false
+	}
+	if cl.Goal.Metric == workload.Velocity {
+		return agg.Velocity.Mean(), true
+	}
+	return agg.Resp.Mean(), true
+}
+
+// GoalMet reports whether the class met its goal in the period. Periods
+// with no completions count as not measurable (false, with ok=false).
+func (c *Collector) GoalMet(period int, class engine.ClassID) (met, ok bool) {
+	v, ok := c.Metric(period, class)
+	if !ok {
+		return false, false
+	}
+	return c.classes[class].Goal.Met(v), true
+}
+
+// GoalSatisfaction returns, for one class, the fraction of measurable
+// periods in which the goal was met.
+func (c *Collector) GoalSatisfaction(class engine.ClassID) float64 {
+	met, measurable := 0, 0
+	for p := 0; p < len(c.periods); p++ {
+		m, ok := c.GoalMet(p, class)
+		if !ok {
+			continue
+		}
+		measurable++
+		if m {
+			met++
+		}
+	}
+	if measurable == 0 {
+		return 0
+	}
+	return float64(met) / float64(measurable)
+}
+
+// Series returns the per-period goal-metric values for a class; periods
+// without completions carry the previous period's value (matching how the
+// paper's line plots bridge sparse periods).
+func (c *Collector) Series(class engine.ClassID) []float64 {
+	out := make([]float64, len(c.periods))
+	last := 0.0
+	for p := range c.periods {
+		if v, ok := c.Metric(p, class); ok {
+			last = v
+		}
+		out[p] = last
+	}
+	return out
+}
+
+// RespQuantile estimates the q-quantile (q in [0,1]) of a class's
+// response times within a period — 0 when nothing completed.
+func (c *Collector) RespQuantile(period int, class engine.ClassID, q float64) float64 {
+	return c.Agg(period, class).RespSample.Quantile(q)
+}
+
+// Throughput returns completions per second for a class in a period.
+func (c *Collector) Throughput(period int, class engine.ClassID) float64 {
+	agg := c.Agg(period, class)
+	return float64(agg.Completed) / c.sched.PeriodSeconds
+}

@@ -1,0 +1,339 @@
+// Package patroller reimplements the slice of IBM DB2 Query Patroller the
+// paper depends on: it intercepts queries of managed classes before
+// execution, records their identification, cost, and timing in a control
+// table, blocks the agent responsible for the query, and releases it when
+// told to — either by its own static policy (the paper's DB2 QP baseline)
+// or by an external controller calling the unblocking API (how the Query
+// Scheduler drives it).
+package patroller
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/simclock"
+)
+
+// QueryState tracks an intercepted query through the control table.
+type QueryState int
+
+// Control-table states.
+const (
+	Held QueryState = iota
+	Running
+	Completed
+)
+
+func (s QueryState) String() string {
+	switch s {
+	case Held:
+		return "held"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	default:
+		return fmt.Sprintf("QueryState(%d)", int(s))
+	}
+}
+
+// QueryInfo is one control-table row: what the Monitor can learn about an
+// intercepted query.
+type QueryInfo struct {
+	ID          engine.QueryID
+	Client      engine.ClientID
+	Class       engine.ClassID
+	Template    string
+	Cost        float64 // optimizer timeron estimate
+	SubmitTime  simclock.Time
+	ReleaseTime simclock.Time
+	DoneTime    simclock.Time
+	State       QueryState
+}
+
+// WaitTime returns how long the query was (or has been) blocked.
+func (qi *QueryInfo) WaitTime(now simclock.Time) float64 {
+	if qi.State == Held {
+		return now - qi.SubmitTime
+	}
+	return qi.ReleaseTime - qi.SubmitTime
+}
+
+// View is the patroller state a Policy decides over.
+type View struct {
+	Now simclock.Time
+	// Held lists blocked queries in arrival order.
+	Held []*QueryInfo
+	// Active lists managed queries currently executing.
+	Active []*QueryInfo
+}
+
+// ActiveCost sums the timeron cost of all executing managed queries.
+func (v *View) ActiveCost() float64 {
+	total := 0.0
+	for _, qi := range v.Active {
+		total += qi.Cost
+	}
+	return total
+}
+
+// ActiveCostByClass sums executing cost per class.
+func (v *View) ActiveCostByClass() map[engine.ClassID]float64 {
+	m := make(map[engine.ClassID]float64)
+	for _, qi := range v.Active {
+		m[qi.Class] += qi.Cost
+	}
+	return m
+}
+
+// Policy selects which held queries to release, given the current view.
+// It is invoked on every arrival and completion of a managed query (and on
+// explicit Poke calls). Returning IDs not currently held is an error.
+type Policy interface {
+	SelectReleases(v *View) []engine.QueryID
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(v *View) []engine.QueryID
+
+// SelectReleases implements Policy.
+func (f PolicyFunc) SelectReleases(v *View) []engine.QueryID { return f(v) }
+
+// Stats counts patroller activity.
+type Stats struct {
+	Intercepted uint64
+	Released    uint64
+	Completed   uint64
+	// WaitSeconds accumulates total blocked time of released queries.
+	WaitSeconds float64
+}
+
+// Patroller is the workload controller. Construct with New, then attach a
+// Policy (or drive releases externally) and it manages every query whose
+// class is in its managed set; all other queries pass straight through.
+type Patroller struct {
+	eng     *engine.Engine
+	clock   *simclock.Clock
+	managed map[engine.ClassID]bool
+	policy  Policy
+
+	held        map[engine.QueryID]*entry
+	order       []engine.QueryID // arrival order of held queries (may hold stale IDs)
+	active      map[engine.QueryID]*entry
+	table       []*QueryInfo
+	stats       Stats
+	pokePending bool
+
+	// InterceptOverheadCPU, when positive, adds this many CPU-seconds to
+	// every intercepted query — the per-query cost of interception and
+	// management the paper measured to be prohibitive for sub-second OLTP
+	// queries. Zero by default.
+	InterceptOverheadCPU float64
+
+	// OnArrival, when set, is called for every newly intercepted query
+	// after it is recorded (the Query Scheduler's Monitor hook).
+	OnArrival func(*QueryInfo)
+
+	// OnRelease, when set, is called when a query starts executing.
+	OnRelease func(*QueryInfo)
+
+	// OnManagedDone, when set, is called when a managed query completes.
+	OnManagedDone func(*QueryInfo)
+}
+
+type entry struct {
+	info *QueryInfo
+	q    *engine.Query
+}
+
+// New builds a patroller on eng managing the given classes, installing
+// itself as the engine's interceptor and completion listener.
+func New(eng *engine.Engine, managed ...engine.ClassID) *Patroller {
+	p := &Patroller{
+		eng:     eng,
+		clock:   eng.Clock(),
+		managed: make(map[engine.ClassID]bool),
+		held:    make(map[engine.QueryID]*entry),
+		active:  make(map[engine.QueryID]*entry),
+	}
+	for _, c := range managed {
+		p.managed[c] = true
+	}
+	eng.SetInterceptor(p)
+	eng.OnDone(p.onDone)
+	return p
+}
+
+// SetPolicy installs the release policy and immediately re-evaluates it.
+func (p *Patroller) SetPolicy(pol Policy) {
+	p.policy = pol
+	p.Poke()
+}
+
+// Manages reports whether the patroller intercepts the class.
+func (p *Patroller) Manages(c engine.ClassID) bool { return p.managed[c] }
+
+// Intercept implements engine.Interceptor.
+func (p *Patroller) Intercept(q *engine.Query) bool {
+	if !p.managed[q.Class] {
+		return false
+	}
+	if p.InterceptOverheadCPU > 0 {
+		q.Demand = addCPUOverhead(q.Demand, p.InterceptOverheadCPU)
+	}
+	info := &QueryInfo{
+		ID:         q.ID,
+		Client:     q.Client,
+		Class:      q.Class,
+		Template:   q.Template,
+		Cost:       q.Cost,
+		SubmitTime: p.clock.Now(),
+		State:      Held,
+	}
+	e := &entry{info: info, q: q}
+	p.held[q.ID] = e
+	p.order = append(p.order, q.ID)
+	p.table = append(p.table, info)
+	p.stats.Intercepted++
+	if p.OnArrival != nil {
+		p.OnArrival(info)
+	}
+	// Release decisions run in a fresh event so the engine's Submit call
+	// finishes first (Start during Intercept would double-start).
+	p.schedulePoke()
+	return true
+}
+
+// addCPUOverhead grows a demand by pure CPU work, preserving its total I/O.
+func addCPUOverhead(d engine.Demand, cpu float64) engine.Demand {
+	cpuSec := d.CPUSeconds() + cpu
+	ioSec := d.IOSeconds()
+	work := d.Work + cpu // overhead is serial: it extends the critical path
+	return engine.Demand{Work: work, CPURate: cpuSec / work, IORate: ioSec / work}
+}
+
+func (p *Patroller) onDone(q *engine.Query) {
+	e, ok := p.active[q.ID]
+	if !ok {
+		return
+	}
+	delete(p.active, q.ID)
+	e.info.State = Completed
+	e.info.DoneTime = p.clock.Now()
+	p.stats.Completed++
+	if p.OnManagedDone != nil {
+		p.OnManagedDone(e.info)
+	}
+	p.schedulePoke()
+}
+
+// Release unblocks one held query — the explicit operator command of the
+// DB2 QP API. External controllers (the Query Scheduler's dispatcher) call
+// this; policies return IDs instead.
+func (p *Patroller) Release(id engine.QueryID) error {
+	e, ok := p.held[id]
+	if !ok {
+		return fmt.Errorf("patroller: query %d is not held", id)
+	}
+	delete(p.held, id)
+	e.info.State = Running
+	e.info.ReleaseTime = p.clock.Now()
+	p.active[id] = e
+	p.stats.Released++
+	p.stats.WaitSeconds += e.info.ReleaseTime - e.info.SubmitTime
+	if p.OnRelease != nil {
+		p.OnRelease(e.info)
+	}
+	p.eng.Start(e.q)
+	return nil
+}
+
+// schedulePoke coalesces policy evaluation into one zero-delay event.
+func (p *Patroller) schedulePoke() {
+	if p.pokePending || p.policy == nil {
+		return
+	}
+	p.pokePending = true
+	p.clock.After(0, func() {
+		p.pokePending = false
+		p.Poke()
+	})
+}
+
+// Poke synchronously evaluates the policy and applies its releases. It is
+// a no-op without a policy.
+func (p *Patroller) Poke() {
+	if p.policy == nil {
+		return
+	}
+	// Loop because releasing queries changes the view; policies that
+	// return everything releasable at once converge in one round.
+	for i := 0; i < maxPokeRounds; i++ {
+		ids := p.policy.SelectReleases(p.view())
+		if len(ids) == 0 {
+			return
+		}
+		for _, id := range ids {
+			if err := p.Release(id); err != nil {
+				panic(err) // policy bug: released an unknown query
+			}
+		}
+	}
+}
+
+const maxPokeRounds = 64
+
+// view assembles the policy's decision input.
+func (p *Patroller) view() *View {
+	v := &View{Now: p.clock.Now()}
+	p.compactOrder()
+	for _, id := range p.order {
+		if e, ok := p.held[id]; ok {
+			v.Held = append(v.Held, e.info)
+		}
+	}
+	for _, e := range p.active {
+		v.Active = append(v.Active, e.info)
+	}
+	// Map iteration is random; keep the view deterministic.
+	sort.Slice(v.Active, func(i, j int) bool { return v.Active[i].ID < v.Active[j].ID })
+	return v
+}
+
+// compactOrder drops released IDs from the arrival-order list once they
+// dominate it, keeping view assembly O(held).
+func (p *Patroller) compactOrder() {
+	if len(p.order) < 2*len(p.held)+16 {
+		return
+	}
+	kept := p.order[:0]
+	for _, id := range p.order {
+		if _, ok := p.held[id]; ok {
+			kept = append(kept, id)
+		}
+	}
+	p.order = kept
+}
+
+// HeldCount returns the number of currently blocked queries.
+func (p *Patroller) HeldCount() int { return len(p.held) }
+
+// ActiveCount returns the number of managed queries executing.
+func (p *Patroller) ActiveCount() int { return len(p.active) }
+
+// ActiveCostByClass sums executing managed cost per class.
+func (p *Patroller) ActiveCostByClass() map[engine.ClassID]float64 {
+	m := make(map[engine.ClassID]float64)
+	for _, e := range p.active {
+		m[e.info.Class] += e.info.Cost
+	}
+	return m
+}
+
+// ControlTable returns all recorded query rows in arrival order. The slice
+// is owned by the patroller; callers must not mutate it.
+func (p *Patroller) ControlTable() []*QueryInfo { return p.table }
+
+// Stats returns cumulative patroller counters.
+func (p *Patroller) Stats() Stats { return p.stats }

@@ -1,0 +1,142 @@
+// Static release policies — the paper's two baseline controllers.
+package patroller
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// SystemLimit is the "no class control" baseline: a single FIFO queue over
+// all managed classes, released while the total executing cost stays within
+// the system cost limit. No differentiation between classes.
+type SystemLimit struct {
+	Limit float64
+}
+
+// SelectReleases implements Policy: arrival order, releasing every query
+// that fits the remaining budget. Queries costing more than the whole
+// limit can never run — exactly DB2 QP's behaviour with a maximum-cost
+// threshold — so a too-low system limit starves the big end of the
+// workload rather than wedging the queue.
+func (s SystemLimit) SelectReleases(v *View) []engine.QueryID {
+	var out []engine.QueryID
+	budget := s.Limit - v.ActiveCost()
+	for _, qi := range v.Held {
+		if qi.Cost > budget {
+			continue
+		}
+		budget -= qi.Cost
+		out = append(out, qi.ID)
+	}
+	return out
+}
+
+// Group is a DB2 QP query class by size.
+type Group int
+
+// Query size groups: the paper partitions the OLAP workload so the top 5%
+// of queries by cost are "large", the next 15% "medium", the rest "small".
+const (
+	Small Group = iota
+	Medium
+	Large
+)
+
+func (g Group) String() string {
+	switch g {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return "Group(?)"
+	}
+}
+
+// GroupThresholds holds the cost cutoffs separating the groups.
+type GroupThresholds struct {
+	// MediumMin is the cost at and above which a query is medium.
+	MediumMin float64
+	// LargeMin is the cost at and above which a query is large.
+	LargeMin float64
+}
+
+// GroupOf classifies one query cost.
+func (t GroupThresholds) GroupOf(cost float64) Group {
+	switch {
+	case cost >= t.LargeMin:
+		return Large
+	case cost >= t.MediumMin:
+		return Medium
+	default:
+		return Small
+	}
+}
+
+// ThresholdsFromSample derives the paper's 5%/15% partition from a sample
+// of workload costs: large = top 5%, medium = next 15%.
+func ThresholdsFromSample(costs []float64) GroupThresholds {
+	return GroupThresholds{
+		MediumMin: stats.Percentile(costs, 0.80),
+		LargeMin:  stats.Percentile(costs, 0.95),
+	}
+}
+
+// GroupPriority is the "class control with DB2 QP" baseline: a static
+// total cost limit over the managed (OLAP) classes, per-size-group
+// concurrency caps, and optional class priorities. Higher-priority classes
+// are always drained first; within a priority level arrival order wins.
+// The limits never adapt — that is the point of the comparison.
+type GroupPriority struct {
+	TotalLimit float64
+	Thresholds GroupThresholds
+	// MaxConcurrent caps how many queries of each group may execute at
+	// once (a missing entry means unlimited).
+	MaxConcurrent map[Group]int
+	// Priority orders classes; higher runs first. Missing classes get 0.
+	Priority map[engine.ClassID]int
+}
+
+// SelectReleases implements Policy.
+func (g GroupPriority) SelectReleases(v *View) []engine.QueryID {
+	running := map[Group]int{}
+	for _, qi := range v.Active {
+		running[g.Thresholds.GroupOf(qi.Cost)]++
+	}
+	budget := g.TotalLimit - v.ActiveCost()
+
+	order := make([]*QueryInfo, len(v.Held))
+	copy(order, v.Held)
+	sort.SliceStable(order, func(i, j int) bool {
+		pi, pj := g.Priority[order[i].Class], g.Priority[order[j].Class]
+		if pi != pj {
+			return pi > pj
+		}
+		return order[i].SubmitTime < order[j].SubmitTime
+	})
+
+	var out []engine.QueryID
+	for _, qi := range order {
+		grp := g.Thresholds.GroupOf(qi.Cost)
+		if cap, capped := g.MaxConcurrent[grp]; capped && running[grp] >= cap {
+			continue
+		}
+		if qi.Cost > budget {
+			continue
+		}
+		budget -= qi.Cost
+		running[grp]++
+		out = append(out, qi.ID)
+	}
+	return out
+}
+
+// DefaultGroupCaps returns the typical DB2 QP configuration the paper
+// describes: one large query at a time, a few mediums, many smalls.
+func DefaultGroupCaps() map[Group]int {
+	return map[Group]int{Large: 1, Medium: 3, Small: 12}
+}

@@ -1,0 +1,166 @@
+// Package perfmodel implements the paper's two performance models — the
+// functions the Scheduling Planner uses to predict how a class's metric
+// responds to a change in its cost limit.
+//
+// OLAP classes (Section 2 of the paper, from ref [4]):
+//
+//	V_i^k = min(1, V_i^{k-1} · C_i^k / C_i^{k-1})
+//
+// i.e. velocity scales proportionally with the class cost limit, capped at
+// the ideal 1.
+//
+// The OLTP class (Section 3.2):
+//
+//	t^k = t^{k-1} + s · (C^k − C^{k-1})
+//
+// where C is the OLTP class's (virtual) cost limit and s is a constant
+// "obtained using linear regression". Because the OLTP class is controlled
+// only indirectly — growing its limit shrinks the OLAP classes' share —
+// s is negative: more resources, lower response time. The slope is fit
+// online over a sliding window of (limit, response-time) observations from
+// past control intervals.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// OLAPVelocity is the stateless velocity scaling model.
+//
+// Floor regularizes the multiplicative update: a class squeezed to the
+// point where nothing completes measures velocity 0, and 0 · C/C' is 0 at
+// every candidate limit — the planner would never see a reason to give the
+// class resources again. Flooring the anchor velocity keeps the predicted
+// gradient alive so a starved class can recover.
+type OLAPVelocity struct {
+	Floor float64
+}
+
+// DefaultVelocityFloor is the anchor floor used by the Query Scheduler.
+const DefaultVelocityFloor = 0.05
+
+// Predict returns the predicted velocity at limit cNew given the measured
+// velocity vPrev at limit cPrev.
+func (m OLAPVelocity) Predict(vPrev, cPrev, cNew float64) float64 {
+	if vPrev < m.Floor {
+		vPrev = m.Floor
+	}
+	if cPrev <= 0 {
+		// No history at a meaningful limit: be optimistic in proportion
+		// to the new limit being non-zero at all.
+		if cNew > 0 {
+			return clamp01(vPrev)
+		}
+		return 0
+	}
+	if cNew <= 0 {
+		return 0
+	}
+	return clamp01(vPrev * cNew / cPrev)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// OLTPConfig tunes the OLTP response-time model.
+type OLTPConfig struct {
+	// Window is how many past control intervals the regression sees.
+	Window int
+	// PriorSlope is the seconds-per-timeron slope assumed before enough
+	// observations accumulate (negative: more limit, faster responses).
+	PriorSlope float64
+	// MinPoints is how many observations are required before the fitted
+	// slope replaces the prior.
+	MinPoints int
+	// MaxAbsSlope bounds the fitted slope; wilder fits (from measurement
+	// noise over a near-constant limit) fall back to the prior.
+	MaxAbsSlope float64
+}
+
+// DefaultOLTPConfig returns the configuration used in the experiments.
+func DefaultOLTPConfig() OLTPConfig {
+	return OLTPConfig{
+		Window:      16,
+		PriorSlope:  -5e-6,
+		MinPoints:   4,
+		MaxAbsSlope: 1e-3,
+	}
+}
+
+// OLTPResponse is the online-fitted linear response-time model.
+type OLTPResponse struct {
+	cfg OLTPConfig
+	reg *stats.SlidingRegression
+}
+
+// NewOLTPResponse builds the model with the given configuration.
+func NewOLTPResponse(cfg OLTPConfig) *OLTPResponse {
+	if cfg.Window < 2 {
+		panic(fmt.Sprintf("perfmodel: window %d too small", cfg.Window))
+	}
+	if cfg.MinPoints < 2 {
+		panic("perfmodel: MinPoints must be at least 2")
+	}
+	return &OLTPResponse{cfg: cfg, reg: stats.NewSlidingRegression(cfg.Window)}
+}
+
+// Observe records the measured average response time t under cost limit c
+// for one control interval.
+func (m *OLTPResponse) Observe(c, t float64) {
+	if math.IsNaN(c) || math.IsNaN(t) || t < 0 {
+		return
+	}
+	m.reg.Add(c, t)
+}
+
+// Slope returns the model's current s: the fitted regression slope when
+// enough well-conditioned data exists, the prior otherwise.
+func (m *OLTPResponse) Slope() float64 {
+	if m.reg.Len() < m.cfg.MinPoints {
+		return m.cfg.PriorSlope
+	}
+	fit, ok := m.reg.Fit()
+	if !ok {
+		return m.cfg.PriorSlope
+	}
+	s := fit.Slope
+	// A positive slope would claim that giving the OLTP class more
+	// resources slows it down — an artifact of noise; so would an
+	// implausibly steep one. Keep the physically sensible prior.
+	if s >= 0 || math.Abs(s) > m.cfg.MaxAbsSlope {
+		return m.cfg.PriorSlope
+	}
+	return s
+}
+
+// FitQuality returns the R² of the current window fit (0 when unfittable).
+func (m *OLTPResponse) FitQuality() float64 {
+	fit, ok := m.reg.Fit()
+	if !ok {
+		return 0
+	}
+	return fit.R2
+}
+
+// Points returns how many observations the window currently holds.
+func (m *OLTPResponse) Points() int { return m.reg.Len() }
+
+// Predict returns the predicted average response time at limit cNew given
+// the measured time tPrev at limit cPrev. Predictions never go negative.
+func (m *OLTPResponse) Predict(tPrev, cPrev, cNew float64) float64 {
+	t := tPrev + m.Slope()*(cNew-cPrev)
+	if t < 0 {
+		return 0
+	}
+	return t
+}

@@ -1,0 +1,153 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOLAPVelocityScalesProportionally(t *testing.T) {
+	m := OLAPVelocity{}
+	if got := m.Predict(0.4, 1000, 2000); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("Predict = %v, want 0.8", got)
+	}
+	if got := m.Predict(0.4, 1000, 500); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Predict = %v, want 0.2", got)
+	}
+}
+
+func TestOLAPVelocityCapsAtOne(t *testing.T) {
+	m := OLAPVelocity{}
+	if got := m.Predict(0.8, 1000, 5000); got != 1 {
+		t.Fatalf("Predict = %v, want cap at 1", got)
+	}
+}
+
+func TestOLAPVelocityZeroLimits(t *testing.T) {
+	m := OLAPVelocity{}
+	if got := m.Predict(0.5, 0, 1000); got != 0.5 {
+		t.Fatalf("no-history prediction = %v, want measured value", got)
+	}
+	if got := m.Predict(0.5, 0, 0); got != 0 {
+		t.Fatalf("zero-limit prediction = %v, want 0", got)
+	}
+	if got := m.Predict(0.5, 1000, 0); got != 0 {
+		t.Fatalf("zero new limit = %v, want 0", got)
+	}
+}
+
+func TestOLAPVelocityFloorEnablesRecovery(t *testing.T) {
+	m := OLAPVelocity{Floor: 0.05}
+	// A starved class measured at velocity 0 must still predict gains
+	// from a larger limit.
+	if got := m.Predict(0, 500, 5000); got <= 0 {
+		t.Fatalf("floored prediction = %v, want positive", got)
+	}
+	bare := OLAPVelocity{}
+	if got := bare.Predict(0, 500, 5000); got != 0 {
+		t.Fatalf("unfloored model should stay at 0, got %v", got)
+	}
+}
+
+func TestOLTPModelUsesPriorUntilEnoughData(t *testing.T) {
+	cfg := DefaultOLTPConfig()
+	m := NewOLTPResponse(cfg)
+	if m.Slope() != cfg.PriorSlope {
+		t.Fatal("empty model must use prior slope")
+	}
+	m.Observe(1000, 0.3)
+	m.Observe(2000, 0.28)
+	if m.Slope() != cfg.PriorSlope {
+		t.Fatal("below MinPoints must still use prior")
+	}
+}
+
+func TestOLTPModelLearnsSlope(t *testing.T) {
+	cfg := DefaultOLTPConfig()
+	m := NewOLTPResponse(cfg)
+	// t = 0.4 - 1e-5 * C : raising the OLTP limit lowers response time.
+	for _, c := range []float64{1000, 3000, 5000, 8000, 12000, 15000} {
+		m.Observe(c, 0.4-1e-5*c)
+	}
+	if got := m.Slope(); math.Abs(got+1e-5) > 1e-9 {
+		t.Fatalf("learned slope = %v, want -1e-5", got)
+	}
+	if m.FitQuality() < 0.999 {
+		t.Fatalf("R2 = %v on noiseless data", m.FitQuality())
+	}
+	// Prediction anchored at the last measurement.
+	got := m.Predict(0.3, 10000, 15000)
+	want := 0.3 + (-1e-5)*5000
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestOLTPModelRejectsPositiveSlope(t *testing.T) {
+	cfg := DefaultOLTPConfig()
+	m := NewOLTPResponse(cfg)
+	for _, c := range []float64{1000, 3000, 5000, 8000} {
+		m.Observe(c, 0.1+1e-5*c) // noise artifact: wrong sign
+	}
+	if m.Slope() != cfg.PriorSlope {
+		t.Fatalf("positive fitted slope must fall back to prior, got %v", m.Slope())
+	}
+}
+
+func TestOLTPModelRejectsWildSlope(t *testing.T) {
+	cfg := DefaultOLTPConfig()
+	cfg.MaxAbsSlope = 1e-4
+	m := NewOLTPResponse(cfg)
+	for i, c := range []float64{1000, 1001, 1002, 1003} {
+		m.Observe(c, 10-float64(i)*3) // absurdly steep
+	}
+	if m.Slope() != cfg.PriorSlope {
+		t.Fatalf("wild slope must fall back to prior, got %v", m.Slope())
+	}
+}
+
+func TestOLTPModelWindowEviction(t *testing.T) {
+	cfg := DefaultOLTPConfig()
+	cfg.Window = 4
+	cfg.MinPoints = 2
+	m := NewOLTPResponse(cfg)
+	// Old regime with slope -2e-5, then a new regime with slope -5e-6;
+	// after eviction only the new regime should matter.
+	for _, c := range []float64{1000, 2000, 3000, 4000} {
+		m.Observe(c, 0.5-2e-5*c)
+	}
+	for _, c := range []float64{5000, 6000, 7000, 8000} {
+		m.Observe(c, 0.3-5e-6*c)
+	}
+	if got := m.Slope(); math.Abs(got+5e-6) > 1e-9 {
+		t.Fatalf("slope after regime change = %v, want -5e-6", got)
+	}
+	if m.Points() != 4 {
+		t.Fatalf("window holds %d points, want 4", m.Points())
+	}
+}
+
+func TestOLTPModelIgnoresBadObservations(t *testing.T) {
+	m := NewOLTPResponse(DefaultOLTPConfig())
+	m.Observe(math.NaN(), 0.3)
+	m.Observe(1000, math.NaN())
+	m.Observe(1000, -1)
+	if m.Points() != 0 {
+		t.Fatalf("bad observations stored: %d", m.Points())
+	}
+}
+
+func TestOLTPPredictNeverNegative(t *testing.T) {
+	m := NewOLTPResponse(DefaultOLTPConfig())
+	if got := m.Predict(0.01, 0, 1e9); got < 0 {
+		t.Fatalf("Predict = %v, must clamp at 0", got)
+	}
+}
+
+func TestOLTPConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny window did not panic")
+		}
+	}()
+	NewOLTPResponse(OLTPConfig{Window: 1, MinPoints: 2})
+}

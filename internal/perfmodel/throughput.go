@@ -1,0 +1,118 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// OLTPThroughput is the alternative OLTP performance model the paper's
+// future-work section asks for ("Performance modeling for OLTP workload
+// is another issue that needs to be addressed").
+//
+// The paper's linear model t^k = t^{k-1} + s·ΔC is a local tangent: it
+// cannot represent the hyperbolic response-time blow-up as the OLAP
+// classes crowd the CPUs. This model works in throughput space instead.
+// With zero-think-time closed-loop clients, operational analysis gives
+//
+//	R = N / X
+//
+// where N is the OLTP in-system population and X its throughput. Every
+// admitted OLAP timeron consumes a roughly fixed slice of the CPUs, so X
+// is approximately *affine in the OLTP class's virtual cost limit*:
+//
+//	X(C) = α + β·C        (β > 0: a bigger virtual limit means less
+//	                       OLAP admission and more CPU for OLTP)
+//
+// α and β are fit online by least squares over recent intervals, and the
+// prediction R(C) = N / X(C) recovers the hyperbola the linear model
+// misses: shrinking C toward saturation divides, not subtracts.
+type OLTPThroughput struct {
+	cfg ThroughputConfig
+	reg *stats.SlidingRegression
+
+	lastN float64 // most recent population
+}
+
+// ThroughputConfig tunes the throughput model.
+type ThroughputConfig struct {
+	// Window is how many past intervals the regression sees.
+	Window int
+	// MinPoints gates the fit, like the linear model's.
+	MinPoints int
+	// MinThroughput floors X(C) so predictions never divide by ~0.
+	MinThroughput float64
+}
+
+// DefaultThroughputConfig returns the configuration used in experiments.
+func DefaultThroughputConfig() ThroughputConfig {
+	return ThroughputConfig{Window: 16, MinPoints: 4, MinThroughput: 0.5}
+}
+
+// NewOLTPThroughput builds the model.
+func NewOLTPThroughput(cfg ThroughputConfig) *OLTPThroughput {
+	if cfg.Window < 2 || cfg.MinPoints < 2 {
+		panic(fmt.Sprintf("perfmodel: invalid throughput config %+v", cfg))
+	}
+	if cfg.MinThroughput <= 0 {
+		panic("perfmodel: MinThroughput must be positive")
+	}
+	return &OLTPThroughput{cfg: cfg, reg: stats.NewSlidingRegression(cfg.Window)}
+}
+
+// ObserveLoad records one interval: virtual limit c, measured mean
+// response time t, and in-system population n. Intervals without
+// meaningful measurements are skipped.
+func (m *OLTPThroughput) ObserveLoad(c, t, n float64) {
+	if math.IsNaN(c) || t <= 0 || n <= 0 {
+		return
+	}
+	m.lastN = n
+	m.reg.Add(c, n/t) // X = N/R by Little's law on the closed loop
+}
+
+// fit returns the affine throughput curve, ok=false before enough data.
+func (m *OLTPThroughput) fit() (alpha, beta float64, ok bool) {
+	if m.reg.Len() < m.cfg.MinPoints {
+		return 0, 0, false
+	}
+	f, fitted := m.reg.Fit()
+	if !fitted {
+		return 0, 0, false
+	}
+	// A negative slope claims more OLTP budget hurts OLTP — noise.
+	if f.Slope < 0 {
+		return 0, 0, false
+	}
+	return f.Intercept, f.Slope, true
+}
+
+// Predict returns the expected mean response time at limit cNew, given
+// the latest measurement tPrev at limit cPrev. Without a usable fit it
+// falls back to "no change" (the caller may prefer the linear model's
+// prior in that regime).
+func (m *OLTPThroughput) Predict(tPrev, cPrev, cNew float64) float64 {
+	alpha, beta, ok := m.fit()
+	if !ok || m.lastN <= 0 {
+		return tPrev
+	}
+	// Re-anchor the curve so it passes through the current observation:
+	// keep the fitted slope, shift the intercept to match X(cPrev).
+	xNow := m.lastN / math.Max(tPrev, 1e-9)
+	xNew := xNow + beta*(cNew-cPrev)
+	_ = alpha
+	if xNew < m.cfg.MinThroughput {
+		xNew = m.cfg.MinThroughput
+	}
+	return m.lastN / xNew
+}
+
+// Usable reports whether the model currently has a trustworthy fit.
+func (m *OLTPThroughput) Usable() bool {
+	_, _, ok := m.fit()
+	return ok && m.lastN > 0
+}
+
+// Points returns how many observations the window holds.
+func (m *OLTPThroughput) Points() int { return m.reg.Len() }

@@ -1,0 +1,114 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThroughputModelUnusableWithoutData(t *testing.T) {
+	m := NewOLTPThroughput(DefaultThroughputConfig())
+	if m.Usable() {
+		t.Fatal("empty model claims usable")
+	}
+	// Prediction falls back to "no change".
+	if got := m.Predict(0.3, 5000, 10000); got != 0.3 {
+		t.Fatalf("fallback prediction = %v, want tPrev", got)
+	}
+}
+
+func TestThroughputModelLearnsAffineCurve(t *testing.T) {
+	m := NewOLTPThroughput(DefaultThroughputConfig())
+	// Ground truth: X(C) = 40 + 0.004·C, N = 20 clients.
+	n := 20.0
+	x := func(c float64) float64 { return 40 + 0.004*c }
+	for _, c := range []float64{0, 2000, 5000, 8000, 12000} {
+		m.ObserveLoad(c, n/x(c), n)
+	}
+	if !m.Usable() {
+		t.Fatal("model not usable after five clean points")
+	}
+	// Predict at a new limit, anchored at the last observation.
+	cPrev, cNew := 12000.0, 2000.0
+	got := m.Predict(n/x(cPrev), cPrev, cNew)
+	want := n / x(cNew)
+	if math.Abs(got-want) > 0.01*want {
+		t.Fatalf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestThroughputModelCapturesHyperbola(t *testing.T) {
+	// The point of the model: halving available throughput doubles
+	// response time — a shape the linear model cannot express.
+	m := NewOLTPThroughput(DefaultThroughputConfig())
+	n := 25.0
+	x := func(c float64) float64 { return 10 + 0.002*c }
+	for _, c := range []float64{2000, 6000, 10000, 14000} {
+		m.ObserveLoad(c, n/x(c), n)
+	}
+	tPrev := n / x(14000) // 0.658 at X=38
+	squeeze := m.Predict(tPrev, 14000, 2000)
+	expand := m.Predict(tPrev, 14000, 26000)
+	if squeeze/tPrev < 2 {
+		t.Fatalf("squeeze should blow up hyperbolically: %v -> %v", tPrev, squeeze)
+	}
+	if expand >= tPrev {
+		t.Fatalf("expanding the limit must help: %v -> %v", tPrev, expand)
+	}
+}
+
+func TestThroughputModelRejectsNegativeSlope(t *testing.T) {
+	m := NewOLTPThroughput(DefaultThroughputConfig())
+	for _, c := range []float64{1000, 4000, 8000, 12000} {
+		m.ObserveLoad(c, 0.1+c*1e-5, 20) // X falls with C: wrong sign
+	}
+	if m.Usable() {
+		t.Fatal("negative-slope fit accepted")
+	}
+}
+
+func TestThroughputModelFloorsPrediction(t *testing.T) {
+	cfg := DefaultThroughputConfig()
+	m := NewOLTPThroughput(cfg)
+	n := 20.0
+	for _, c := range []float64{4000, 8000, 12000, 16000} {
+		m.ObserveLoad(c, n/(1+0.01*c), n)
+	}
+	// Extrapolating to C=0 would give X near 1; far below, the floor
+	// must cap the predicted response time at N/MinThroughput.
+	got := m.Predict(n/(1+0.01*16000), 16000, -1e9)
+	if got > n/cfg.MinThroughput+1e-9 {
+		t.Fatalf("prediction %v above the floor bound", got)
+	}
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatal("unbounded prediction")
+	}
+}
+
+func TestThroughputModelIgnoresGarbage(t *testing.T) {
+	m := NewOLTPThroughput(DefaultThroughputConfig())
+	m.ObserveLoad(math.NaN(), 0.3, 10)
+	m.ObserveLoad(1000, 0, 10)
+	m.ObserveLoad(1000, 0.3, 0)
+	if m.Points() != 0 {
+		t.Fatalf("garbage observations stored: %d", m.Points())
+	}
+}
+
+func TestThroughputConfigValidation(t *testing.T) {
+	bad := []ThroughputConfig{
+		{Window: 1, MinPoints: 2, MinThroughput: 1},
+		{Window: 4, MinPoints: 1, MinThroughput: 1},
+		{Window: 4, MinPoints: 2, MinThroughput: 0},
+	}
+	for i, cfg := range bad {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bad config %d did not panic", i)
+				}
+			}()
+			NewOLTPThroughput(cfg)
+		}()
+	}
+}

@@ -1,0 +1,196 @@
+// Package queueing provides the analytic queueing-theory references the
+// test suite validates the simulated engine against: operational laws
+// (Little, utilization), open M/M/1 and M/M/c formulas, asymptotic bounds
+// for closed interactive systems, and exact Mean Value Analysis for
+// closed product-form networks.
+//
+// The reproduction's evaluation rests on a simulator instead of the
+// paper's hardware, so the simulator itself must be defensible: the
+// engine_validation tests check that, in the regimes where closed-form
+// results exist (processor sharing is product-form), the engine's
+// throughput and response times match theory, not just intuition.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// --- Operational laws ---
+
+// LittlesLaw returns the mean population N = X·R implied by throughput X
+// and mean residence time R.
+func LittlesLaw(throughput, residence float64) float64 {
+	return throughput * residence
+}
+
+// UtilizationLaw returns the utilization U = X·S implied by throughput X
+// and mean service demand S (per server when divided by server count).
+func UtilizationLaw(throughput, service float64) float64 {
+	return throughput * service
+}
+
+// InteractiveResponse returns the response-time law for a closed
+// interactive system: R = N/X − Z (N clients, throughput X, think time Z).
+func InteractiveResponse(n float64, throughput, think float64) float64 {
+	if throughput <= 0 {
+		return math.Inf(1)
+	}
+	return n/throughput - think
+}
+
+// --- Open systems ---
+
+// MM1 returns the steady-state metrics of an M/M/1 queue.
+type MM1Result struct {
+	Utilization  float64
+	MeanInSystem float64 // jobs
+	MeanResponse float64 // seconds
+	MeanWait     float64 // seconds (excluding service)
+}
+
+// MM1 evaluates an M/M/1 queue with arrival rate lambda and service rate
+// mu (jobs/second). It returns an error for an unstable system.
+func MM1(lambda, mu float64) (MM1Result, error) {
+	if lambda < 0 || mu <= 0 {
+		return MM1Result{}, fmt.Errorf("queueing: invalid rates λ=%v µ=%v", lambda, mu)
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return MM1Result{}, fmt.Errorf("queueing: unstable M/M/1 (ρ=%v)", rho)
+	}
+	r := 1 / (mu - lambda)
+	return MM1Result{
+		Utilization:  rho,
+		MeanInSystem: rho / (1 - rho),
+		MeanResponse: r,
+		MeanWait:     r - 1/mu,
+	}, nil
+}
+
+// ErlangC returns the probability an arriving job waits in an M/M/c
+// queue with offered load a = λ/µ and c servers.
+func ErlangC(c int, a float64) (float64, error) {
+	if c < 1 || a < 0 {
+		return 0, fmt.Errorf("queueing: invalid Erlang-C inputs c=%d a=%v", c, a)
+	}
+	if a >= float64(c) {
+		return 1, nil // saturated: everyone waits
+	}
+	// Sum a^k/k! computed iteratively for numerical stability.
+	term := 1.0
+	sum := 1.0
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	term *= a / float64(c)
+	last := term * float64(c) / (float64(c) - a)
+	return last / (sum + last), nil
+}
+
+// MMc evaluates an M/M/c queue.
+func MMc(c int, lambda, mu float64) (MM1Result, error) {
+	if lambda < 0 || mu <= 0 || c < 1 {
+		return MM1Result{}, fmt.Errorf("queueing: invalid M/M/c inputs")
+	}
+	a := lambda / mu
+	if a >= float64(c) {
+		return MM1Result{}, fmt.Errorf("queueing: unstable M/M/c (a=%v, c=%d)", a, c)
+	}
+	pw, err := ErlangC(c, a)
+	if err != nil {
+		return MM1Result{}, err
+	}
+	wait := pw / (float64(c)*mu - lambda)
+	return MM1Result{
+		Utilization:  a / float64(c),
+		MeanInSystem: a + pw*a/(float64(c)-a),
+		MeanResponse: wait + 1/mu,
+		MeanWait:     wait,
+	}, nil
+}
+
+// --- Closed systems ---
+
+// AsymptoticBounds returns the classic closed-system bounds for N
+// clients, total service demand D at the bottleneck station, per-visit
+// demand Dmax at the bottleneck (with c servers), and think time Z:
+//
+//	X(N) <= min(N/(D+Z), c/Dmax)
+//	R(N) >= max(D, N·Dmax/c − Z)
+type Bounds struct {
+	MaxThroughput float64
+	MinResponse   float64
+	// Knee is the client count N* = c·(D+Z)/Dmax where the two
+	// throughput bounds cross — the population where queueing begins.
+	Knee float64
+}
+
+// AsymptoticBounds computes the bounds above.
+func AsymptoticBounds(n float64, totalDemand, bottleneckDemand float64, servers int, think float64) Bounds {
+	c := float64(servers)
+	xMax := math.Min(n/(totalDemand+think), c/bottleneckDemand)
+	rMin := math.Max(totalDemand, n*bottleneckDemand/c-think)
+	return Bounds{
+		MaxThroughput: xMax,
+		MinResponse:   rMin,
+		Knee:          c * (totalDemand + think) / bottleneckDemand,
+	}
+}
+
+// Station describes one service station of a closed product-form network
+// for MVA: the per-visit service demand (visit ratio folded in) and the
+// number of servers (1 for a queueing station; use Delay for pure delays).
+type Station struct {
+	Demand float64
+	Delay  bool // infinite-server (think/delay) station
+}
+
+// MVAResult is the output of exact Mean Value Analysis.
+type MVAResult struct {
+	Throughput float64
+	Response   float64   // total residence time across queueing stations
+	Residence  []float64 // per-station residence times at population N
+}
+
+// MVA runs exact single-class Mean Value Analysis for a closed network
+// with the given stations and population n. Single-server stations are
+// treated as PS/FCFS exponential (product form); Delay stations
+// contribute their demand with no queueing.
+func MVA(stations []Station, n int) (MVAResult, error) {
+	if n < 1 {
+		return MVAResult{}, fmt.Errorf("queueing: MVA population %d < 1", n)
+	}
+	for i, s := range stations {
+		if s.Demand < 0 {
+			return MVAResult{}, fmt.Errorf("queueing: station %d negative demand", i)
+		}
+	}
+	queueLen := make([]float64, len(stations))
+	var res MVAResult
+	for pop := 1; pop <= n; pop++ {
+		residence := make([]float64, len(stations))
+		var total float64
+		for i, s := range stations {
+			if s.Delay {
+				residence[i] = s.Demand
+			} else {
+				residence[i] = s.Demand * (1 + queueLen[i])
+			}
+			total += residence[i]
+		}
+		x := float64(pop) / total
+		for i := range stations {
+			queueLen[i] = x * residence[i]
+		}
+		res = MVAResult{Throughput: x, Response: total, Residence: residence}
+	}
+	// Response conventionally excludes delay stations.
+	for i, s := range stations {
+		if s.Delay {
+			res.Response -= res.Residence[i]
+		}
+	}
+	return res, nil
+}

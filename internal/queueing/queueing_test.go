@@ -1,0 +1,201 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLittlesLaw(t *testing.T) {
+	if LittlesLaw(10, 0.5) != 5 {
+		t.Fatal("N = X·R broken")
+	}
+}
+
+func TestUtilizationLaw(t *testing.T) {
+	if UtilizationLaw(100, 0.005) != 0.5 {
+		t.Fatal("U = X·S broken")
+	}
+}
+
+func TestInteractiveResponse(t *testing.T) {
+	if got := InteractiveResponse(20, 4, 2); !almost(got, 3, 1e-12) {
+		t.Fatalf("R = %v, want N/X - Z = 3", got)
+	}
+	if !math.IsInf(InteractiveResponse(5, 0, 1), 1) {
+		t.Fatal("zero throughput must yield infinite response")
+	}
+}
+
+func TestMM1KnownValues(t *testing.T) {
+	r, err := MM1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.Utilization, 0.5, 1e-12) {
+		t.Fatalf("rho = %v", r.Utilization)
+	}
+	if !almost(r.MeanResponse, 2, 1e-12) {
+		t.Fatalf("R = %v, want 1/(mu-lambda) = 2", r.MeanResponse)
+	}
+	if !almost(r.MeanInSystem, 1, 1e-12) {
+		t.Fatalf("N = %v, want rho/(1-rho) = 1", r.MeanInSystem)
+	}
+	if !almost(r.MeanWait, 1, 1e-12) {
+		t.Fatalf("W = %v", r.MeanWait)
+	}
+	// Little's law cross-check.
+	if !almost(LittlesLaw(0.5, r.MeanResponse), r.MeanInSystem, 1e-12) {
+		t.Fatal("MM1 violates Little's law")
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	if _, err := MM1(2, 1); err == nil {
+		t.Fatal("unstable M/M/1 accepted")
+	}
+	if _, err := MM1(-1, 1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// c=1 reduces to rho.
+	p, err := ErlangC(1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p, 0.6, 1e-12) {
+		t.Fatalf("ErlangC(1, 0.6) = %v, want rho", p)
+	}
+	// Classic tabulated value: c=2, a=1 -> 1/3.
+	p, err = ErlangC(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p, 1.0/3, 1e-9) {
+		t.Fatalf("ErlangC(2, 1) = %v, want 1/3", p)
+	}
+	// Saturated.
+	p, _ = ErlangC(2, 2.5)
+	if p != 1 {
+		t.Fatalf("saturated Erlang-C = %v, want 1", p)
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	a, err := MMc(1, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := MM1(0.5, 1)
+	if !almost(a.MeanResponse, b.MeanResponse, 1e-9) || !almost(a.MeanWait, b.MeanWait, 1e-9) {
+		t.Fatalf("MMc(1) = %+v, MM1 = %+v", a, b)
+	}
+}
+
+func TestMMcPoolingBeatsSplitQueues(t *testing.T) {
+	// Two pooled servers beat one server at half the load (pooling
+	// effect): response time of M/M/2 at lambda < response of M/M/1 at
+	// lambda/2... actually the comparison is waits; check waits.
+	two, err := MMc(2, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := MM1(0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.MeanWait >= one.MeanWait {
+		t.Fatalf("pooling effect violated: MM2 wait %v >= split %v", two.MeanWait, one.MeanWait)
+	}
+}
+
+func TestMMcLittleCrossCheck(t *testing.T) {
+	r, err := MMc(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(LittlesLaw(2, r.MeanResponse), r.MeanInSystem, 1e-9) {
+		t.Fatal("MMc violates Little's law")
+	}
+}
+
+func TestAsymptoticBounds(t *testing.T) {
+	// D = 2s total, bottleneck 1s on 1 server, Z = 8s think.
+	b := AsymptoticBounds(5, 2, 1, 1, 8)
+	// Below the knee (N* = 10): X bounded by N/(D+Z).
+	if !almost(b.MaxThroughput, 0.5, 1e-12) {
+		t.Fatalf("X bound = %v, want 0.5", b.MaxThroughput)
+	}
+	if !almost(b.Knee, 10, 1e-12) {
+		t.Fatalf("knee = %v, want 10", b.Knee)
+	}
+	// Far above the knee: X bounded by c/Dmax, R grows linearly.
+	b = AsymptoticBounds(50, 2, 1, 1, 8)
+	if !almost(b.MaxThroughput, 1, 1e-12) {
+		t.Fatalf("saturated X bound = %v, want 1", b.MaxThroughput)
+	}
+	if !almost(b.MinResponse, 42, 1e-12) {
+		t.Fatalf("R bound = %v, want N·Dmax - Z = 42", b.MinResponse)
+	}
+}
+
+func TestMVASingleQueueMatchesClosedForm(t *testing.T) {
+	// One PS queue with demand D and a think station Z: the classic
+	// machine-repairman model; for N=1, X = 1/(D+Z).
+	res, err := MVA([]Station{{Demand: 1}, {Demand: 4, Delay: true}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Throughput, 0.2, 1e-12) {
+		t.Fatalf("X(1) = %v, want 0.2", res.Throughput)
+	}
+	if !almost(res.Response, 1, 1e-12) {
+		t.Fatalf("R(1) = %v, want D", res.Response)
+	}
+}
+
+func TestMVAApproachesBottleneckBound(t *testing.T) {
+	stations := []Station{{Demand: 0.5}, {Demand: 2, Delay: true}}
+	res, err := MVA(stations, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Throughput, 2, 0.01) {
+		t.Fatalf("X(100) = %v, want ~1/Dmax = 2", res.Throughput)
+	}
+	// Interactive response-time law must hold exactly in MVA.
+	want := InteractiveResponse(100, res.Throughput, 2)
+	if !almost(res.Response, want, 1e-9) {
+		t.Fatalf("R = %v, law says %v", res.Response, want)
+	}
+}
+
+func TestMVAThroughputMonotoneInPopulation(t *testing.T) {
+	stations := []Station{{Demand: 1}, {Demand: 0.4}, {Demand: 3, Delay: true}}
+	prev := 0.0
+	for n := 1; n <= 30; n++ {
+		res, err := MVA(stations, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput < prev-1e-12 {
+			t.Fatalf("throughput not monotone at N=%d", n)
+		}
+		prev = res.Throughput
+	}
+	if prev > 1/1.0 {
+		t.Fatalf("throughput %v exceeded bottleneck bound", prev)
+	}
+}
+
+func TestMVAValidation(t *testing.T) {
+	if _, err := MVA([]Station{{Demand: 1}}, 0); err == nil {
+		t.Fatal("population 0 accepted")
+	}
+	if _, err := MVA([]Station{{Demand: -1}}, 1); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+}

@@ -1,0 +1,235 @@
+// Package report renders experiment series as terminal charts — the
+// closest a text UI gets to the paper's figures. It is deliberately
+// dependency-free: fixed-grid ASCII line charts with axes, multiple
+// series, a legend, and an optional horizontal goal line.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Values []float64
+	// Mask, when non-nil, hides points where Mask[i] is false (e.g.
+	// periods with no completions).
+	Mask []bool
+}
+
+// Chart is a multi-series line chart over a shared integer X axis
+// (period numbers, sweep indices, ...).
+type Chart struct {
+	Title  string
+	YLabel string
+	XLabel string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	// YMin/YMax fix the Y range; when both are zero the range is fitted
+	// to the data (and the goal lines).
+	YMin, YMax float64
+	// Goals draws dashed horizontal reference lines (e.g. SLO targets).
+	Goals  []float64
+	Series []Series
+}
+
+// seriesMarks assigns each series a distinct mark.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart into a string.
+func (c Chart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	n := 0
+	for _, s := range c.Series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	if n == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+
+	lo, hi := c.yRange()
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	col := func(i int) int {
+		if n == 1 {
+			return width / 2
+		}
+		return i * (width - 1) / (n - 1)
+	}
+
+	for _, g := range c.Goals {
+		if g < lo || g > hi {
+			continue
+		}
+		r := row(g)
+		for x := 0; x < width; x += 2 {
+			grid[r][x] = '-'
+		}
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		prevSet := false
+		var prevR, prevC int
+		for i, v := range s.Values {
+			if i >= n {
+				break
+			}
+			if s.Mask != nil && i < len(s.Mask) && !s.Mask[i] {
+				prevSet = false
+				continue
+			}
+			r, x := row(v), col(i)
+			if prevSet {
+				drawLine(grid, prevC, prevR, x, r, mark)
+			}
+			grid[r][x] = mark
+			prevR, prevC, prevSet = r, x, true
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisw := len(formatTick(hi))
+	if w := len(formatTick(lo)); w > axisw {
+		axisw = w
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", axisw)
+		switch r {
+		case 0:
+			label = pad(formatTick(hi), axisw)
+		case height - 1:
+			label = pad(formatTick(lo), axisw)
+		case (height - 1) / 2:
+			label = pad(formatTick((hi+lo)/2), axisw)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisw), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  1%s%d", strings.Repeat(" ", axisw),
+		strings.Repeat(" ", max(1, width-2-len(fmt.Sprint(n)))), n)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", c.XLabel)
+	}
+	b.WriteByte('\n')
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	if len(c.Goals) > 0 {
+		legend = append(legend, "-- goal")
+	}
+	if c.YLabel != "" {
+		legend = append(legend, "y: "+c.YLabel)
+	}
+	fmt.Fprintf(&b, "   %s\n", strings.Join(legend, "   "))
+	return b.String()
+}
+
+func (c Chart) yRange() (lo, hi float64) {
+	if c.YMin != 0 || c.YMax != 0 {
+		return c.YMin, c.YMax
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	consider := func(v float64) {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for _, s := range c.Series {
+		for i, v := range s.Values {
+			if s.Mask != nil && i < len(s.Mask) && !s.Mask[i] {
+				continue
+			}
+			consider(v)
+		}
+	}
+	for _, g := range c.Goals {
+		consider(g)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	if lo > 0 && lo < hi/3 {
+		lo = 0 // charts that nearly touch zero read better anchored at it
+	}
+	span := hi - lo
+	return lo, hi + 0.05*span
+}
+
+// drawLine connects two grid cells with a light trace so series read as
+// lines rather than scatter points. Endpoints are drawn by the caller.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, mark byte) {
+	steps := max(abs(x1-x0), abs(y1-y0))
+	if steps <= 1 {
+		return
+	}
+	for s := 1; s < steps; s++ {
+		x := x0 + (x1-x0)*s/steps
+		y := y0 + (y1-y0)*s/steps
+		if grid[y][x] == ' ' || grid[y][x] == '-' {
+			grid[y][x] = '.'
+		}
+	}
+	_ = mark
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

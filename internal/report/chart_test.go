@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(c Chart) (string, []string) {
+	out := c.Render()
+	return out, strings.Split(strings.TrimRight(out, "\n"), "\n")
+}
+
+func TestRenderEmptyChart(t *testing.T) {
+	out, _ := render(Chart{Title: "empty"})
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderContainsTitleAxesAndLegend(t *testing.T) {
+	out, lines := render(Chart{
+		Title:  "my chart",
+		YLabel: "velocity",
+		XLabel: "period",
+		Series: []Series{{Name: "class 1", Values: []float64{0.2, 0.4, 0.6}}},
+	})
+	if !strings.HasPrefix(lines[0], "my chart") {
+		t.Fatal("missing title")
+	}
+	for _, want := range []string{"* class 1", "y: velocity", "(period)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderPlotsExtremesAtEdges(t *testing.T) {
+	c := Chart{
+		Width:  21,
+		Height: 9,
+		YMin:   0,
+		YMax:   1,
+		Series: []Series{{Name: "s", Values: []float64{0, 1}}},
+	}
+	_, lines := render(c)
+	// Row 1 of output (after no title) is the top plot row: the value 1
+	// lands there; the bottom plot row holds the value 0.
+	top := lines[0]
+	bottom := lines[8]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max value not on top row: %q", top)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("min value not on bottom row: %q", bottom)
+	}
+}
+
+func TestRenderGoalLine(t *testing.T) {
+	out, _ := render(Chart{
+		YMin:   0,
+		YMax:   1,
+		Goals:  []float64{0.5},
+		Series: []Series{{Name: "s", Values: []float64{0.9, 0.9}}},
+	})
+	if !strings.Contains(out, "- -") {
+		t.Fatalf("goal line not drawn:\n%s", out)
+	}
+	if !strings.Contains(out, "-- goal") {
+		t.Fatal("goal legend missing")
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarks(t *testing.T) {
+	out, _ := render(Chart{
+		Series: []Series{
+			{Name: "a", Values: []float64{1, 2, 3}},
+			{Name: "b", Values: []float64{3, 2, 1}},
+		},
+	})
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("marks not distinct:\n%s", out)
+	}
+}
+
+func TestRenderMaskHidesPoints(t *testing.T) {
+	masked, _ := render(Chart{
+		Width: 30, Height: 10, YMin: 0, YMax: 10,
+		Series: []Series{{
+			Name:   "s",
+			Values: []float64{5, 10, 5},
+			Mask:   []bool{true, false, true},
+		}},
+	})
+	// The masked middle value (10, the top row) must not be plotted.
+	lines := strings.Split(masked, "\n")
+	if strings.Contains(lines[0], "*") {
+		t.Fatalf("masked point plotted:\n%s", masked)
+	}
+}
+
+func TestRenderAutoRangeAnchorsNearZero(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", Values: []float64{0.1, 8, 9}}}}
+	lo, hi := c.yRange()
+	if lo != 0 {
+		t.Fatalf("lo = %v, want anchored at 0", lo)
+	}
+	if hi < 9 {
+		t.Fatalf("hi = %v below max", hi)
+	}
+}
+
+func TestRenderFixedRangeClampsOutliers(t *testing.T) {
+	out, _ := render(Chart{
+		YMin: 0, YMax: 1,
+		Series: []Series{{Name: "s", Values: []float64{0.5, 42}}},
+	})
+	// Should not panic and the outlier lands on the top row.
+	if !strings.Contains(out, "*") {
+		t.Fatal("nothing plotted")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out, _ := render(Chart{Series: []Series{{Name: "s", Values: []float64{3}}}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderConnectsPointsWithTrace(t *testing.T) {
+	out, _ := render(Chart{
+		Width: 40, Height: 12, YMin: 0, YMax: 10,
+		Series: []Series{{Name: "s", Values: []float64{0, 10}}},
+	})
+	if !strings.Contains(out, ".") {
+		t.Fatalf("no connecting trace between distant points:\n%s", out)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 12345: "12345", 42.4: "42.4", 0.25: "0.25"}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions across different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not replay the parent's.
+	p, c := New(7), child
+	_ = p.Uint64() // consume the draw Split used
+	for i := 0; i < 50; i++ {
+		if p.Uint64() == c.Uint64() {
+			t.Fatal("child stream mirrors parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBoundsProperty(t *testing.T) {
+	s := New(9)
+	f := func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(3, 8)
+		if v < 3 || v >= 8 {
+			t.Fatalf("Range(3,8) = %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(13)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := s.Exp(2.5)
+		if v < 0 {
+			t.Fatalf("Exp produced negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("Exp mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(17)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("Normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(19)
+	n := 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormalMedian(5, 0.5)
+	}
+	// Median check: count below 5 should be ~half.
+	below := 0
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatalf("LogNormalMedian produced non-positive %v", v)
+		}
+		if v < 5 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("fraction below median = %v, want ~0.5", frac)
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	s := New(23)
+	for i := 0; i < 10000; i++ {
+		v := s.BoundedPareto(1.1, 2, 50)
+		if v < 2 || v > 50 {
+			t.Fatalf("BoundedPareto out of range: %v", v)
+		}
+	}
+}
+
+func TestBoundedParetoSkew(t *testing.T) {
+	s := New(29)
+	n := 50000
+	below := 0
+	for i := 0; i < n; i++ {
+		if s.BoundedPareto(1.5, 1, 100) < 10 {
+			below++
+		}
+	}
+	// A heavy-tailed draw should concentrate near the low bound.
+	if frac := float64(below) / float64(n); frac < 0.8 {
+		t.Fatalf("only %v below 10; Pareto should skew low", frac)
+	}
+}
+
+func TestBoundedParetoInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bounds did not panic")
+		}
+	}()
+	New(1).BoundedPareto(1, 5, 5)
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	s := New(31)
+	weights := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedChoice(weights)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / float64(n)
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("weight %d chosen %v of the time, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoiceZeroWeightNeverChosen(t *testing.T) {
+	s := New(37)
+	weights := []float64{0, 1, 0}
+	for i := 0; i < 1000; i++ {
+		if got := s.WeightedChoice(weights); got != 1 {
+			t.Fatalf("chose index %d with zero weight", got)
+		}
+	}
+}
+
+func TestWeightedChoiceInvalid(t *testing.T) {
+	for _, weights := range [][]float64{nil, {}, {0, 0}, {-1, 2}} {
+		weights := weights
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("weights %v did not panic", weights)
+				}
+			}()
+			New(1).WeightedChoice(weights)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(41)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package simclock provides a deterministic discrete-event simulation
+// kernel. All other packages in this repository run on virtual time
+// supplied by a Clock, so a 24-hour experiment from the paper finishes in
+// well under a second of wall time.
+//
+// Time is represented as float64 seconds from the start of the simulation.
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking by sequence number), which keeps runs fully
+// deterministic.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time = float64
+
+// EventFunc is a callback invoked when an event fires. The clock's Now()
+// equals the event's scheduled time during the call.
+type EventFunc func()
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type event struct {
+	at    Time
+	seq   uint64
+	id    EventID
+	fn    EventFunc
+	index int // heap index, -1 when removed
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event simulation clock. The zero value is not usable;
+// call New.
+type Clock struct {
+	now     Time
+	seq     uint64
+	nextID  EventID
+	heap    eventHeap
+	byID    map[EventID]*event
+	stopped bool
+}
+
+// New returns a Clock positioned at time 0 with no pending events.
+func New() *Clock {
+	return &Clock{byID: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending reports the number of events still scheduled.
+func (c *Clock) Pending() int { return len(c.heap) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently corrupt causality in a simulation.
+func (c *Clock) At(t Time, fn EventFunc) EventID {
+	if fn == nil {
+		panic("simclock: nil event function")
+	}
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", t, c.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("simclock: invalid event time %v", t))
+	}
+	c.nextID++
+	c.seq++
+	e := &event{at: t, seq: c.seq, id: c.nextID, fn: fn}
+	heap.Push(&c.heap, e)
+	c.byID[e.id] = e
+	return e.id
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (c *Clock) After(d float64, fn EventFunc) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v", d))
+	}
+	return c.At(c.now+d, fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already fired or was previously cancelled).
+func (c *Clock) Cancel(id EventID) bool {
+	e, ok := c.byID[id]
+	if !ok {
+		return false
+	}
+	delete(c.byID, id)
+	heap.Remove(&c.heap, e.index)
+	return true
+}
+
+// Stop makes the currently executing Run return once the in-flight event
+// callback finishes. Pending events remain scheduled.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// time. It reports whether an event fired.
+func (c *Clock) Step() bool {
+	if len(c.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.heap).(*event)
+	delete(c.byID, e.id)
+	c.now = e.at
+	e.fn()
+	return true
+}
+
+// Run fires events in order until no events remain or Stop is called.
+func (c *Clock) Run() {
+	c.stopped = false
+	for !c.stopped && c.Step() {
+	}
+}
+
+// RunUntil fires events with scheduled time <= deadline, then advances the
+// clock to exactly deadline. Events after the deadline stay pending.
+func (c *Clock) RunUntil(deadline Time) {
+	if deadline < c.now {
+		panic(fmt.Sprintf("simclock: RunUntil deadline %v before now %v", deadline, c.now))
+	}
+	c.stopped = false
+	for !c.stopped {
+		if len(c.heap) == 0 || c.heap[0].at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if !c.stopped && c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// NextEventTime returns the time of the earliest pending event and true, or
+// 0 and false when nothing is scheduled.
+func (c *Clock) NextEventTime() (Time, bool) {
+	if len(c.heap) == 0 {
+		return 0, false
+	}
+	return c.heap[0].at, true
+}
+
+// Ticker invokes fn every interval seconds, starting one interval from the
+// time StartTicker is called, until the returned stop function is invoked.
+type Ticker struct {
+	clock    *Clock
+	interval float64
+	fn       EventFunc
+	pending  EventID
+	active   bool
+}
+
+// StartTicker schedules fn to run every interval seconds. The interval must
+// be positive.
+func (c *Clock) StartTicker(interval float64, fn EventFunc) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive ticker interval %v", interval))
+	}
+	t := &Ticker{clock: c, interval: interval, fn: fn, active: true}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.pending = t.clock.After(t.interval, func() {
+		if !t.active {
+			return
+		}
+		t.fn()
+		if t.active {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call from within the tick
+// callback and safe to call more than once.
+func (t *Ticker) Stop() {
+	if !t.active {
+		return
+	}
+	t.active = false
+	t.clock.Cancel(t.pending)
+}

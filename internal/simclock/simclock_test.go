@@ -1,0 +1,328 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewClockStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", c.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	c := New()
+	var fired []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		c.At(at, func() { fired = append(fired, at) })
+	}
+	c.Run()
+	want := []float64{1, 2, 3, 4, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestSameTimeEventsFireFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(7, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("FIFO violated at %d: order %v", i, order)
+		}
+	}
+}
+
+func TestNowDuringEventEqualsScheduledTime(t *testing.T) {
+	c := New()
+	c.At(42.5, func() {
+		if c.Now() != 42.5 {
+			t.Errorf("Now() inside event = %v, want 42.5", c.Now())
+		}
+	})
+	c.Run()
+	if c.Now() != 42.5 {
+		t.Fatalf("Now() after run = %v, want 42.5", c.Now())
+	}
+}
+
+func TestAfterSchedulesRelativeToNow(t *testing.T) {
+	c := New()
+	var second float64
+	c.At(10, func() {
+		c.After(5, func() { second = c.Now() })
+	})
+	c.Run()
+	if second != 15 {
+		t.Fatalf("After fired at %v, want 15", second)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := New()
+	fired := false
+	id := c.At(1, func() { fired = true })
+	if !c.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if c.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	c.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	c := New()
+	var fired []int
+	ids := make([]EventID, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		ids[i] = c.At(float64(i), func() { fired = append(fired, i) })
+	}
+	c.Cancel(ids[2])
+	c.Run()
+	want := []int{0, 1, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	c := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		c.At(at, func() { fired = append(fired, at) })
+	}
+	c.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want two events", fired)
+	}
+	if c.Now() != 2.5 {
+		t.Fatalf("Now() = %v, want deadline 2.5", c.Now())
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", c.Pending())
+	}
+	c.RunUntil(10)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after second RunUntil, want all four", fired)
+	}
+}
+
+func TestRunUntilInclusiveOfDeadlineEvents(t *testing.T) {
+	c := New()
+	fired := false
+	c.At(3, func() { fired = true })
+	c.RunUntil(3)
+	if !fired {
+		t.Fatal("event at exactly the deadline did not fire")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	c := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		c.At(float64(i), func() {
+			count++
+			if count == 3 {
+				c.Stop()
+			}
+		})
+	}
+	c.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	c.Run() // resumes
+	if count != 10 {
+		t.Fatalf("ran %d events total, want 10", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := New()
+	c.At(5, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	c.After(-1, func() {})
+}
+
+func TestNilEventFuncPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event func did not panic")
+		}
+	}()
+	c.At(1, nil)
+}
+
+func TestEventsScheduledDuringEventRun(t *testing.T) {
+	c := New()
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 100 {
+			c.After(1, schedule)
+		}
+	}
+	c.After(1, schedule)
+	c.Run()
+	if depth != 100 {
+		t.Fatalf("chained depth = %d, want 100", depth)
+	}
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", c.Now())
+	}
+}
+
+func TestZeroDelayEventFiresAfterCurrentEvent(t *testing.T) {
+	c := New()
+	var order []string
+	c.At(1, func() {
+		c.After(0, func() { order = append(order, "zero") })
+		order = append(order, "outer")
+	})
+	c.At(1, func() { order = append(order, "sibling") })
+	c.Run()
+	want := []string{"outer", "sibling", "zero"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	c := New()
+	if _, ok := c.NextEventTime(); ok {
+		t.Fatal("NextEventTime reported an event on an empty clock")
+	}
+	c.At(9, func() {})
+	c.At(4, func() {})
+	if at, ok := c.NextEventTime(); !ok || at != 4 {
+		t.Fatalf("NextEventTime = %v, %v; want 4, true", at, ok)
+	}
+}
+
+func TestTickerFiresAtInterval(t *testing.T) {
+	c := New()
+	var times []float64
+	tk := c.StartTicker(10, func() { times = append(times, c.Now()) })
+	c.At(35, func() { tk.Stop() })
+	c.Run()
+	want := []float64{10, 20, 30}
+	if len(times) != len(want) {
+		t.Fatalf("ticks at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	c := New()
+	count := 0
+	var tk *Ticker
+	tk = c.StartTicker(1, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	c.Run()
+	if count != 2 {
+		t.Fatalf("ticked %d times after in-callback Stop, want 2", count)
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerInvalidIntervalPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive interval did not panic")
+		}
+	}()
+	c.StartTicker(0, func() {})
+}
+
+// TestRandomizedOrderingProperty drives a random schedule and checks the
+// global ordering invariant: events fire in non-decreasing time, and ties
+// fire in scheduling order.
+func TestRandomizedOrderingProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		c := New()
+		type rec struct {
+			at  float64
+			seq int
+		}
+		var fired []rec
+		n := 200
+		times := make([]float64, n)
+		for i := 0; i < n; i++ {
+			times[i] = float64(rnd.Intn(40)) // many ties
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			c.At(times[i], func() { fired = append(fired, rec{times[i], i}) })
+		}
+		c.Run()
+		if len(fired) != n {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(fired), n)
+		}
+		if !sort.SliceIsSorted(fired, func(a, b int) bool {
+			if fired[a].at != fired[b].at {
+				return fired[a].at < fired[b].at
+			}
+			return fired[a].seq < fired[b].seq
+		}) {
+			t.Fatalf("trial %d: ordering invariant violated", trial)
+		}
+	}
+}

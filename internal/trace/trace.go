@@ -1,0 +1,202 @@
+// Package trace records structured events from the engine, the patroller,
+// and the Query Scheduler into a bounded ring buffer — the observability
+// layer for debugging controller behaviour ("why was this query held for
+// four minutes?") without scattering print statements through the hot
+// paths. Tracing is strictly opt-in: nothing is recorded unless a Tracer
+// is attached.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/patroller"
+	"repro/internal/simclock"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	QuerySubmit Kind = iota
+	QueryStart
+	QueryDone
+	QueryIntercepted
+	QueryReleased
+	PlanChanged
+	WorkloadShift
+)
+
+func (k Kind) String() string {
+	switch k {
+	case QuerySubmit:
+		return "submit"
+	case QueryStart:
+		return "start"
+	case QueryDone:
+		return "done"
+	case QueryIntercepted:
+		return "intercept"
+	case QueryReleased:
+		return "release"
+	case PlanChanged:
+		return "plan"
+	case WorkloadShift:
+		return "shift"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq    uint64
+	Time   simclock.Time
+	Kind   Kind
+	Class  engine.ClassID
+	Query  engine.QueryID
+	Client engine.ClientID
+	// Value carries the kind-specific number: query cost for lifecycle
+	// events, total plan utility for PlanChanged, signal value for
+	// WorkloadShift.
+	Value float64
+	// Detail is a short human-readable annotation.
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10.2f %-9s class=%d query=%d client=%d value=%.2f %s",
+		e.Time, e.Kind, e.Class, e.Query, e.Client, e.Value, e.Detail)
+}
+
+// Tracer is a bounded in-memory event recorder. The zero value is not
+// usable; construct with New.
+type Tracer struct {
+	cap     int
+	events  []Event
+	start   int // ring start index
+	seq     uint64
+	dropped uint64
+	counts  map[Kind]uint64
+}
+
+// New returns a tracer retaining the most recent capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: non-positive capacity %d", capacity))
+	}
+	return &Tracer{cap: capacity, counts: make(map[Kind]uint64)}
+}
+
+// Emit records an event, evicting the oldest when full.
+func (t *Tracer) Emit(e Event) {
+	t.seq++
+	e.Seq = t.seq
+	t.counts[e.Kind]++
+	if len(t.events) < t.cap {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.start] = e
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Dropped returns how many events were evicted from the ring.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Total returns how many events were ever emitted.
+func (t *Tracer) Total() uint64 { return t.seq }
+
+// CountByKind returns cumulative event counts (including evicted ones).
+func (t *Tracer) CountByKind() map[Kind]uint64 {
+	out := make(map[Kind]uint64, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, len(t.events))
+	for i := 0; i < len(t.events); i++ {
+		out = append(out, t.events[(t.start+i)%len(t.events)])
+	}
+	return out
+}
+
+// Filter returns the retained events satisfying pred, in order.
+func (t *Tracer) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// QueryHistory returns every retained event of one query — its lifecycle
+// as seen by the tracer.
+func (t *Tracer) QueryHistory(id engine.QueryID) []Event {
+	return t.Filter(func(e Event) bool { return e.Query == id })
+}
+
+// WriteTo renders up to max retained events (0 = all).
+func (t *Tracer) WriteTo(w io.Writer, max int) {
+	events := t.Events()
+	if max > 0 && len(events) > max {
+		events = events[len(events)-max:]
+	}
+	for _, e := range events {
+		fmt.Fprintln(w, e)
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events evicted)\n", t.dropped)
+	}
+}
+
+// AttachEngine records submit/start/done events from an engine. Start
+// events are approximated by Done (the engine does not expose a start
+// hook) — the patroller attachment records releases, which are starts for
+// managed queries.
+func AttachEngine(t *Tracer, eng *engine.Engine) {
+	clock := eng.Clock()
+	eng.OnSubmit(func(q *engine.Query) {
+		t.Emit(Event{Time: clock.Now(), Kind: QuerySubmit, Class: q.Class,
+			Query: q.ID, Client: q.Client, Value: q.Cost, Detail: q.Template})
+	})
+	eng.OnDone(func(q *engine.Query) {
+		t.Emit(Event{Time: clock.Now(), Kind: QueryDone, Class: q.Class,
+			Query: q.ID, Client: q.Client, Value: q.Cost,
+			Detail: fmt.Sprintf("rt=%.3fs exec=%.3fs", q.ResponseTime(), q.ExecutionTime())})
+	})
+}
+
+// AttachPatroller records intercept/release events, chaining any hooks
+// already installed (the Query Scheduler's monitor uses the same ones).
+func AttachPatroller(t *Tracer, pat *patroller.Patroller, clock *simclock.Clock) {
+	prevArrival := pat.OnArrival
+	pat.OnArrival = func(qi *patroller.QueryInfo) {
+		if prevArrival != nil {
+			prevArrival(qi)
+		}
+		t.Emit(Event{Time: clock.Now(), Kind: QueryIntercepted, Class: qi.Class,
+			Query: qi.ID, Client: qi.Client, Value: qi.Cost, Detail: qi.Template})
+	}
+	prevRelease := pat.OnRelease
+	pat.OnRelease = func(qi *patroller.QueryInfo) {
+		if prevRelease != nil {
+			prevRelease(qi)
+		}
+		t.Emit(Event{Time: clock.Now(), Kind: QueryReleased, Class: qi.Class,
+			Query: qi.ID, Client: qi.Client, Value: qi.Cost,
+			Detail: fmt.Sprintf("waited=%.1fs", qi.WaitTime(clock.Now()))})
+	}
+}

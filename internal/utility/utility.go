@@ -1,0 +1,123 @@
+// Package utility implements the utility functions the Scheduling Planner
+// optimizes: each service class's goal and business importance are folded
+// into a scalar function of the class's (predicted) performance, and the
+// planner picks the scheduling plan maximizing total system utility.
+//
+// The curves encode the paper's semantics of importance: "The importance
+// level of a class is in effect only when the class violates its
+// performance goals and is not synonymous with priority." Below its goal a
+// class earns utility steeply in proportion to its importance weight;
+// above its goal only a small bonus remains, so a satisfied class — even a
+// very important one — does not hoard resources.
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function maps a class's performance-metric value to utility.
+type Function interface {
+	// Utility returns the utility of the given metric value.
+	Utility(perf float64) float64
+	// Goal returns the goal value the function is built around.
+	Goal() float64
+}
+
+// ImportanceBase is the default base of the exponential importance
+// weighting: a class at importance level k has weight ImportanceBase^(k-1).
+// Exponential spacing makes a violated higher-importance class dominate
+// any number of merely-sub-goal lower classes, matching the paper's
+// behaviour in heavy periods (Class 3 claims over half the resources).
+const ImportanceBase = 4.0
+
+// WeightFromImportance converts a discrete importance level (1, 2, 3, ...)
+// into a utility weight.
+func WeightFromImportance(level int) float64 {
+	if level < 1 {
+		panic(fmt.Sprintf("utility: importance level %d < 1", level))
+	}
+	return math.Pow(ImportanceBase, float64(level-1))
+}
+
+// overBonus is the flat utility slope available above the goal — enough
+// that spare resources are still put to use, small enough that a satisfied
+// class loses any contest with a violated one.
+const overBonus = 0.1
+
+// Velocity is the utility curve for an OLAP class with a query-velocity
+// goal ("at least G"). Utility rises linearly from 0 (velocity 0) to
+// Weight (velocity == G), then gains only a small bonus up to velocity 1.
+type Velocity struct {
+	G      float64 // goal velocity in (0, 1]
+	Weight float64 // importance weight
+}
+
+// NewVelocity builds a velocity utility for goal g and importance level.
+func NewVelocity(g float64, importance int) Velocity {
+	if g <= 0 || g > 1 {
+		panic(fmt.Sprintf("utility: velocity goal %v out of (0,1]", g))
+	}
+	return Velocity{G: g, Weight: WeightFromImportance(importance)}
+}
+
+// Goal implements Function.
+func (u Velocity) Goal() float64 { return u.G }
+
+// Utility implements Function.
+func (u Velocity) Utility(v float64) float64 {
+	v = clamp01(v)
+	if v < u.G {
+		return u.Weight * (v / u.G)
+	}
+	if u.G >= 1 {
+		return u.Weight
+	}
+	return u.Weight + overBonus*(v-u.G)/(1-u.G)
+}
+
+// ResponseTime is the utility curve for a class with an average
+// response-time goal ("at most G seconds"). Utility is Weight at t == G,
+// falls off as (G/t)^3 for slower responses — steep near the goal, so the
+// planner settles slightly below the goal rather than oscillating just
+// above it — and gains a small bonus for faster ones.
+type ResponseTime struct {
+	G      float64 // goal in seconds
+	Weight float64
+}
+
+// respExponent steepens the below-goal penalty; see the type comment.
+const respExponent = 3
+
+// NewResponseTime builds a response-time utility for goal g seconds and
+// importance level.
+func NewResponseTime(g float64, importance int) ResponseTime {
+	if g <= 0 {
+		panic(fmt.Sprintf("utility: response-time goal %v must be positive", g))
+	}
+	return ResponseTime{G: g, Weight: WeightFromImportance(importance)}
+}
+
+// Goal implements Function.
+func (u ResponseTime) Goal() float64 { return u.G }
+
+// Utility implements Function.
+func (u ResponseTime) Utility(t float64) float64 {
+	if t <= 0 {
+		return u.Weight + overBonus
+	}
+	if t > u.G {
+		return u.Weight * math.Pow(u.G/t, respExponent)
+	}
+	return u.Weight + overBonus*(u.G-t)/u.G
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,170 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightFromImportance(t *testing.T) {
+	if WeightFromImportance(1) != 1 {
+		t.Fatal("level 1 weight must be 1")
+	}
+	if WeightFromImportance(2) != ImportanceBase {
+		t.Fatal("level 2 weight must be the base")
+	}
+	if WeightFromImportance(3) != ImportanceBase*ImportanceBase {
+		t.Fatal("level 3 weight must be base squared")
+	}
+}
+
+func TestWeightFromImportanceInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("importance 0 did not panic")
+		}
+	}()
+	WeightFromImportance(0)
+}
+
+func TestVelocityUtilityShape(t *testing.T) {
+	u := NewVelocity(0.5, 2)
+	if u.Utility(0) != 0 {
+		t.Fatal("zero velocity must have zero utility")
+	}
+	atGoal := u.Utility(0.5)
+	if math.Abs(atGoal-u.Weight) > 1e-12 {
+		t.Fatalf("utility at goal = %v, want weight %v", atGoal, u.Weight)
+	}
+	if u.Utility(0.25) >= atGoal {
+		t.Fatal("sub-goal utility must be below goal utility")
+	}
+	if u.Utility(1) <= atGoal {
+		t.Fatal("over-goal bonus missing")
+	}
+	if u.Utility(1)-atGoal > 0.2 {
+		t.Fatal("over-goal bonus too large; satisfied classes would hoard")
+	}
+}
+
+func TestVelocityUtilityMonotoneProperty(t *testing.T) {
+	u := NewVelocity(0.4, 3)
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return u.Utility(a) <= u.Utility(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVelocityUtilityClampsOutOfRange(t *testing.T) {
+	u := NewVelocity(0.5, 1)
+	if u.Utility(-1) != u.Utility(0) {
+		t.Fatal("negative velocity not clamped")
+	}
+	if u.Utility(2) != u.Utility(1) {
+		t.Fatal("velocity above 1 not clamped")
+	}
+}
+
+func TestVelocityGoalOneEdge(t *testing.T) {
+	u := NewVelocity(1, 1)
+	if u.Utility(1) != u.Weight {
+		t.Fatal("goal-1 class utility at 1 should equal weight")
+	}
+}
+
+func TestNewVelocityValidation(t *testing.T) {
+	for _, g := range []float64{0, -0.5, 1.5} {
+		g := g
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("goal %v did not panic", g)
+				}
+			}()
+			NewVelocity(g, 1)
+		}()
+	}
+}
+
+func TestResponseTimeUtilityShape(t *testing.T) {
+	u := NewResponseTime(0.25, 3)
+	atGoal := u.Utility(0.25)
+	if math.Abs(atGoal-u.Weight) > 1e-12 {
+		t.Fatalf("utility at goal = %v, want %v", atGoal, u.Weight)
+	}
+	if u.Utility(0.5) >= atGoal {
+		t.Fatal("slower than goal must score below goal")
+	}
+	if u.Utility(0.1) <= atGoal {
+		t.Fatal("faster than goal should earn the bonus")
+	}
+	if u.Utility(0) != u.Weight+0.1 {
+		t.Fatalf("zero response time = %v", u.Utility(0))
+	}
+}
+
+func TestResponseTimeUtilityMonotoneDecreasing(t *testing.T) {
+	u := NewResponseTime(0.25, 2)
+	prev := math.Inf(1)
+	for tt := 0.01; tt < 3; tt += 0.01 {
+		v := u.Utility(tt)
+		if v > prev+1e-12 {
+			t.Fatalf("utility increased with response time at %v", tt)
+		}
+		prev = v
+	}
+}
+
+func TestResponseTimePenaltySteepNearGoal(t *testing.T) {
+	u := NewResponseTime(0.25, 1)
+	// The cubic penalty: 10% over goal loses more than the flat bonus
+	// 10% under goal gains — the planner should prefer a margin below.
+	lossOver := u.Utility(0.25) - u.Utility(0.275)
+	gainUnder := u.Utility(0.225) - u.Utility(0.25)
+	if lossOver <= gainUnder {
+		t.Fatalf("penalty %v not steeper than bonus %v near goal", lossOver, gainUnder)
+	}
+}
+
+func TestNewResponseTimeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive goal did not panic")
+		}
+	}()
+	NewResponseTime(0, 1)
+}
+
+func TestViolatedImportantClassDominates(t *testing.T) {
+	// The paper's semantics: a violated importance-3 class outweighs a
+	// satisfied importance-1 and importance-2 class combined.
+	c1 := NewVelocity(0.4, 1)
+	c2 := NewVelocity(0.6, 2)
+	c3 := NewResponseTime(0.25, 3)
+	// Utility recovered by fixing class 3 from a 2x violation:
+	gain3 := c3.Utility(0.25) - c3.Utility(0.5)
+	// Utility both OLAP classes could lose falling from ideal to goal:
+	loss12 := (c1.Utility(1) - c1.Utility(0.4)) + (c2.Utility(1) - c2.Utility(0.6))
+	if gain3 <= loss12 {
+		t.Fatalf("violated class 3 gain %v must dominate OLAP bonus loss %v", gain3, loss12)
+	}
+}
+
+func TestImportanceNotPriority(t *testing.T) {
+	// A satisfied importance-3 class gains almost nothing from extra
+	// resources compared to a violated importance-1 class.
+	c3 := NewResponseTime(0.25, 3)
+	c1 := NewVelocity(0.4, 1)
+	gainSatisfied := c3.Utility(0.1) - c3.Utility(0.2) // both under goal
+	gainViolated := c1.Utility(0.4) - c1.Utility(0.2)  // both at/below goal
+	if gainSatisfied >= gainViolated {
+		t.Fatalf("satisfied important class gain %v should not beat violated class gain %v",
+			gainSatisfied, gainViolated)
+	}
+}

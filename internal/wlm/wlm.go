@@ -1,0 +1,191 @@
+// Package wlm implements the paper's future-work direction: "The most
+// effective way to manage performance of OLTP workload is to directly
+// control it. One approach is to implement the control mechanism inside
+// the DBMS itself."
+//
+// The Controller drives the engine's in-DBMS weighted fair sharing
+// (engine.SetClassWeights) with a feedback loop: every control interval
+// it measures the OLTP class's average response time through the same
+// snapshot-monitor sampling the Query Scheduler uses and adjusts the
+// class's share weight multiplicatively — raising it while the SLO is
+// violated, decaying it gently back toward parity while there is slack.
+// No query is ever intercepted, so — unlike admission control — this
+// mechanism can manage sub-second OLTP statements without the
+// interception overhead the paper measured to be prohibitive.
+//
+// (Historically, this is exactly the mechanism DB2 later shipped as its
+// Workload Manager.)
+package wlm
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// Config tunes the direct controller.
+type Config struct {
+	// Interval is the control-loop period in seconds.
+	Interval float64
+	// SampleInterval is the snapshot-monitor sampling period in seconds.
+	SampleInterval float64
+	// Gain is the multiplicative step per interval: a 2x SLO violation
+	// raises the weight by roughly Gain per interval.
+	Gain float64
+	// MinWeight and MaxWeight clamp the managed class's weight.
+	MinWeight, MaxWeight float64
+	// Slack is the fraction of the goal below which the controller
+	// starts decaying the weight back toward MinWeight (headroom so the
+	// weight does not thrash around the goal).
+	Slack float64
+}
+
+// DefaultConfig returns the settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Interval:       30,
+		SampleInterval: 10,
+		Gain:           0.5,
+		MinWeight:      1,
+		MaxWeight:      64,
+		Slack:          0.85,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Interval <= 0 || c.SampleInterval <= 0 {
+		return fmt.Errorf("wlm: intervals must be positive")
+	}
+	if c.Gain <= 0 {
+		return fmt.Errorf("wlm: gain must be positive")
+	}
+	if c.MinWeight <= 0 || c.MaxWeight < c.MinWeight {
+		return fmt.Errorf("wlm: invalid weight bounds [%v, %v]", c.MinWeight, c.MaxWeight)
+	}
+	if c.Slack <= 0 || c.Slack > 1 {
+		return fmt.Errorf("wlm: slack %v out of (0, 1]", c.Slack)
+	}
+	return nil
+}
+
+// Record is one control interval's outcome.
+type Record struct {
+	Time    simclock.Time
+	MeanRT  float64
+	Samples int
+	Weight  float64
+}
+
+// Controller adapts one class's sharing weight to its response-time SLO.
+type Controller struct {
+	cfg     Config
+	eng     *engine.Engine
+	clock   *simclock.Clock
+	class   engine.ClassID
+	goal    float64
+	clients func() []engine.ClientID
+
+	weight  float64
+	window  stats.Summary
+	lastRT  float64
+	history []Record
+
+	sampleTicker  *simclock.Ticker
+	controlTicker *simclock.Ticker
+	running       bool
+}
+
+// New builds a controller holding class to an average response-time goal
+// (seconds), sampling the listed clients. It does not start the loop.
+func New(cfg Config, eng *engine.Engine, class engine.ClassID, goal float64,
+	clients func() []engine.ClientID) (*Controller, error) {
+
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if goal <= 0 {
+		return nil, fmt.Errorf("wlm: goal %v must be positive", goal)
+	}
+	if clients == nil {
+		return nil, fmt.Errorf("wlm: nil client source")
+	}
+	return &Controller{
+		cfg:     cfg,
+		eng:     eng,
+		clock:   eng.Clock(),
+		class:   class,
+		goal:    goal,
+		clients: clients,
+		weight:  cfg.MinWeight,
+		lastRT:  goal,
+	}, nil
+}
+
+// Start applies the initial weight and begins sampling and controlling.
+func (c *Controller) Start() {
+	if c.running {
+		panic("wlm: controller already started")
+	}
+	c.running = true
+	c.apply()
+	c.sampleTicker = c.clock.StartTicker(c.cfg.SampleInterval, c.sample)
+	c.controlTicker = c.clock.StartTicker(c.cfg.Interval, c.tick)
+}
+
+// Stop halts the loop, leaving the current weight in force.
+func (c *Controller) Stop() {
+	if !c.running {
+		return
+	}
+	c.running = false
+	c.sampleTicker.Stop()
+	c.controlTicker.Stop()
+}
+
+// Weight returns the current sharing weight of the managed class.
+func (c *Controller) Weight() float64 { return c.weight }
+
+// History returns every control interval's record.
+func (c *Controller) History() []Record { return c.history }
+
+func (c *Controller) sample() {
+	for _, id := range c.clients() {
+		if s, ok := c.eng.LastFinished(id); ok {
+			c.window.Add(s.RespTime)
+		}
+	}
+}
+
+func (c *Controller) tick() {
+	rt := c.lastRT
+	samples := c.window.Count()
+	if samples > 0 {
+		rt = c.window.Mean()
+		c.lastRT = rt
+	}
+	c.window.Reset()
+
+	switch {
+	case rt > c.goal:
+		// Violating: raise the share proportionally to the violation.
+		c.weight *= 1 + c.cfg.Gain*(rt/c.goal-1)
+	case rt < c.goal*c.cfg.Slack:
+		// Comfortable headroom: give capacity back to the other classes.
+		c.weight *= 1 - c.cfg.Gain*0.25*(1-rt/(c.goal*c.cfg.Slack))
+	}
+	c.weight = stats.Clamp(c.weight, c.cfg.MinWeight, c.cfg.MaxWeight)
+	c.apply()
+	c.history = append(c.history, Record{
+		Time:    c.clock.Now(),
+		MeanRT:  rt,
+		Samples: samples,
+		Weight:  c.weight,
+	})
+}
+
+// apply pushes the weight into the engine, leaving other classes at 1.
+func (c *Controller) apply() {
+	c.eng.SetClassWeights(map[engine.ClassID]float64{c.class: c.weight})
+}

@@ -1,0 +1,214 @@
+package wlm
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/simclock"
+)
+
+// oltpLoop drives a closed-loop client submitting fixed-demand
+// transactions of the given class.
+func oltpLoop(eng *engine.Engine, client engine.ClientID, class engine.ClassID, work float64) {
+	var submit func()
+	submit = func() {
+		eng.Submit(&engine.Query{
+			Client: client,
+			Class:  class,
+			Demand: engine.Demand{Work: work, CPURate: 1},
+		})
+	}
+	eng.OnDone(func(q *engine.Query) {
+		if q.Client == client && q.Class == class {
+			submit()
+		}
+	})
+	submit()
+}
+
+// backgroundHog keeps n CPU-hungry queries of the given class running.
+func backgroundHog(eng *engine.Engine, class engine.ClassID, n int, cpuRate float64) {
+	for i := 0; i < n; i++ {
+		client := engine.ClientID(1000 + i)
+		var submit func()
+		submit = func() {
+			eng.Submit(&engine.Query{
+				Client: client,
+				Class:  class,
+				Demand: engine.Demand{Work: 50, CPURate: cpuRate},
+			})
+		}
+		eng.OnDone(func(q *engine.Query) {
+			if q.Client == client {
+				submit()
+			}
+		})
+		submit()
+	}
+}
+
+func newRig(t *testing.T, goal float64) (*Controller, *engine.Engine, *simclock.Clock) {
+	t.Helper()
+	clock := simclock.New()
+	eng := engine.New(engine.Config{CPUCapacity: 2, IOCapacity: 14}, clock)
+	var clients []engine.ClientID
+	for i := 1; i <= 8; i++ {
+		clients = append(clients, engine.ClientID(i))
+	}
+	ctl, err := New(DefaultConfig(), eng, 3, goal, func() []engine.ClientID { return clients })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl, eng, clock
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Interval = 0 },
+		func(c *Config) { c.SampleInterval = 0 },
+		func(c *Config) { c.Gain = 0 },
+		func(c *Config) { c.MinWeight = 0 },
+		func(c *Config) { c.MaxWeight = c.MinWeight / 2 },
+		func(c *Config) { c.Slack = 0 },
+		func(c *Config) { c.Slack = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		clock := simclock.New()
+		eng := engine.New(engine.DefaultConfig(), clock)
+		if _, err := New(cfg, eng, 1, 0.25, func() []engine.ClientID { return nil }); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	clock := simclock.New()
+	eng := engine.New(engine.DefaultConfig(), clock)
+	if _, err := New(DefaultConfig(), eng, 1, 0, func() []engine.ClientID { return nil }); err == nil {
+		t.Fatal("zero goal accepted")
+	}
+	if _, err := New(DefaultConfig(), eng, 1, 0.25, nil); err == nil {
+		t.Fatal("nil client source accepted")
+	}
+}
+
+func TestWeightRisesUnderViolation(t *testing.T) {
+	ctl, eng, clock := newRig(t, 0.10)
+	// 8 OLTP clients with 20ms transactions + heavy background class:
+	// uncontrolled RT far above the 100ms goal.
+	for i := 1; i <= 8; i++ {
+		oltpLoop(eng, engine.ClientID(i), 3, 0.02)
+	}
+	backgroundHog(eng, 1, 6, 2)
+	ctl.Start()
+	clock.RunUntil(600)
+	if ctl.Weight() <= DefaultConfig().MinWeight {
+		t.Fatalf("weight stayed at minimum %v despite violation", ctl.Weight())
+	}
+	hist := ctl.History()
+	if len(hist) == 0 {
+		t.Fatal("no control records")
+	}
+	last := hist[len(hist)-1]
+	if last.Samples == 0 {
+		t.Fatal("no snapshot samples")
+	}
+	// The direct control must have pushed RT to (or below) the goal.
+	if last.MeanRT > 0.13 {
+		t.Fatalf("RT still %v after 10 minutes of direct control", last.MeanRT)
+	}
+}
+
+func TestDirectControlBeatsNoControl(t *testing.T) {
+	run := func(controlled bool) float64 {
+		clock := simclock.New()
+		eng := engine.New(engine.Config{CPUCapacity: 2, IOCapacity: 14}, clock)
+		var clients []engine.ClientID
+		for i := 1; i <= 8; i++ {
+			clients = append(clients, engine.ClientID(i))
+			oltpLoop(eng, engine.ClientID(i), 3, 0.02)
+		}
+		backgroundHog(eng, 1, 6, 2)
+		var ctl *Controller
+		if controlled {
+			var err error
+			ctl, err = New(DefaultConfig(), eng, 3, 0.10, func() []engine.ClientID { return clients })
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctl.Start()
+		}
+		clock.RunUntil(600)
+		// Measure steady-state RT from the last snapshot of each client.
+		var sum float64
+		var n int
+		for _, id := range clients {
+			if s, ok := eng.LastFinished(id); ok {
+				sum += s.RespTime
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	uncontrolled := run(false)
+	controlled := run(true)
+	if controlled >= uncontrolled {
+		t.Fatalf("direct control did not help: %v vs %v", controlled, uncontrolled)
+	}
+	if controlled > 0.13 {
+		t.Fatalf("controlled RT %v misses the 0.10 goal badly", controlled)
+	}
+}
+
+func TestWeightDecaysWithSlack(t *testing.T) {
+	ctl, eng, clock := newRig(t, 10) // absurdly loose goal
+	for i := 1; i <= 2; i++ {
+		oltpLoop(eng, engine.ClientID(i), 3, 0.01)
+	}
+	ctl.weight = 32 // pretend a past violation pushed it up
+	ctl.Start()
+	clock.RunUntil(1200)
+	if ctl.Weight() > 4 {
+		t.Fatalf("weight %v did not decay with massive slack", ctl.Weight())
+	}
+}
+
+func TestWeightClamped(t *testing.T) {
+	ctl, eng, clock := newRig(t, 0.0001) // unreachable goal
+	for i := 1; i <= 8; i++ {
+		oltpLoop(eng, engine.ClientID(i), 3, 0.02)
+	}
+	backgroundHog(eng, 1, 6, 2)
+	ctl.Start()
+	clock.RunUntil(3000)
+	if ctl.Weight() > DefaultConfig().MaxWeight {
+		t.Fatalf("weight %v exceeded MaxWeight", ctl.Weight())
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	ctl, eng, clock := newRig(t, 0.1)
+	oltpLoop(eng, 1, 3, 0.01)
+	ctl.Start()
+	clock.RunUntil(120)
+	n := len(ctl.History())
+	ctl.Stop()
+	clock.RunUntil(600)
+	if len(ctl.History()) != n {
+		t.Fatal("controller kept running after Stop")
+	}
+	ctl.Stop() // idempotent
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	ctl, _, _ := newRig(t, 0.1)
+	ctl.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	ctl.Start()
+}

@@ -1,0 +1,139 @@
+// Closed-loop client drivers. The paper's workload intensity is controlled
+// purely by the number of interactive clients per class; each client
+// submits queries one after another with zero think time.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+// Client is one interactive connection submitting queries from a template
+// set in a closed loop.
+type Client struct {
+	ID    engine.ClientID
+	Class *Class
+
+	pool     *Pool
+	set      *Set
+	src      *rng.Source
+	active   bool
+	inFlight bool
+
+	// Submitted counts queries this client has issued.
+	Submitted int
+}
+
+// Active reports whether the client is currently driving load.
+func (c *Client) Active() bool { return c.active }
+
+func (c *Client) submitNext() {
+	inst := c.set.Generate(c.src)
+	q := &engine.Query{
+		Client:   c.ID,
+		Class:    c.Class.ID,
+		Template: inst.Template,
+		Cost:     inst.Timerons,
+		Demand:   inst.Demand,
+	}
+	c.inFlight = true
+	c.Submitted++
+	c.pool.eng.Submit(q)
+}
+
+// Pool owns all clients of an experiment and routes engine completions
+// back to them. Period changes activate or park clients per class.
+type Pool struct {
+	eng     *engine.Engine
+	clients map[engine.ClientID]*Client
+	byClass map[engine.ClassID][]*Client
+	nextID  engine.ClientID
+}
+
+// NewPool returns a pool bound to eng, registering its completion hook.
+func NewPool(eng *engine.Engine) *Pool {
+	p := &Pool{
+		eng:     eng,
+		clients: make(map[engine.ClientID]*Client),
+		byClass: make(map[engine.ClassID][]*Client),
+	}
+	eng.OnDone(p.onDone)
+	return p
+}
+
+// AddClients creates n parked clients for class drawing from set. Each
+// client gets an independent random stream split from src, so client
+// counts in one class never perturb another class's draws.
+func (p *Pool) AddClients(class *Class, set *Set, n int, src *rng.Source) {
+	if class == nil || set == nil {
+		panic("workload: AddClients with nil class or set")
+	}
+	for i := 0; i < n; i++ {
+		p.nextID++
+		c := &Client{ID: p.nextID, Class: class, pool: p, set: set, src: src.Split()}
+		p.clients[c.ID] = c
+		p.byClass[class.ID] = append(p.byClass[class.ID], c)
+	}
+}
+
+// Client returns the client with the given ID, or nil.
+func (p *Pool) Client(id engine.ClientID) *Client { return p.clients[id] }
+
+// Clients returns all clients of a class (active and parked).
+func (p *Pool) Clients(class engine.ClassID) []*Client { return p.byClass[class] }
+
+// ActiveClients returns the IDs of currently active clients of a class —
+// the set the snapshot monitor samples.
+func (p *Pool) ActiveClients(class engine.ClassID) []engine.ClientID {
+	var ids []engine.ClientID
+	for _, c := range p.byClass[class] {
+		if c.active {
+			ids = append(ids, c.ID)
+		}
+	}
+	return ids
+}
+
+// ActiveCount returns how many clients of the class are active.
+func (p *Pool) ActiveCount(class engine.ClassID) int {
+	n := 0
+	for _, c := range p.byClass[class] {
+		if c.active {
+			n++
+		}
+	}
+	return n
+}
+
+// SetActive adjusts the number of active clients in a class. Newly
+// activated idle clients submit immediately; deactivated clients finish
+// their in-flight query and then park.
+func (p *Pool) SetActive(class engine.ClassID, n int) {
+	cs := p.byClass[class]
+	if n < 0 || n > len(cs) {
+		panic(fmt.Sprintf("workload: SetActive(%d, %d) with only %d clients", class, n, len(cs)))
+	}
+	for i, c := range cs {
+		want := i < n
+		if want == c.active {
+			continue
+		}
+		c.active = want
+		if want && !c.inFlight {
+			c.submitNext()
+		}
+	}
+}
+
+func (p *Pool) onDone(q *engine.Query) {
+	c, ok := p.clients[q.Client]
+	if !ok {
+		return // query from a non-pool submitter (tests, examples)
+	}
+	c.inFlight = false
+	if c.active {
+		c.submitNext() // zero think time
+	}
+}

@@ -1,0 +1,82 @@
+// TPC-C-like transactional templates. The paper drove its OLTP class with
+// TPC-C transactions against a 50-warehouse database. Each template is a
+// Batch of index lookups, updates, and inserts mirroring the statement
+// profile of the corresponding TPC-C transaction; all have sub-second
+// stand-alone execution times and are CPU-dominated, matching the paper's
+// observation that "OLTP queries are CPU intensive".
+package workload
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+)
+
+// TPCCCatalog returns the catalog the OLTP templates are costed against
+// (50 warehouses, the paper's configuration).
+func TPCCCatalog() *catalog.Catalog { return catalog.TPCC(50) }
+
+// TPCCTemplates returns the five TPC-C-like transaction templates with the
+// standard TPC-C mix weights.
+func TPCCTemplates() []Template {
+	look := func(index string, rows float64) optimizer.Op {
+		return &optimizer.IndexLookup{Index: index, Rows: rows}
+	}
+	upd := func(index string, rows float64) optimizer.Op {
+		return &optimizer.Update{Input: look(index, rows), Rows: rows}
+	}
+	ins := func(table string, rows float64) optimizer.Op {
+		return &optimizer.Insert{Table: table, Rows: rows}
+	}
+
+	newOrder := &optimizer.Batch{Ops: []optimizer.Op{
+		look("w_id", 1),
+		upd("d_w_id_d_id", 1),
+		look("c_w_id_c_d_id_c_id", 1),
+		look("i_id", 10),
+		upd("s_w_id_s_i_id", 10),
+		ins("order", 1),
+		ins("neworder", 1),
+		ins("orderline", 10),
+	}}
+
+	payment := &optimizer.Batch{Ops: []optimizer.Op{
+		upd("w_id", 1),
+		upd("d_w_id_d_id", 1),
+		upd("c_w_id_c_d_id_c_id", 1),
+		// 60% of payments locate the customer by last name, scanning a
+		// small cluster of matches; approximate with a few extra fetches.
+		look("c_last", 3),
+		ins("history", 1),
+	}}
+
+	orderStatus := &optimizer.Batch{Ops: []optimizer.Op{
+		look("c_w_id_c_d_id_c_id", 1),
+		look("o_w_id_o_d_id_o_id", 1),
+		look("ol_w_id_ol_d_id_ol_o_id", 10),
+	}}
+
+	// Delivery processes one batch of ten districts.
+	delivery := &optimizer.Batch{Ops: []optimizer.Op{
+		upd("no_w_id_no_d_id_no_o_id", 1),
+		upd("o_w_id_o_d_id_o_id", 1),
+		upd("ol_w_id_ol_d_id_ol_o_id", 10),
+		upd("c_w_id_c_d_id_c_id", 1),
+	}, Repeat: 10}
+
+	stockLevel := &optimizer.Batch{Ops: []optimizer.Op{
+		look("d_w_id_d_id", 1),
+		look("ol_w_id_ol_d_id_ol_o_id", 200),
+		look("s_w_id_s_i_id", 120),
+	}}
+
+	t := func(name string, weight, sigma float64, plan optimizer.Op) Template {
+		return Template{Name: name, Kind: OLTP, Plan: plan, Weight: weight, SizeSigma: sigma}
+	}
+	return []Template{
+		t("NewOrder", 45, 0.20, newOrder),
+		t("Payment", 43, 0.15, payment),
+		t("OrderStatus", 4, 0.15, orderStatus),
+		t("Delivery", 4, 0.10, delivery),
+		t("StockLevel", 4, 0.20, stockLevel),
+	}
+}

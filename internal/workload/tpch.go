@@ -1,0 +1,153 @@
+// TPC-H-like decision-support templates. The paper ran the 22 TPC-H
+// queries on a 500 MB database, excluding the four very large ones
+// (Q16, Q19, Q20, Q21), leaving 18 templates. The plans below are
+// simplified but structurally faithful sketches of each query's dominant
+// access pattern; what matters for the reproduction is the resulting
+// heavy-tailed timeron distribution, not SQL-level fidelity.
+package workload
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+)
+
+// TPCHCatalog returns the catalog the OLAP templates are costed against
+// (scale factor 0.5 = the paper's 500 MB database).
+func TPCHCatalog() *catalog.Catalog { return catalog.TPCH(0.5) }
+
+// TPCHTemplates returns the 18 OLAP templates (TPC-H minus Q16/Q19/Q20/Q21)
+// with uniform weights, matching interactive clients that submit a random
+// query from the set, one after another.
+func TPCHTemplates() []Template {
+	scanL := func(sel float64) optimizer.Op { return &optimizer.TableScan{Table: "lineitem", Selectivity: sel} }
+	scanO := func(sel float64) optimizer.Op { return &optimizer.TableScan{Table: "orders", Selectivity: sel} }
+	scanC := func(sel float64) optimizer.Op { return &optimizer.TableScan{Table: "customer", Selectivity: sel} }
+	scanPS := func(sel float64) optimizer.Op { return &optimizer.TableScan{Table: "partsupp", Selectivity: sel} }
+	scanP := func(sel float64) optimizer.Op { return &optimizer.TableScan{Table: "part", Selectivity: sel} }
+	scanS := func(sel float64) optimizer.Op { return &optimizer.TableScan{Table: "supplier", Selectivity: sel} }
+
+	t := func(name string, sigma float64, plan optimizer.Op) Template {
+		return Template{Name: name, Kind: OLAP, Plan: plan, Weight: 1, SizeSigma: sigma}
+	}
+
+	return []Template{
+		// Q1 pricing summary report: near-full lineitem scan + aggregation.
+		t("Q1", 0.10, &optimizer.Sort{Input: &optimizer.GroupAgg{
+			Input:  scanL(0.98),
+			Groups: 4,
+		}}),
+		// Q2 minimum cost supplier: small region-scoped join tree.
+		t("Q2", 0.35, &optimizer.Sort{Input: &optimizer.HashJoin{
+			Build:  &optimizer.HashJoin{Build: scanS(1), Probe: scanPS(0.2), Fanout: 1},
+			Probe:  scanP(0.004),
+			Fanout: 4,
+		}}),
+		// Q3 shipping priority: customer x orders x lineitem with a top-N sort.
+		t("Q3", 0.25, &optimizer.Sort{Input: &optimizer.HashJoin{
+			Build:  &optimizer.HashJoin{Build: scanC(0.2), Probe: scanO(0.48), Fanout: 0.2},
+			Probe:  scanL(0.54),
+			Fanout: 0.1,
+		}}),
+		// Q4 order priority checking: orders semi-join lineitem.
+		t("Q4", 0.20, &optimizer.GroupAgg{
+			Input:  &optimizer.HashJoin{Build: scanO(0.038), Probe: scanL(0.5), Fanout: 0.05},
+			Groups: 5,
+		}),
+		// Q5 local supplier volume: six-way join scoped to one region.
+		t("Q5", 0.30, &optimizer.GroupAgg{
+			Input: &optimizer.HashJoin{
+				Build:  &optimizer.HashJoin{Build: scanC(0.2), Probe: scanO(0.15), Fanout: 0.2},
+				Probe:  &optimizer.HashJoin{Build: scanS(0.2), Probe: scanL(1), Fanout: 0.2},
+				Fanout: 0.04,
+			},
+			Groups: 5,
+		}),
+		// Q6 forecasting revenue change: cheap predicate-only lineitem scan.
+		t("Q6", 0.10, &optimizer.GroupAgg{Input: scanL(0.019), Groups: 1}),
+		// Q7 volume shipping between two nations.
+		t("Q7", 0.30, &optimizer.Sort{Input: &optimizer.GroupAgg{
+			Input: &optimizer.HashJoin{
+				Build:  &optimizer.HashJoin{Build: scanS(0.08), Probe: scanL(1), Fanout: 0.08},
+				Probe:  &optimizer.HashJoin{Build: scanC(0.08), Probe: scanO(1), Fanout: 0.08},
+				Fanout: 0.01,
+			},
+			Groups: 4,
+		}}),
+		// Q8 national market share: part-scoped eight-way join.
+		t("Q8", 0.35, &optimizer.GroupAgg{
+			Input: &optimizer.HashJoin{
+				Build: scanP(0.007),
+				Probe: &optimizer.HashJoin{
+					Build:  scanO(0.3),
+					Probe:  &optimizer.HashJoin{Build: scanS(1), Probe: scanL(1), Fanout: 1},
+					Fanout: 0.3,
+				},
+				Fanout: 0.007,
+			},
+			Groups: 2,
+		}),
+		// Q9 product type profit measure: one of the heaviest remaining
+		// queries — lineitem joined to partsupp/part/supplier, grouped.
+		t("Q9", 0.25, &optimizer.Sort{Input: &optimizer.GroupAgg{
+			Input: &optimizer.HashJoin{
+				Build:  &optimizer.HashJoin{Build: scanP(0.055), Probe: scanPS(1), Fanout: 0.055},
+				Probe:  &optimizer.HashJoin{Build: scanS(1), Probe: scanL(1), Fanout: 1},
+				Fanout: 0.055,
+			},
+			Groups: 175,
+		}}),
+		// Q10 returned item reporting.
+		t("Q10", 0.25, &optimizer.Sort{Input: &optimizer.GroupAgg{
+			Input: &optimizer.HashJoin{
+				Build:  &optimizer.HashJoin{Build: scanC(1), Probe: scanO(0.038), Fanout: 1},
+				Probe:  scanL(0.25),
+				Fanout: 0.038,
+			},
+			Groups: 50000,
+		}}),
+		// Q11 important stock identification: partsupp x supplier.
+		t("Q11", 0.20, &optimizer.Sort{Input: &optimizer.GroupAgg{
+			Input:  &optimizer.HashJoin{Build: scanS(0.04), Probe: scanPS(1), Fanout: 0.04},
+			Groups: 10000,
+		}}),
+		// Q12 shipping modes and order priority.
+		t("Q12", 0.15, &optimizer.GroupAgg{
+			Input:  &optimizer.HashJoin{Build: scanL(0.017), Probe: scanO(1), Fanout: 0.017},
+			Groups: 2,
+		}),
+		// Q13 customer distribution: customer left-join orders.
+		t("Q13", 0.15, &optimizer.Sort{Input: &optimizer.GroupAgg{
+			Input:  &optimizer.HashJoin{Build: scanC(1), Probe: scanO(0.98), Fanout: 1},
+			Groups: 40,
+		}}),
+		// Q14 promotion effect: one month of lineitem joined to part.
+		t("Q14", 0.15, &optimizer.GroupAgg{
+			Input:  &optimizer.HashJoin{Build: scanP(1), Probe: scanL(0.013), Fanout: 1},
+			Groups: 1,
+		}),
+		// Q15 top supplier: quarterly revenue view + join.
+		t("Q15", 0.20, &optimizer.HashJoin{
+			Build:  &optimizer.GroupAgg{Input: scanL(0.26), Groups: 5000},
+			Probe:  scanS(1),
+			Fanout: 1,
+		}),
+		// Q17 small-quantity-order revenue: tiny part set probing lineitem
+		// through its part-key index (random I/O heavy).
+		t("Q17", 0.40, &optimizer.GroupAgg{
+			Input:  &optimizer.NLJoin{Outer: scanP(0.001), InnerIndex: "l_partkey", MatchRows: 30},
+			Groups: 1,
+		}),
+		// Q18 large-volume customer: hash-aggregate lineitem by order,
+		// then join orders.
+		t("Q18", 0.20, &optimizer.Sort{Input: &optimizer.HashJoin{
+			Build:  &optimizer.GroupAgg{Input: scanL(1), Groups: 750000},
+			Probe:  scanO(1),
+			Fanout: 0.001,
+		}}),
+		// Q22 global sales opportunity: customer anti-join orders.
+		t("Q22", 0.25, &optimizer.Sort{Input: &optimizer.GroupAgg{
+			Input:  &optimizer.HashJoin{Build: scanC(0.013), Probe: scanO(1), Fanout: 0.013},
+			Groups: 7,
+		}}),
+	}
+}
