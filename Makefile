@@ -1,0 +1,31 @@
+# Tier-1 verification is `make check` (build + vet + tests); `make race`
+# adds the race detector over the whole tree, including the parallel
+# experiment pool (see internal/experiment/parallel.go). scripts/check.sh
+# bundles all of it for CI.
+
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector multiplies runtime ~10x; -short skips the slowest
+# full-fidelity experiment tests while still racing the worker pool,
+# the determinism sweeps, and every kernel test. Use RACEFLAGS= to run
+# the complete suite under race.
+RACEFLAGS ?= -short
+race:
+	$(GO) test -race $(RACEFLAGS) -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=NONE ./...
+
+check:
+	./scripts/check.sh

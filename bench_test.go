@@ -13,7 +13,10 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -138,7 +141,7 @@ func BenchmarkFig7(b *testing.B) {
 // OLTP class must be controlled indirectly.
 func BenchmarkInterceptionOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiment.RunInterceptionOverhead(20, 0.025, 1)
+		res := experiment.RunInterceptionOverhead(20, 0.025, 1, 1)
 		b.ReportMetric(res.DirectMeanRT/res.UnmanagedMeanRT, "slowdown-x")
 	}
 }
@@ -270,7 +273,131 @@ func BenchmarkAblationFeedForward(b *testing.B) {
 	}
 }
 
+// --- Sweep-level benchmarks of the parallel experiment layer ---
+
+// benchSaturationConfig is a scaled-down saturation sweep (8 limits,
+// 10-minute windows) sized so serial-vs-parallel wall-clock is measurable
+// in one benchtime=1x run.
+func benchSaturationConfig(parallel int) experiment.SaturationConfig {
+	var limits []float64
+	for l := 4000.0; l <= 32000; l += 4000 {
+		limits = append(limits, l)
+	}
+	return experiment.SaturationConfig{
+		Limits: limits, OLAPClients: 12, Window: 600, Seed: 1, Parallel: parallel,
+	}
+}
+
+// BenchmarkSaturationSweep measures the same sweep serially and fanned
+// across the worker pool; on an N-core machine the parallel variants
+// should approach N-times speedup (each swept limit is an independent
+// simulation). Compare with:
+//
+//	go test -bench=BenchmarkSaturationSweep -benchtime=2x
+func BenchmarkSaturationSweep(b *testing.B) {
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiment.RunSaturation(benchSaturationConfig(workers))
+			}
+		})
+	}
+}
+
+// BenchmarkReplicatedSweep measures multi-seed replication throughput via
+// the worker pool (the "tighter confidence intervals" enabler).
+func BenchmarkReplicatedSweep(b *testing.B) {
+	sched := workload.PaperSchedule()
+	seeds := experiment.DefaultSeeds(4)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiment.RunReplicated(experiment.NoControl, sched, seeds, workers)
+			}
+		})
+	}
+}
+
 // --- Micro-benchmarks of the components themselves ---
+
+// BenchmarkClockThroughput measures the simclock kernel's event hot path:
+// one self-rescheduling event per iteration (schedule + heap push + pop +
+// fire), the pattern every client arrival and completion follows. The
+// events/sec metric and allocs/op are the before/after numbers CHANGES.md
+// records.
+func BenchmarkClockThroughput(b *testing.B) {
+	clock := simclock.New()
+	var tick func()
+	tick = func() { clock.After(1, tick) }
+	clock.After(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		clock.Step()
+	}
+	if d := time.Since(start).Seconds(); d > 0 {
+		b.ReportMetric(float64(b.N)/d, "events/sec")
+	}
+}
+
+// BenchmarkClockDeepQueue is BenchmarkClockThroughput with 1024 pending
+// events, so sift costs at realistic queue depths are visible.
+func BenchmarkClockDeepQueue(b *testing.B) {
+	clock := simclock.New()
+	var tick func()
+	tick = func() { clock.After(1+float64(clock.Pending()%7), tick) }
+	for i := 0; i < 1024; i++ {
+		clock.After(float64(i%13)+1, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Step()
+	}
+}
+
+// BenchmarkClockCancelChurn measures the cancellable path: arm + cancel +
+// re-arm, the engine's completion-event pattern.
+func BenchmarkClockCancelChurn(b *testing.B) {
+	clock := simclock.New()
+	fn := func() {}
+	// Background events so cancellation sifts against a non-trivial heap.
+	for i := 0; i < 256; i++ {
+		clock.At(float64(1+i%9), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := clock.AfterCancellable(0.5, fn)
+		clock.Cancel(id)
+	}
+}
+
+// BenchmarkEngineHotPath measures the engine's submit→reschedule→complete
+// cycle including the clock kernel underneath — the inner loop of every
+// experiment. allocs/op is the headline: the value-heap kernel plus the
+// hoisted completion closure keep the simulator's per-event garbage flat.
+func BenchmarkEngineHotPath(b *testing.B) {
+	clock := simclock.New()
+	eng := engine.New(engine.DefaultConfig(), clock)
+	var submit func(engine.ClientID)
+	submit = func(c engine.ClientID) {
+		eng.Submit(&engine.Query{
+			Client: c,
+			Demand: engine.Demand{Work: 0.01, CPURate: 1, IORate: 0.2},
+		})
+	}
+	eng.OnDone(func(q *engine.Query) { submit(q.Client) })
+	for c := engine.ClientID(0); c < 20; c++ {
+		submit(c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Step()
+	}
+}
 
 // BenchmarkEngineThroughput measures simulated-query completions per
 // wall-clock second of the discrete-event engine.

@@ -5,6 +5,14 @@
 //	qsim -exp fig4            # per-period performance, no class control
 //	qsim -exp fig6 -seed 7    # Query Scheduler run with another seed
 //	qsim -exp all             # everything, in paper order
+//	qsim -exp fig2 -parallel 8  # fan the sweep across 8 workers
+//
+// Sweep-style experiments (syslimit, fig2, replicated, direct, overhead,
+// detection-replicated, ablations) consist of many independent simulation
+// runs; -parallel fans them across a bounded worker pool. Results are
+// bit-identical for any worker count — each run owns its clock, engine,
+// and RNG (see internal/experiment/parallel.go for the isolation
+// invariant).
 package main
 
 import (
@@ -18,9 +26,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|replicated|all")
-	replications := flag.Int("seeds", 5, "number of seeds for -exp replicated")
+	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|all")
+	replications := flag.Int("seeds", 5, "number of seeds for -exp replicated / detection-replicated")
 	seed := flag.Uint64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs within an experiment (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
 	chart := flag.Bool("chart", false, "draw figures as terminal line charts in addition to tables")
 	scenario := flag.String("scenario", "", "run a custom JSON scenario file instead of a named experiment")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV files into this directory")
@@ -79,6 +88,7 @@ func main() {
 		any = true
 		cfg := experiment.DefaultSaturationConfig()
 		cfg.Seed = *seed
+		cfg.Parallel = *parallel
 		points := experiment.RunSaturation(cfg)
 		experiment.WriteSaturation(out, points)
 		if *chart {
@@ -91,6 +101,7 @@ func main() {
 		any = true
 		cfg := experiment.DefaultFig2Config()
 		cfg.Seed = *seed
+		cfg.Parallel = *parallel
 		curves := experiment.RunFig2(cfg)
 		experiment.WriteFig2(out, curves)
 		if *chart {
@@ -150,7 +161,7 @@ func main() {
 	}
 	if run("overhead") {
 		any = true
-		experiment.WriteInterception(out, experiment.RunInterceptionOverhead(20, 0.025, *seed))
+		experiment.WriteInterception(out, experiment.RunInterceptionOverhead(20, 0.025, *seed, *parallel))
 		fmt.Fprintln(out)
 	}
 	if *exp == "replicated" { // not part of "all": it reruns everything n times
@@ -161,7 +172,7 @@ func main() {
 		for _, mode := range []experiment.Mode{
 			experiment.NoControl, experiment.QPPriority, experiment.QueryScheduler,
 		} {
-			reps = append(reps, experiment.RunReplicated(mode, sched, seeds))
+			reps = append(reps, experiment.RunReplicated(mode, sched, seeds, *parallel))
 		}
 		experiment.WriteReplication(out, workload.PaperClasses(), reps)
 		fmt.Fprintln(out)
@@ -173,10 +184,27 @@ func main() {
 		experiment.WriteDetection(out, experiment.RunDetection(dcfg))
 		fmt.Fprintln(out)
 	}
+	if *exp == "detection-replicated" { // not part of "all": reruns detection n times
+		any = true
+		dcfg := experiment.DefaultDetectionConfig()
+		results := experiment.RunDetectionReplicated(dcfg,
+			experiment.DefaultSeeds(*replications), *parallel)
+		fmt.Fprintf(out, "(counts summed over %d seeds)\n", *replications)
+		experiment.WriteDetection(out, results)
+		fmt.Fprintln(out)
+	}
+	if *exp == "ablations" { // not part of "all": eight full QS runs
+		any = true
+		specs := experiment.AblationSpecs()
+		results := experiment.RunAblations(specs, workload.PaperSchedule(), *seed, *parallel)
+		experiment.WriteAblations(out, specs, results)
+		fmt.Fprintln(out)
+	}
 	if run("direct") {
 		any = true
 		cfg := experiment.DefaultDirectControlConfig()
 		cfg.Seed = *seed
+		cfg.Parallel = *parallel
 		experiment.WriteDirectControl(out, cfg, experiment.RunDirectControl(cfg))
 		fmt.Fprintln(out)
 	}

@@ -6,9 +6,14 @@
 //
 //	qsweep -param control-interval -values 30,60,120,300
 //	qsweep -param system-cost-limit -values 20000,30000,40000 -seed 2
+//	qsweep -param plan-step -values 250,500,1000,2000 -parallel 4
 //
 // Parameters: control-interval, snapshot-interval, plan-step,
 // min-olap-limit, system-cost-limit, oltp-window.
+//
+// Each swept value is an independent simulation run; -parallel fans them
+// across a worker pool (0 = GOMAXPROCS, 1 = serial). Rows print in value
+// order with identical numbers for any worker count.
 package main
 
 import (
@@ -58,6 +63,7 @@ func main() {
 	param := flag.String("param", "", "parameter to sweep (see -help)")
 	values := flag.String("values", "", "comma-separated values")
 	seed := flag.Uint64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	setter, ok := setters[*param]
@@ -96,22 +102,29 @@ func main() {
 	}
 	fmt.Printf(" %14s\n", "oltp-heavy(ms)")
 
-	for _, v := range sweep {
-		cfg := core.DefaultConfig()
-		cfg.SystemCostLimit = experiment.SystemCostLimit
-		if err := setter(&cfg, v); err != nil {
+	// Validate every value up front so a bad one aborts before any runs.
+	cfgs := make([]core.Config, len(sweep))
+	for i, v := range sweep {
+		cfgs[i] = core.DefaultConfig()
+		cfgs[i].SystemCostLimit = experiment.SystemCostLimit
+		if err := setter(&cfgs[i], v); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		res := experiment.RunMixed(experiment.MixedConfig{
+	}
+	results := experiment.Map(*parallel, sweep, func(_ float64, i int) *experiment.MixedResult {
+		return experiment.RunMixed(experiment.MixedConfig{
 			Mode:  experiment.QueryScheduler,
 			Sched: workload.PaperSchedule(),
 			Seed:  *seed,
-			QS:    &cfg,
+			QS:    &cfgs[i],
 		})
+	})
+	for i, v := range sweep {
+		res := results[i]
 		fmt.Printf("%14g", v)
-		for i := range classes {
-			fmt.Printf(" %11.0f%%", 100*res.Satisfaction[i])
+		for ci := range classes {
+			fmt.Printf(" %11.0f%%", 100*res.Satisfaction[ci])
 		}
 		var heavy float64
 		var n int

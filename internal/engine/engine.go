@@ -193,11 +193,12 @@ type Engine struct {
 	listeners       []Listener
 	submitListeners []Listener
 
-	nextID     QueryID
-	active     []*Query
-	lastUpdate simclock.Time
-	pendingEvt simclock.EventID
-	hasEvt     bool
+	nextID       QueryID
+	active       []*Query
+	lastUpdate   simclock.Time
+	pendingEvt   simclock.EventID
+	hasEvt       bool
+	completionFn simclock.EventFunc // bound once; reschedule allocates no closure
 
 	snapshots map[ClientID]Snapshot
 	stats     Stats
@@ -216,11 +217,13 @@ func New(cfg Config, clock *simclock.Clock) *Engine {
 	if cfg.CPUCapacity <= 0 || cfg.IOCapacity <= 0 || cfg.ContentionAlpha < 0 {
 		panic(fmt.Sprintf("engine: invalid config %+v", cfg))
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		clock:     clock,
 		snapshots: make(map[ClientID]Snapshot),
 	}
+	e.completionFn = e.onCompletionEvent
+	return e
 }
 
 // Clock returns the engine's simulation clock.
@@ -573,7 +576,7 @@ func (e *Engine) reschedule() {
 	if next < minEventStep {
 		next = minEventStep
 	}
-	e.pendingEvt = e.clock.After(next, e.onCompletionEvent)
+	e.pendingEvt = e.clock.AfterCancellable(next, e.completionFn)
 	e.hasEvt = true
 }
 

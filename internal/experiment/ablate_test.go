@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationSpecsWellFormed(t *testing.T) {
+	specs := AblationSpecs()
+	if len(specs) < 7 {
+		t.Fatalf("only %d ablation specs", len(specs))
+	}
+	if specs[0].Name != "baseline" {
+		t.Fatalf("first spec = %q, want baseline", specs[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" || s.Detail == "" || s.Mutate == nil {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestWriteAblationsRendersEveryVariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full QS runs are slow under -race")
+	}
+	// Two cheap variants on the short schedule suffice to prove the batch
+	// runner + writer wiring; the full set is exercised by
+	// cmd/qsim -exp ablations and the benches.
+	specs := []AblationSpec{AblationSpecs()[0], AblationSpecs()[2]}
+	results := RunAblations(specs, shortSchedule(), 1, 2)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	var buf bytes.Buffer
+	WriteAblations(&buf, specs, results)
+	out := buf.String()
+	for _, s := range specs {
+		if !strings.Contains(out, s.Name) {
+			t.Fatalf("output missing variant %q:\n%s", s.Name, out)
+		}
+	}
+}

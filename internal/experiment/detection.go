@@ -145,6 +145,41 @@ func abs(x int) int {
 	return x
 }
 
+// RunDetectionReplicated scores detection across several seeds on the
+// worker pool and returns per-class counts summed over the runs (so
+// precision/recall become multi-run estimates). Folding happens in seed
+// order; the outcome is identical for any worker count.
+func RunDetectionReplicated(cfg DetectionConfig, seeds []uint64, workers int) []DetectionResult {
+	if len(seeds) == 0 {
+		panic("experiment: no seeds")
+	}
+	perSeed := Map(workers, seeds, func(seed uint64, _ int) []DetectionResult {
+		c := cfg
+		c.Seed = seed
+		return RunDetection(c)
+	})
+	agg := perSeed[0]
+	delaySums := make([]float64, len(agg))
+	for i, r := range agg {
+		delaySums[i] = r.MeanDelay * float64(r.Matched)
+	}
+	for _, results := range perSeed[1:] {
+		for i, r := range results {
+			agg[i].TrueShifts += r.TrueShifts
+			agg[i].Detected += r.Detected
+			agg[i].Matched += r.Matched
+			agg[i].FalseAlarms += r.FalseAlarms
+			delaySums[i] += r.MeanDelay * float64(r.Matched)
+		}
+	}
+	for i := range agg {
+		if agg[i].Matched > 0 {
+			agg[i].MeanDelay = delaySums[i] / float64(agg[i].Matched)
+		}
+	}
+	return agg
+}
+
 // WriteDetection renders the E10 scores.
 func WriteDetection(w io.Writer, results []DetectionResult) {
 	fmt.Fprintf(w, "Workload-shift detection accuracy (CUSUM on in-system population)\n")

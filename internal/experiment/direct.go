@@ -34,6 +34,9 @@ type DirectControlConfig struct {
 	OLAPClients int // per OLAP class
 	Window      float64
 	Seed        uint64
+	// Parallel is the worker count for the strategy comparison:
+	// 0 = GOMAXPROCS, 1 = serial.
+	Parallel int
 }
 
 // DefaultDirectControlConfig uses the paper's heaviest intensity.
@@ -57,8 +60,7 @@ func RunDirectControl(cfg DirectControlConfig) []DirectControlResult {
 		{"indirect + direct", true, true},
 	}
 
-	var out []DirectControlResult
-	for _, s := range strategies {
+	return Map(cfg.Parallel, strategies, func(s strategy, _ int) DirectControlResult {
 		sched := ConstantSchedule(cfg.Window, cfg.Window, map[engine.ClassID]int{
 			1: cfg.OLAPClients, 2: cfg.OLAPClients, 3: cfg.OLTPClients,
 		})
@@ -116,9 +118,8 @@ func RunDirectControl(cfg DirectControlConfig) []DirectControlResult {
 		case qs != nil:
 			res.FinalOLTPShare = qs.CostLimits()[oltp.ID]
 		}
-		out = append(out, res)
-	}
-	return out
+		return res
+	})
 }
 
 // WriteDirectControl renders the E9 comparison.

@@ -79,7 +79,7 @@ func TestWriteDirectControl(t *testing.T) {
 
 func TestRunReplicatedAggregates(t *testing.T) {
 	sched := shortSchedule()
-	rep := RunReplicated(NoControl, sched, []uint64{1, 2, 3})
+	rep := RunReplicated(NoControl, sched, []uint64{1, 2, 3}, 0)
 	if len(rep.Seeds) != 3 {
 		t.Fatalf("seeds = %v", rep.Seeds)
 	}
@@ -111,7 +111,7 @@ func TestDefaultSeeds(t *testing.T) {
 
 func TestWriteReplication(t *testing.T) {
 	sched := shortSchedule()
-	reps := []Replication{RunReplicated(NoControl, sched, []uint64{1, 2})}
+	reps := []Replication{RunReplicated(NoControl, sched, []uint64{1, 2}, 0)}
 	var b strings.Builder
 	WriteReplication(&b, RunMixed(MixedConfig{Mode: NoControl, Sched: sched, Seed: 1}).Classes, reps)
 	out := b.String()

@@ -196,7 +196,7 @@ func TestRunSaturationShape(t *testing.T) {
 }
 
 func TestRunInterceptionOverhead(t *testing.T) {
-	res := RunInterceptionOverhead(10, 0.05, 1)
+	res := RunInterceptionOverhead(10, 0.05, 1, 0)
 	if res.DirectMeanRT <= res.UnmanagedMeanRT {
 		t.Fatalf("interception with overhead must hurt: %+v", res)
 	}
@@ -219,13 +219,14 @@ func TestConstantScheduleShape(t *testing.T) {
 	}
 }
 
-func TestConstantScheduleMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("mismatched windows did not panic")
-		}
-	}()
-	ConstantSchedule(10, 20, nil)
+func TestConstantScheduleMismatchSplits(t *testing.T) {
+	// Unequal windows used to panic; they now split into equal-length
+	// periods at the windows' greatest common divisor.
+	s := ConstantSchedule(10, 20, map[engine.ClassID]int{1: 1})
+	if s.PeriodSeconds != 10 || s.Periods() != 3 {
+		t.Fatalf("ConstantSchedule(10, 20) = %d periods of %vs, want 3 of 10s",
+			s.Periods(), s.PeriodSeconds)
+	}
 }
 
 func TestReportRendering(t *testing.T) {

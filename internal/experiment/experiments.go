@@ -4,6 +4,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -12,21 +13,58 @@ import (
 	"repro/internal/workload"
 )
 
-// ConstantSchedule returns a two-period schedule with fixed client counts:
-// the first period is warm-up, the second is the measurement window.
+// ConstantSchedule returns a schedule with fixed client counts covering a
+// warm-up window followed by a measurement window. The Schedule type uses
+// equal-length periods, so unequal windows are split at their greatest
+// common divisor: ConstantSchedule(600, 3600, …) yields seven 600-second
+// periods (one warm-up + six measurement). Equal windows produce exactly
+// two periods, as before; use MeasureStartPeriod to locate the first
+// measurement period in the general case.
 func ConstantSchedule(warmup, measure float64, clients map[engine.ClassID]int) workload.Schedule {
-	if warmup != measure {
-		// The Schedule type uses equal-length periods; split into equal
-		// chunks so both windows are representable.
-		panic("experiment: warmup and measure windows must match")
+	period, nw, nm := splitWindows(warmup, measure)
+	sched := workload.Schedule{PeriodSeconds: period}
+	for i := 0; i < nw+nm; i++ {
+		sched.Clients = append(sched.Clients, cloneCounts(clients))
 	}
-	return workload.Schedule{
-		PeriodSeconds: warmup,
-		Clients: []map[engine.ClassID]int{
-			cloneCounts(clients),
-			cloneCounts(clients),
-		},
+	return sched
+}
+
+// MeasureStartPeriod returns the index of the first measurement period in
+// the schedule ConstantSchedule(warmup, measure, …) produces. With equal
+// windows this is 1 (period 0 warms up, period 1 measures).
+func MeasureStartPeriod(warmup, measure float64) int {
+	_, nw, _ := splitWindows(warmup, measure)
+	return nw
+}
+
+// splitWindows finds the common period length for the two windows and how
+// many periods each spans.
+func splitWindows(warmup, measure float64) (period float64, warmupPeriods, measurePeriods int) {
+	if warmup <= 0 || measure <= 0 {
+		panic(fmt.Sprintf("experiment: non-positive window (%v warm-up, %v measure)", warmup, measure))
 	}
+	if warmup == measure {
+		return warmup, 1, 1
+	}
+	period = floatGCD(warmup, measure)
+	warmupPeriods = int(warmup/period + 0.5)
+	measurePeriods = int(measure/period + 0.5)
+	if warmupPeriods+measurePeriods > 10000 {
+		panic(fmt.Sprintf(
+			"experiment: windows %v and %v are incommensurable (%d periods); pick window lengths with a reasonable common divisor",
+			warmup, measure, warmupPeriods+measurePeriods))
+	}
+	return period, warmupPeriods, measurePeriods
+}
+
+// floatGCD is Euclid's algorithm with a relative tolerance, so 600 and
+// 3600 (or 0.3 and 0.5, despite binary rounding) divide cleanly.
+func floatGCD(a, b float64) float64 {
+	eps := 1e-9 * math.Max(a, b)
+	for b > eps {
+		a, b = b, math.Mod(a, b)
+	}
+	return a
 }
 
 func cloneCounts(m map[engine.ClassID]int) map[engine.ClassID]int {
@@ -53,6 +91,9 @@ type SaturationConfig struct {
 	OLAPClients int
 	Window      float64 // seconds per warm-up/measure window
 	Seed        uint64
+	// Parallel is the sweep's worker count: 0 = GOMAXPROCS, 1 = serial.
+	// Results are identical either way (each limit runs in its own Rig).
+	Parallel int
 }
 
 // DefaultSaturationConfig sweeps 2k-60k timerons with a saturating client
@@ -70,8 +111,7 @@ func DefaultSaturationConfig() SaturationConfig {
 // (under-saturated) operating point. The knee of the resulting curve
 // motivates SystemCostLimit = 30,000.
 func RunSaturation(cfg SaturationConfig) []SaturationPoint {
-	var out []SaturationPoint
-	for _, limit := range cfg.Limits {
+	return Map(cfg.Parallel, cfg.Limits, func(limit float64, _ int) SaturationPoint {
 		sched := ConstantSchedule(cfg.Window, cfg.Window, map[engine.ClassID]int{
 			1: cfg.OLAPClients, 2: 0, 3: 0,
 		})
@@ -81,14 +121,13 @@ func RunSaturation(cfg SaturationConfig) []SaturationPoint {
 		rig.Run()
 
 		agg := rig.Collector.Agg(1, 1) // class 1, measurement period
-		out = append(out, SaturationPoint{
+		return SaturationPoint{
 			Limit:           limit,
 			QueriesPerHour:  float64(agg.Completed) / cfg.Window * 3600,
 			MeanRespSeconds: agg.Resp.Mean(),
 			MeanVelocity:    agg.Velocity.Mean(),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // Fig2Curve is one legend entry of Figure 2: OLTP average response time as
@@ -108,6 +147,8 @@ type Fig2Config struct {
 	Limits []float64
 	Window float64
 	Seed   uint64
+	// Parallel is the sweep's worker count: 0 = GOMAXPROCS, 1 = serial.
+	Parallel int
 }
 
 // DefaultFig2Config matches the paper's Figure 2 axes: OLAP cost limits up
@@ -130,21 +171,32 @@ func DefaultFig2Config() Fig2Config {
 // clients run under a single static cost limit; the OLTP class runs
 // unintercepted.
 func RunFig2(cfg Fig2Config) []Fig2Curve {
-	var out []Fig2Curve
+	// Flatten the (mix, limit) grid so every cell is one independent job.
+	type cell struct {
+		pair  [2]int
+		limit float64
+	}
+	var cells []cell
 	for _, pair := range cfg.Pairs {
-		curve := Fig2Curve{OLTPClients: pair[0], OLAPClients: pair[1], Limits: cfg.Limits}
 		for _, limit := range cfg.Limits {
-			sched := ConstantSchedule(cfg.Window, cfg.Window, map[engine.ClassID]int{
-				1: pair[1], 2: 0, 3: pair[0],
-			})
-			rig := NewRig(cfg.Seed, sched)
-			rig.Pat = patroller.New(rig.Eng, rig.OLAPClassIDs()...)
-			rig.Pat.SetPolicy(patroller.SystemLimit{Limit: limit})
-			rig.Run()
-
-			agg := rig.Collector.Agg(1, 3)
-			curve.MeanRT = append(curve.MeanRT, agg.Resp.Mean())
+			cells = append(cells, cell{pair, limit})
 		}
+	}
+	rts := Map(cfg.Parallel, cells, func(c cell, _ int) float64 {
+		sched := ConstantSchedule(cfg.Window, cfg.Window, map[engine.ClassID]int{
+			1: c.pair[1], 2: 0, 3: c.pair[0],
+		})
+		rig := NewRig(cfg.Seed, sched)
+		rig.Pat = patroller.New(rig.Eng, rig.OLAPClassIDs()...)
+		rig.Pat.SetPolicy(patroller.SystemLimit{Limit: c.limit})
+		rig.Run()
+		return rig.Collector.Agg(1, 3).Resp.Mean()
+	})
+
+	var out []Fig2Curve
+	for pi, pair := range cfg.Pairs {
+		curve := Fig2Curve{OLTPClients: pair[0], OLAPClients: pair[1], Limits: cfg.Limits}
+		curve.MeanRT = append(curve.MeanRT, rts[pi*len(cfg.Limits):(pi+1)*len(cfg.Limits)]...)
 		out = append(out, curve)
 	}
 	return out
@@ -282,7 +334,8 @@ type InterceptionOverheadResult struct {
 
 // RunInterceptionOverhead compares the OLTP class intercepted-with-
 // overhead against the unmanaged baseline, holding everything else fixed.
-func RunInterceptionOverhead(oltpClients int, overheadCPU float64, seed uint64) InterceptionOverheadResult {
+// The two arms run on the worker pool (0 workers = GOMAXPROCS).
+func RunInterceptionOverhead(oltpClients int, overheadCPU float64, seed uint64, parallel int) InterceptionOverheadResult {
 	window := 1200.0
 	run := func(manage bool) (meanRT, meanExec float64) {
 		sched := ConstantSchedule(window, window, map[engine.ClassID]int{
@@ -298,8 +351,13 @@ func RunInterceptionOverhead(oltpClients int, overheadCPU float64, seed uint64) 
 		agg := rig.Collector.Agg(1, 3)
 		return agg.Resp.Mean(), agg.Exec.Mean()
 	}
-	direct, _ := run(true)
-	unmanaged, exec := run(false)
+	type arm struct{ rt, exec float64 }
+	arms := Map(parallel, []bool{true, false}, func(manage bool, _ int) arm {
+		rt, exec := run(manage)
+		return arm{rt, exec}
+	})
+	direct := arms[0].rt
+	unmanaged, exec := arms[1].rt, arms[1].exec
 	return InterceptionOverheadResult{
 		OLTPClients:      oltpClients,
 		DirectMeanRT:     direct,

@@ -1,0 +1,99 @@
+// Parallel experiment execution: a bounded worker pool that fans
+// independent simulation runs out across GOMAXPROCS goroutines with
+// deterministic, input-ordered result collection.
+//
+// # Isolation invariant
+//
+// Parallel safety rests on per-run isolation: every run constructs its own
+// Rig — Clock, Engine, Pool, rng.Source, Collector, controllers — from its
+// own seed, and nothing in this repository keeps lazily-built mutable
+// package-level state (catalogs and template sets are rebuilt per Rig; the
+// only package-level variable in the tree is a constant byte table in
+// internal/report). A worker therefore never shares mutable state with
+// another worker, and a run's results depend only on its inputs, never on
+// which goroutine executed it or in what order runs finished. New code
+// must preserve this: no package-level caches without a mutex AND a
+// determinism argument. The invariant is enforced by the determinism tests
+// in determinism_test.go and exercised under `go test -race` (see
+// scripts/check.sh).
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n <= 0 selects GOMAXPROCS (use all
+// cores), any positive n is taken literally (1 = serial, today's
+// single-core behaviour).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// RunAll invokes fn(0..n-1), fanning calls across at most Workers(workers)
+// goroutines. It returns when every call has finished. With workers == 1
+// (or n < 2) the calls run inline on the caller's goroutine in index
+// order — bit-for-bit the pre-parallel behaviour. A panic in any fn is
+// re-raised on the caller's goroutine after the pool drains.
+func RunAll(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn over items on the RunAll pool and collects the results in
+// input order, so output is independent of scheduling. fn also receives
+// the item's index for seed derivation or labelling.
+func Map[I, O any](workers int, items []I, fn func(item I, idx int) O) []O {
+	out := make([]O, len(items))
+	RunAll(workers, len(items), func(i int) { out[i] = fn(items[i], i) })
+	return out
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{0, 1, 4, 7, 200} {
+		out := Map(workers, items, func(v, idx int) int {
+			if items[idx] != v {
+				t.Errorf("workers=%d: fn got item %d at index %d", workers, v, idx)
+			}
+			return v * 2
+		})
+		if len(out) != len(items) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), len(items))
+		}
+		for i, v := range out {
+			if v != items[i]*2 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, items[i]*2)
+			}
+		}
+	}
+}
+
+func TestRunAllRunsEveryIndexOnce(t *testing.T) {
+	n := 500
+	counts := make([]atomic.Int32, n)
+	RunAll(8, n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestRunAllEmptyAndSingle(t *testing.T) {
+	RunAll(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	ran := false
+	RunAll(4, 1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("fn not called for n=1")
+	}
+}
+
+// TestRunAllIsConcurrent proves the pool really runs fn bodies
+// concurrently: four jobs block on a barrier that only opens once all four
+// have started, which can only happen with >= 4 live workers. (This is
+// also the test that exercises the pool under `go test -race`.)
+func TestRunAllIsConcurrent(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // goroutines interleave even on 1 core
+	defer runtime.GOMAXPROCS(prev)
+	var barrier sync.WaitGroup
+	barrier.Add(4)
+	done := make(chan struct{})
+	go func() {
+		RunAll(4, 4, func(int) {
+			barrier.Done()
+			barrier.Wait()
+		})
+		close(done)
+	}()
+	<-done // deadlocks (and the test times out) if the pool serializes
+}
+
+func TestRunAllSerialWorkerRunsInOrder(t *testing.T) {
+	var order []int
+	RunAll(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestRunAllPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in worker was swallowed")
+		}
+	}()
+	RunAll(4, 16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}

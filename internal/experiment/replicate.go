@@ -25,14 +25,19 @@ type Replication struct {
 	Class2Beats1 stats.Summary
 }
 
-// RunReplicated runs the mixed experiment across the given seeds.
-func RunReplicated(mode Mode, sched workload.Schedule, seeds []uint64) Replication {
+// RunReplicated runs the mixed experiment across the given seeds, fanning
+// the (independent) seeded runs across at most Workers(workers)
+// goroutines. Results are folded in seed order, so the outcome is
+// identical for any worker count.
+func RunReplicated(mode Mode, sched workload.Schedule, seeds []uint64, workers int) Replication {
 	if len(seeds) == 0 {
 		panic("experiment: no seeds")
 	}
+	results := Map(workers, seeds, func(seed uint64, _ int) *MixedResult {
+		return RunMixed(MixedConfig{Mode: mode, Sched: sched, Seed: seed})
+	})
 	rep := Replication{Mode: mode, Seeds: seeds}
-	for _, seed := range seeds {
-		res := RunMixed(MixedConfig{Mode: mode, Sched: sched, Seed: seed})
+	for _, res := range results {
 		if rep.Satisfaction == nil {
 			rep.Satisfaction = make([]stats.Summary, len(res.Classes))
 		}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestConstantScheduleEqualWindowsUnchanged(t *testing.T) {
+	clients := map[engine.ClassID]int{1: 4, 2: 0, 3: 10}
+	s := ConstantSchedule(1800, 1800, clients)
+	if s.PeriodSeconds != 1800 || s.Periods() != 2 {
+		t.Fatalf("equal windows: got %d periods of %vs, want 2 of 1800s",
+			s.Periods(), s.PeriodSeconds)
+	}
+	for p := 0; p < 2; p++ {
+		if s.Clients[p][1] != 4 || s.Clients[p][3] != 10 {
+			t.Fatalf("period %d clients = %v", p, s.Clients[p])
+		}
+	}
+	if MeasureStartPeriod(1800, 1800) != 1 {
+		t.Fatalf("MeasureStartPeriod(equal) = %d, want 1", MeasureStartPeriod(1800, 1800))
+	}
+}
+
+func TestConstantScheduleUnequalWindowsSplit(t *testing.T) {
+	clients := map[engine.ClassID]int{1: 2}
+	s := ConstantSchedule(600, 3600, clients)
+	if s.PeriodSeconds != 600 {
+		t.Fatalf("period = %v, want 600", s.PeriodSeconds)
+	}
+	if s.Periods() != 7 {
+		t.Fatalf("periods = %d, want 7 (1 warm-up + 6 measure)", s.Periods())
+	}
+	if got := MeasureStartPeriod(600, 3600); got != 1 {
+		t.Fatalf("MeasureStartPeriod = %d, want 1", got)
+	}
+	if d := s.Duration(); math.Abs(d-4200) > 1e-6 {
+		t.Fatalf("duration = %v, want 4200", d)
+	}
+
+	// The reverse split: long warm-up, short measurement.
+	s = ConstantSchedule(900, 600, clients)
+	if s.PeriodSeconds != 300 || s.Periods() != 5 {
+		t.Fatalf("900/600: got %d periods of %vs, want 5 of 300s", s.Periods(), s.PeriodSeconds)
+	}
+	if got := MeasureStartPeriod(900, 600); got != 3 {
+		t.Fatalf("MeasureStartPeriod(900, 600) = %d, want 3", got)
+	}
+}
+
+func TestConstantScheduleUnequalWindowsRuns(t *testing.T) {
+	// End-to-end: an unequal-window schedule must install and run, and the
+	// measurement periods must see completions.
+	sched := ConstantSchedule(300, 900, map[engine.ClassID]int{1: 0, 2: 0, 3: 6})
+	rig := NewRig(1, sched)
+	rig.Run()
+	start := MeasureStartPeriod(300, 900)
+	total := 0
+	for p := start; p < sched.Periods(); p++ {
+		total += rig.Collector.Agg(p, 3).Completed
+	}
+	if total == 0 {
+		t.Fatal("no completions in the measurement window")
+	}
+}
+
+func TestConstantScheduleRejectsBadWindows(t *testing.T) {
+	for _, tc := range [][2]float64{{0, 100}, {100, 0}, {-1, 100}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("windows %v did not panic", tc)
+				}
+			}()
+			ConstantSchedule(tc[0], tc[1], nil)
+		}()
+	}
+}

@@ -124,6 +124,7 @@ type Patroller struct {
 	table       []*QueryInfo
 	stats       Stats
 	pokePending bool
+	pokeFn      simclock.EventFunc // bound once; scheduling a poke allocates no closure
 
 	// InterceptOverheadCPU, when positive, adds this many CPU-seconds to
 	// every intercepted query — the per-query cost of interception and
@@ -255,10 +256,13 @@ func (p *Patroller) schedulePoke() {
 		return
 	}
 	p.pokePending = true
-	p.clock.After(0, func() {
-		p.pokePending = false
-		p.Poke()
-	})
+	if p.pokeFn == nil {
+		p.pokeFn = func() {
+			p.pokePending = false
+			p.Poke()
+		}
+	}
+	p.clock.After(0, p.pokeFn)
 }
 
 // Poke synchronously evaluates the policy and applies its releases. It is

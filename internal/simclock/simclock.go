@@ -7,10 +7,21 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-breaking by sequence number), which keeps runs fully
 // deterministic.
+//
+// The event queue is a binary heap of event values stored inline in a
+// slice: scheduling an event performs no per-event allocation (the slice
+// is its own free-list — vacated slots are reused by later events), and
+// the hot path runs hand-rolled sift loops instead of container/heap's
+// interface dispatch. Cancellation is opt-in: only events scheduled via
+// AtCancellable/AfterCancellable pay for registration in the id→index
+// map; the common never-cancelled event (client arrivals, schedule
+// boundaries) skips the map entirely.
+//
+// A Clock is not safe for concurrent use. Parallel experiments must give
+// every run its own Clock (see internal/experiment's isolation invariant).
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -22,64 +33,45 @@ type Time = float64
 // equals the event's scheduled time during the call.
 type EventFunc func()
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a cancellable scheduled event. The zero EventID is
+// never issued and is never pending.
 type EventID uint64
 
+// event is stored by value inside the Clock's heap slice; id is 0 for
+// events that cannot be cancelled (the common case).
 type event struct {
-	at    Time
-	seq   uint64
-	id    EventID
-	fn    EventFunc
-	index int // heap index, -1 when removed
+	at  Time
+	seq uint64
+	id  EventID
+	fn  EventFunc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the deterministic firing order: earliest time first, FIFO
+// (scheduling order) among ties.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Clock is a discrete-event simulation clock. The zero value is not usable;
 // call New.
 type Clock struct {
-	now     Time
-	seq     uint64
-	nextID  EventID
-	heap    eventHeap
-	byID    map[EventID]*event
+	now    Time
+	seq    uint64
+	nextID EventID
+	heap   []event
+	// byID maps a cancellable event's id to its current heap index. It is
+	// allocated lazily on the first AtCancellable call, so clocks that
+	// never cancel (most experiment runs) carry no map at all.
+	byID    map[EventID]int
 	stopped bool
 }
 
 // New returns a Clock positioned at time 0 with no pending events.
 func New() *Clock {
-	return &Clock{byID: make(map[EventID]*event)}
+	return &Clock{}
 }
 
 // Now returns the current virtual time in seconds.
@@ -88,9 +80,7 @@ func (c *Clock) Now() Time { return c.now }
 // Pending reports the number of events still scheduled.
 func (c *Clock) Pending() int { return len(c.heap) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would silently corrupt causality in a simulation.
-func (c *Clock) At(t Time, fn EventFunc) EventID {
+func (c *Clock) validate(t Time, fn EventFunc) {
 	if fn == nil {
 		panic("simclock: nil event function")
 	}
@@ -100,31 +90,59 @@ func (c *Clock) At(t Time, fn EventFunc) EventID {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("simclock: invalid event time %v", t))
 	}
-	c.nextID++
+}
+
+// At schedules fn to run at absolute virtual time t. Events scheduled with
+// At cannot be cancelled; use AtCancellable when cancellation is needed.
+// Scheduling in the past panics: it would silently corrupt causality in a
+// simulation.
+func (c *Clock) At(t Time, fn EventFunc) {
+	c.validate(t, fn)
 	c.seq++
-	e := &event{at: t, seq: c.seq, id: c.nextID, fn: fn}
-	heap.Push(&c.heap, e)
-	c.byID[e.id] = e
-	return e.id
+	c.push(event{at: t, seq: c.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
-func (c *Clock) After(d float64, fn EventFunc) EventID {
+func (c *Clock) After(d float64, fn EventFunc) {
 	if d < 0 {
 		panic(fmt.Sprintf("simclock: negative delay %v", d))
 	}
-	return c.At(c.now+d, fn)
+	c.At(c.now+d, fn)
 }
 
-// Cancel removes a scheduled event. It reports whether the event was still
-// pending (false if it already fired or was previously cancelled).
+// AtCancellable schedules fn at absolute time t and returns an EventID
+// that Cancel accepts. Cancellable events additionally maintain an
+// id→heap-index registration, so reserve this path for events that
+// realistically may be cancelled (completion re-arms, ticker ticks).
+func (c *Clock) AtCancellable(t Time, fn EventFunc) EventID {
+	c.validate(t, fn)
+	c.seq++
+	c.nextID++
+	if c.byID == nil {
+		c.byID = make(map[EventID]int, 8)
+	}
+	c.push(event{at: t, seq: c.seq, id: c.nextID, fn: fn})
+	return c.nextID
+}
+
+// AfterCancellable schedules fn d seconds from now, cancellably.
+func (c *Clock) AfterCancellable(d float64, fn EventFunc) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v", d))
+	}
+	return c.AtCancellable(c.now+d, fn)
+}
+
+// Cancel removes a scheduled cancellable event. It reports whether the
+// event was still pending (false if it already fired, was previously
+// cancelled, or was scheduled via the non-cancellable At/After path).
 func (c *Clock) Cancel(id EventID) bool {
-	e, ok := c.byID[id]
+	i, ok := c.byID[id]
 	if !ok {
 		return false
 	}
 	delete(c.byID, id)
-	heap.Remove(&c.heap, e.index)
+	c.removeAt(i)
 	return true
 }
 
@@ -138,8 +156,20 @@ func (c *Clock) Step() bool {
 	if len(c.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&c.heap).(*event)
-	delete(c.byID, e.id)
+	e := c.heap[0]
+	n := len(c.heap) - 1
+	if n > 0 {
+		c.heap[0] = c.heap[n]
+		c.heap[n] = event{} // release the closure for GC
+		c.heap = c.heap[:n]
+		c.siftDown(0)
+	} else {
+		c.heap[0] = event{}
+		c.heap = c.heap[:0]
+	}
+	if e.id != 0 {
+		delete(c.byID, e.id)
+	}
 	c.now = e.at
 	e.fn()
 	return true
@@ -179,12 +209,90 @@ func (c *Clock) NextEventTime() (Time, bool) {
 	return c.heap[0].at, true
 }
 
+// --- heap internals (hand-rolled: no container/heap interface dispatch,
+// hole-based sifting writes each element once, and the id→index map is
+// only touched for cancellable events) ---
+
+func (c *Clock) push(e event) {
+	c.heap = append(c.heap, e)
+	c.siftUp(len(c.heap) - 1)
+}
+
+func (c *Clock) siftUp(i int) {
+	h := c.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		if h[i].id != 0 {
+			c.byID[h[i].id] = i
+		}
+		i = p
+	}
+	h[i] = e
+	if e.id != 0 {
+		c.byID[e.id] = i
+	}
+}
+
+// siftDown restores heap order below i; it reports whether the element
+// moved (used by removeAt to decide whether siftUp is still needed).
+func (c *Clock) siftDown(i int) bool {
+	h := c.heap
+	n := len(h)
+	e := h[i]
+	start := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].before(&h[l]) {
+			m = r
+		}
+		if !h[m].before(&e) {
+			break
+		}
+		h[i] = h[m]
+		if h[i].id != 0 {
+			c.byID[h[i].id] = i
+		}
+		i = m
+	}
+	h[i] = e
+	if e.id != 0 {
+		c.byID[e.id] = i
+	}
+	return i != start
+}
+
+// removeAt deletes the event at heap index i (used only by Cancel).
+func (c *Clock) removeAt(i int) {
+	n := len(c.heap) - 1
+	if i != n {
+		c.heap[i] = c.heap[n]
+		c.heap[n] = event{}
+		c.heap = c.heap[:n]
+		if !c.siftDown(i) {
+			c.siftUp(i)
+		}
+	} else {
+		c.heap[n] = event{}
+		c.heap = c.heap[:n]
+	}
+}
+
 // Ticker invokes fn every interval seconds, starting one interval from the
 // time StartTicker is called, until the returned stop function is invoked.
 type Ticker struct {
 	clock    *Clock
 	interval float64
 	fn       EventFunc
+	tick     EventFunc // built once; rescheduling allocates no closures
 	pending  EventID
 	active   bool
 }
@@ -196,12 +304,7 @@ func (c *Clock) StartTicker(interval float64, fn EventFunc) *Ticker {
 		panic(fmt.Sprintf("simclock: non-positive ticker interval %v", interval))
 	}
 	t := &Ticker{clock: c, interval: interval, fn: fn, active: true}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.pending = t.clock.After(t.interval, func() {
+	t.tick = func() {
 		if !t.active {
 			return
 		}
@@ -209,7 +312,13 @@ func (t *Ticker) schedule() {
 		if t.active {
 			t.schedule()
 		}
-	})
+	}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.pending = t.clock.AfterCancellable(t.interval, t.tick)
 }
 
 // Stop cancels future ticks. It is safe to call from within the tick

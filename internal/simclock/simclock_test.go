@@ -78,7 +78,7 @@ func TestAfterSchedulesRelativeToNow(t *testing.T) {
 func TestCancelPreventsFiring(t *testing.T) {
 	c := New()
 	fired := false
-	id := c.At(1, func() { fired = true })
+	id := c.AtCancellable(1, func() { fired = true })
 	if !c.Cancel(id) {
 		t.Fatal("Cancel returned false for pending event")
 	}
@@ -97,7 +97,7 @@ func TestCancelOneOfMany(t *testing.T) {
 	ids := make([]EventID, 5)
 	for i := 0; i < 5; i++ {
 		i := i
-		ids[i] = c.At(float64(i), func() { fired = append(fired, i) })
+		ids[i] = c.AtCancellable(float64(i), func() { fired = append(fired, i) })
 	}
 	c.Cancel(ids[2])
 	c.Run()
@@ -108,6 +108,115 @@ func TestCancelOneOfMany(t *testing.T) {
 	for i := range want {
 		if fired[i] != want[i] {
 			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestCancelAfterFiringReturnsFalse(t *testing.T) {
+	c := New()
+	id := c.AtCancellable(1, func() {})
+	c.Run()
+	if c.Cancel(id) {
+		t.Fatal("Cancel returned true for an already-fired event")
+	}
+	if c.Cancel(0) || c.Cancel(EventID(999)) {
+		t.Fatal("Cancel returned true for a never-issued id")
+	}
+}
+
+// TestMixedCancellableOrdering interleaves cancellable and plain events
+// and checks that cancellation never perturbs the firing order of the
+// survivors — the id→heap-index map must stay consistent across sifts.
+func TestMixedCancellableOrdering(t *testing.T) {
+	c := New()
+	var fired []int
+	var ids []EventID
+	for i := 0; i < 20; i++ {
+		i := i
+		at := float64((i * 7) % 10)
+		if i%2 == 0 {
+			ids = append(ids, c.AtCancellable(at, func() { fired = append(fired, i) }))
+		} else {
+			c.At(at, func() { fired = append(fired, i) })
+		}
+	}
+	// Cancel every other cancellable event (indices 0, 4, 8, ...).
+	cancelled := map[int]bool{}
+	for j, id := range ids {
+		if j%2 == 0 {
+			if !c.Cancel(id) {
+				t.Fatalf("Cancel of pending event %d failed", j)
+			}
+			cancelled[2*j] = true
+		}
+	}
+	c.Run()
+	if len(fired) != 20-len(cancelled) {
+		t.Fatalf("fired %d events, want %d", len(fired), 20-len(cancelled))
+	}
+	for _, i := range fired {
+		if cancelled[i] {
+			t.Fatalf("cancelled event %d fired", i)
+		}
+	}
+	// Survivors must fire in (time, scheduling-order) order.
+	at := func(i int) float64 { return float64((i * 7) % 10) }
+	for k := 1; k < len(fired); k++ {
+		a, b := fired[k-1], fired[k]
+		if at(a) > at(b) || (at(a) == at(b) && a > b) {
+			t.Fatalf("ordering violated: event %d fired before %d (%v)", a, b, fired)
+		}
+	}
+}
+
+// TestRandomizedCancelProperty schedules a random mix of cancellable and
+// plain events, cancels a random subset (some before running, some from
+// inside callbacks), and checks the survivors fire in order. This is the
+// regression guard for the lazy cancellation index.
+func TestRandomizedCancelProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		c := New()
+		n := 300
+		type ev struct {
+			at        float64
+			cancelled bool
+		}
+		evs := make([]ev, n)
+		ids := make([]EventID, n)
+		var fired []int
+		for i := 0; i < n; i++ {
+			i := i
+			evs[i].at = float64(rnd.Intn(50))
+			if rnd.Intn(2) == 0 {
+				ids[i] = c.AtCancellable(evs[i].at, func() { fired = append(fired, i) })
+			} else {
+				c.At(evs[i].at, func() { fired = append(fired, i) })
+			}
+		}
+		for i := 0; i < n; i++ {
+			if ids[i] != 0 && rnd.Intn(3) == 0 {
+				if !c.Cancel(ids[i]) {
+					t.Fatalf("trial %d: Cancel of pending event %d failed", trial, i)
+				}
+				evs[i].cancelled = true
+			}
+		}
+		c.Run()
+		want := 0
+		for _, e := range evs {
+			if !e.cancelled {
+				want++
+			}
+		}
+		if len(fired) != want {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(fired), want)
+		}
+		for k := 1; k < len(fired); k++ {
+			a, b := fired[k-1], fired[k]
+			if evs[a].at > evs[b].at || (evs[a].at == evs[b].at && a > b) {
+				t.Fatalf("trial %d: ordering violated at %d", trial, k)
+			}
 		}
 	}
 }

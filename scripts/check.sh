@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repository check gate: build, vet, full tests, then the race detector
+# over the whole tree. The race pass is what guards the parallel
+# experiment layer's isolation invariant (internal/experiment/parallel.go):
+# every sweep fans seeded runs across goroutines, so any shared mutable
+# state between runs surfaces here. Pass RACEFLAGS= (empty) to run the
+# complete suite under race instead of the -short subset.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ${RACEFLAGS--short} ./..."
+go test -race ${RACEFLAGS--short} -timeout 30m ./...
+
+echo "check.sh: all green"
