@@ -1,17 +1,23 @@
-# Tier-1 verification is `make check` (build + vet + tests); `make race`
-# adds the race detector over the whole tree, including the parallel
-# experiment pool (see internal/experiment/parallel.go). scripts/check.sh
-# bundles all of it for CI.
+# Tier-1 verification is `make check` (fmt + build + vet + lint + tests);
+# `make race` adds the race detector over the whole tree, including the
+# parallel experiment pool (see internal/experiment/parallel.go).
+# `make lint` runs qlint, the determinism & simulation-invariant analyzer
+# (cmd/qlint; checks: wallclock, globalrand, maporder, goroutine,
+# floateq — see DESIGN.md "Lint invariants"). scripts/check.sh bundles
+# all of it for CI.
 
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet lint race bench check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/qlint ./...
 
 test:
 	$(GO) test ./...

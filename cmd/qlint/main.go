@@ -1,0 +1,116 @@
+// Command qlint is the repository's determinism and simulation-invariant
+// analyzer: a from-scratch static checker on the standard library's
+// go/parser + go/ast + go/types (no x/tools) that loads every package in
+// the module, type-checks it, and enforces the invariants the experiment
+// harness's bit-identical replay depends on.
+//
+// Usage:
+//
+//	qlint ./...              # lint the whole module (default)
+//	qlint -list              # describe the registered checks
+//	qlint -checks floateq,maporder ./...
+//	qlint path/to/dir        # lint one directory as a package
+//
+// Findings print as file:line:col: check: message and make qlint exit 1.
+// A finding is silenced with a trailing (or directly preceding) comment
+//
+//	//lint:ignore <check> <reason>
+//
+// where the reason is mandatory; unused or malformed directives are
+// findings themselves. See DESIGN.md ("Lint invariants") for what each
+// check guards and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered checks and exit")
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	chdir := flag.String("C", "", "change to this directory before loading")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qlint [flags] [./... | dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := lint.DefaultChecks()
+	if *list {
+		for _, c := range all {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	checks := all
+	if *checksFlag != "" {
+		checks = nil
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			c := lint.CheckByName(all, name)
+			if c == nil {
+				fatalf("qlint: unknown check %q (try -list)", name)
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	if *chdir != "" {
+		if err := os.Chdir(*chdir); err != nil {
+			fatalf("qlint: %v", err)
+		}
+	}
+
+	target := "./..."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		target = flag.Arg(0)
+	default:
+		fatalf("qlint: at most one target (got %q)", flag.Args())
+	}
+
+	var (
+		res *lint.Result
+		err error
+	)
+	if target == "./..." || target == "all" {
+		root, rootErr := lint.FindModuleRoot(".")
+		if rootErr != nil {
+			fatalf("qlint: %v", rootErr)
+		}
+		res, err = lint.LoadModule(root)
+	} else {
+		res, err = lint.LoadDir(target, filepath.Base(target))
+	}
+	if err != nil {
+		fatalf("qlint: %v", err)
+	}
+
+	diags := lint.NewRunner(checks, lint.DefaultConfig()).Run(res)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

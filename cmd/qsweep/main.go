@@ -19,7 +19,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -51,7 +53,7 @@ var setters = map[string]func(*core.Config, float64) error{
 		return nil
 	},
 	"oltp-window": func(c *core.Config, v float64) error {
-		if v < 2 || v != float64(int(v)) {
+		if v < 2 || math.Mod(v, 1) != 0 {
 			return fmt.Errorf("oltp-window must be an integer >= 2")
 		}
 		c.OLTP.Window = int(v)
@@ -72,6 +74,7 @@ func main() {
 		for n := range setters {
 			names = append(names, n)
 		}
+		sort.Strings(names)
 		fmt.Fprintf(os.Stderr, "unknown -param %q; choose one of: %s\n",
 			*param, strings.Join(names, ", "))
 		os.Exit(2)

@@ -56,7 +56,9 @@ func CalibrateFromCurve(points []SaturationPoint) Calibration {
 	if cal.PlateauLow == 0 {
 		// Degenerate curve: recommend the best single point.
 		for _, p := range points {
-			if p.QueriesPerHour == cal.PeakThroughput {
+			// >= rather than == so the argmax is found without an exact
+			// float comparison (PeakThroughput was copied from a point).
+			if p.QueriesPerHour >= cal.PeakThroughput {
 				cal.Recommended = p.Limit
 				cal.PlateauLow, cal.PlateauHigh = p.Limit, p.Limit
 				break

@@ -43,6 +43,7 @@ func splitWindows(warmup, measure float64) (period float64, warmupPeriods, measu
 	if warmup <= 0 || measure <= 0 {
 		panic(fmt.Sprintf("experiment: non-positive window (%v warm-up, %v measure)", warmup, measure))
 	}
+	//lint:ignore floateq equal-window configs carry the identical literal, so exact equality holds; shortcut skips GCD noise
 	if warmup == measure {
 		return warmup, 1, 1
 	}
@@ -260,11 +261,14 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 	rig.Run()
 
 	res := &MixedResult{
-		Mode:    cfg.Mode,
-		Classes: rig.Classes,
+		Mode: cfg.Mode,
+		// The collector returns classes sorted by ID, so report columns
+		// come out in the same stable order however the caller ordered
+		// its class slice.
+		Classes: rig.Collector.Classes(),
 		Periods: cfg.Sched.Periods(),
 	}
-	for _, cl := range rig.Classes {
+	for _, cl := range res.Classes {
 		metricRow := make([]float64, res.Periods)
 		measurableRow := make([]bool, res.Periods)
 		metRow := make([]bool, res.Periods)
@@ -290,7 +294,9 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 
 	if rig.QS != nil {
 		res.PlanHistory = rig.QS.History()
-		res.CostLimits = averageLimitsPerPeriod(res.PlanHistory, rig.Classes, cfg.Sched)
+		// res.Classes (not rig.Classes) keeps limit rows aligned with the
+		// sorted report columns.
+		res.CostLimits = averageLimitsPerPeriod(res.PlanHistory, res.Classes, cfg.Sched)
 	}
 	return res
 }

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqCheck forbids == and != on floating-point operands. Metric
+// comparisons drive planner and patroller decisions, and exact equality
+// on computed floats flips with any change to evaluation order or
+// optimization level — the kind of nondeterminism no test sweep reliably
+// catches. Allowed: comparisons against an exact zero constant (the
+// ubiquitous "unset field" sentinel, well-defined in IEEE 754),
+// fully-constant comparisons (decided at compile time), and the approved
+// epsilon helpers named in Config.FloatEqAllowFuncs.
+var FloatEqCheck = &Check{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point operands outside approved epsilon helpers",
+}
+
+func init() {
+	FloatEqCheck.Run = func(p *Pass) {
+		if !p.SimPackage() {
+			return
+		}
+		allowed := make(map[string]bool)
+		for _, name := range p.Config.FloatEqAllowFuncs[trimTestSuffix(p.Pkg.Path)] {
+			allowed[name] = true
+		}
+		inspectFiles(p, func(f *File, n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if ok && allowed[fd.Name.Name] {
+				return false // approved epsilon helper: exact compare allowed
+			}
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			lt, rt := p.Pkg.Info.Types[be.X], p.Pkg.Info.Types[be.Y]
+			if !isFloat(lt.Type) && !isFloat(rt.Type) {
+				return true
+			}
+			if lt.Value != nil && rt.Value != nil {
+				return true // constant expression, decided at compile time
+			}
+			if isZeroConst(lt) || isZeroConst(rt) {
+				return true // exact-zero sentinel check
+			}
+			p.Reportf(FloatEqCheck, be.OpPos,
+				"floating-point %s comparison: exact equality on computed floats is evaluation-order fragile; use an epsilon helper (stats.ApproxEqual) or restructure with < / <=",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	return tv.Value != nil && tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalRandCheck forbids math/rand (v1 and v2) in simulation code.
+// The top-level functions draw from a process-global source, so two runs
+// in the same process — or the same sweep fanned across a different
+// worker count — would consume different streams. All randomness must
+// come from per-run internal/rng streams derived from the run's seed;
+// even a locally-constructed rand.Source is a second PRNG family whose
+// draws are not covered by the seed-derivation scheme.
+var GlobalRandCheck = &Check{
+	Name: "globalrand",
+	Doc:  "forbid math/rand in simulation packages; randomness must come from per-run internal/rng streams",
+}
+
+func init() {
+	GlobalRandCheck.Run = func(p *Pass) {
+		if !p.SimPackage() {
+			return
+		}
+		inspectFiles(p, func(f *File, n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch p.ImportedPackage(id) {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(GlobalRandCheck, sel.Pos(),
+					"math/rand (%s.%s) in simulation code: randomness must come from per-run internal/rng streams derived from the run seed",
+					id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testConfig mirrors DefaultConfig for the testdata layout: the
+// goroutine testdata package approves its own pool file and the floateq
+// package approves its own epsilon helper.
+func testConfig() *Config {
+	return &Config{
+		GoroutineAllow:    map[string][]string{"goroutine": {"allowed.go"}},
+		FloatEqAllowFuncs: map[string][]string{"floateq": {"approxEqual"}},
+	}
+}
+
+// want is one golden expectation: a diagnostic on file:line whose
+// "check: message" text matches re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe parses `// want "regex"` markers, each optionally carrying a
+// line offset (`want:-1 "regex"` expects the finding one line above the
+// comment — used for directive-hygiene findings that land on the
+// //lint:ignore line itself).
+var wantRe = regexp.MustCompile(`want(?::(-?\d+))?((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var wantStrRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func parseWants(t *testing.T, res *Result) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range res.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					pos := res.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						offset := 0
+						if m[1] != "" {
+							offset, _ = strconv.Atoi(m[1])
+						}
+						for _, q := range wantStrRe.FindAllString(m[2], -1) {
+							pat, err := strconv.Unquote(q)
+							if err != nil {
+								t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+							}
+							re, err := regexp.Compile(pat)
+							if err != nil {
+								t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+							}
+							wants = append(wants, &want{file: pos.Filename, line: pos.Line + offset, re: re})
+						}
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads testdata/src/<name>, runs all checks with the test
+// config, and verifies the diagnostics against the // want markers:
+// every marker must match a finding on its line, every finding must be
+// claimed by a marker.
+func runGolden(t *testing.T, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	res, err := LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	for _, pkg := range res.Pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("testdata must type-check cleanly: %v", terr)
+		}
+	}
+	diags := NewRunner(DefaultChecks(), testConfig()).Run(res)
+	wants := parseWants(t, res)
+	for _, d := range diags {
+		text := fmt.Sprintf("%s: %s", d.Check, d.Message)
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing finding at %s:%d matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func TestGoldenWallclock(t *testing.T)  { runGolden(t, "wallclock") }
+func TestGoldenGlobalRand(t *testing.T) { runGolden(t, "globalrand") }
+func TestGoldenMapOrder(t *testing.T)   { runGolden(t, "maporder") }
+func TestGoldenGoroutine(t *testing.T)  { runGolden(t, "goroutine") }
+func TestGoldenFloatEq(t *testing.T)    { runGolden(t, "floateq") }
+func TestGoldenSuppress(t *testing.T)   { runGolden(t, "suppress") }
+
+func TestCheckDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range DefaultChecks() {
+		if c.Name == "" || c.Doc == "" || c.Run == nil {
+			t.Errorf("check %+v missing name, doc, or run function", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate check name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if strings.ToLower(c.Name) != c.Name {
+			t.Errorf("check name %q must be lower-case (used in //lint:ignore directives)", c.Name)
+		}
+	}
+	for _, name := range []string{"wallclock", "globalrand", "maporder", "goroutine", "floateq"} {
+		if !seen[name] {
+			t.Errorf("required check %q not registered", name)
+		}
+	}
+}

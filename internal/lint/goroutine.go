@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// GoroutineCheck forbids go statements outside the approved worker pool.
+// Parallel safety in this repository rests on per-run isolation enforced
+// by one audited fan-out point (internal/experiment/parallel.go); a stray
+// goroutine anywhere else can observe shared state in a
+// scheduling-dependent order and silently break the bit-identical
+// guarantee of the sweep harness.
+var GoroutineCheck = &Check{
+	Name: "goroutine",
+	Doc:  "forbid go statements outside the approved worker pool (internal/experiment/parallel.go)",
+}
+
+func init() {
+	GoroutineCheck.Run = func(p *Pass) {
+		if !p.SimPackage() {
+			return
+		}
+		allowed := make(map[string]bool)
+		for _, base := range p.Config.GoroutineAllow[trimTestSuffix(p.Pkg.Path)] {
+			allowed[base] = true
+		}
+		inspectFiles(p, func(f *File, n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok && !allowed[filepath.Base(f.Name)] {
+				p.Reportf(GoroutineCheck, n.Pos(),
+					"go statement outside the approved worker pool: fan work through experiment.RunAll/Map (internal/experiment/parallel.go) to preserve per-run isolation")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrderCheck flags range-over-map loops whose body is sensitive to
+// iteration order: Go randomizes map order per process, so anything that
+// appends to an outer slice, accumulates a float, or writes output inside
+// such a loop produces different bytes (or different rounding) from run
+// to run — the classic cross-process nondeterminism. The sorted-keys
+// idiom is recognized: an append target that is later passed to a
+// sort/slices call in the same function is allowed (collect, sort, then
+// use). Keyed map-to-map copies and integer accumulation are inherently
+// order-insensitive and pass.
+var MapOrderCheck = &Check{
+	Name: "maporder",
+	Doc:  "flag order-sensitive work (append/output/float accumulation) inside range over a map",
+}
+
+func init() {
+	MapOrderCheck.Run = func(p *Pass) {
+		if !p.SimPackage() {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if f.Test {
+				continue
+			}
+			var stack []ast.Node
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(p.TypeOf(rs.X)) {
+					return true
+				}
+				checkMapRangeBody(p, rs, enclosingFuncBody(stack))
+				return true
+			})
+		}
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal on the stack (nil at package scope).
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, encl *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, rs, encl, st)
+		case *ast.CallExpr:
+			if name, ok := outputCall(p, st); ok {
+				p.Reportf(MapOrderCheck, st.Pos(),
+					"%s inside range over a map: iteration order is randomized per process; iterate over sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags appends to outer slices (unless the target is
+// later sorted) and floating-point accumulation into outer variables.
+func checkMapRangeAssign(p *Pass, rs *ast.RangeStmt, encl *ast.BlockStmt, st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			if i >= len(st.Lhs) || !isAppendCall(rhs) {
+				continue
+			}
+			obj := rootObject(p, st.Lhs[i])
+			if obj == nil || declaredWithin(obj, rs) {
+				continue
+			}
+			if sortedInFunc(p, encl, obj) {
+				continue // collect-then-sort idiom
+			}
+			p.Reportf(MapOrderCheck, st.Pos(),
+				"append to %s inside range over a map accumulates in randomized order; collect keys, sort, then iterate (or sort %s before use)",
+				obj.Name(), obj.Name())
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(st.Lhs) != 1 {
+			return
+		}
+		if _, indexed := st.Lhs[0].(*ast.IndexExpr); indexed {
+			return // keyed writes visit each key once: order-insensitive
+		}
+		if !isFloat(p.TypeOf(st.Lhs[0])) {
+			return // integer accumulation is exact, hence commutative
+		}
+		obj := rootObject(p, st.Lhs[0])
+		if obj == nil || declaredWithin(obj, rs) {
+			return
+		}
+		p.Reportf(MapOrderCheck, st.Pos(),
+			"floating-point accumulation into %s inside range over a map: summation order perturbs rounding across runs; iterate over sorted keys",
+			obj.Name())
+	}
+}
+
+func isAppendCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// rootObject resolves the leftmost identifier of an lvalue (x, x.f, x.f.g)
+// to its object.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := p.Pkg.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return p.Pkg.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() != token.NoPos && obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// sortedInFunc reports whether fn contains a sort.* or slices.* call
+// mentioning obj — the signature of the collect-then-sort idiom.
+func sortedInFunc(p *Pass, fn *ast.BlockStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch p.ImportedPackage(id) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if aid, ok := an.(*ast.Ident); ok && p.Pkg.Info.Uses[aid] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// outputCall reports whether call writes user-visible output: fmt
+// print/fprint functions, io.WriteString, or any Write*/Print* method —
+// byte emission inside a map loop serializes random order.
+func outputCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		switch p.ImportedPackage(id) {
+		case "fmt":
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+				return "fmt." + name, true
+			}
+			return "", false
+		case "io":
+			if name == "WriteString" || name == "Copy" {
+				return "io." + name, true
+			}
+			return "", false
+		}
+	}
+	// Method call: only flag when it is really a method (selection
+	// resolved), so qualified identifiers of other packages don't match.
+	if p.Pkg.Info.Selections[sel] == nil {
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println":
+		return "(method) " + name, true
+	}
+	return "", false
+}

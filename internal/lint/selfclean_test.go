@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsLintClean is the acceptance gate in test form: qlint over the
+// real tree must be silent. Every invariant violation has to be fixed or
+// carry a reasoned //lint:ignore — and because unused directives are
+// findings too, stale suppressions fail this test as well.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := FindModuleRoot("../..")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	res, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(res.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages — loader is missing parts of the tree", len(res.Pkgs))
+	}
+	diags := NewRunner(DefaultChecks(), DefaultConfig()).Run(res)
+	for _, d := range diags {
+		rel, relErr := filepath.Rel(root, d.Pos.Filename)
+		if relErr != nil {
+			rel = d.Pos.Filename
+		}
+		t.Errorf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+}
+
+// TestLoadModulePackages sanity-checks the loader: the packages the
+// checks most depend on must be present and type-check without errors.
+func TestLoadModulePackages(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	res, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	found := map[string]*Package{}
+	for _, p := range res.Pkgs {
+		found[p.Path] = p
+	}
+	for _, path := range []string{
+		"repro",
+		"repro/internal/simclock",
+		"repro/internal/engine",
+		"repro/internal/experiment",
+		"repro/internal/metrics",
+		"repro/cmd/qsim",
+		"repro/cmd/qlint",
+	} {
+		p, ok := found[path]
+		if !ok {
+			t.Errorf("package %s not loaded", path)
+			continue
+		}
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("package %s has type errors: %v", path, p.TypeErrors[0])
+		}
+		if p.Types == nil {
+			t.Errorf("package %s has no type information", path)
+		}
+	}
+}

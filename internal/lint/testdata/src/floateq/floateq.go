@@ -1,0 +1,47 @@
+// Seeded violations for the floateq check: exact float equality is
+// forbidden outside approved epsilon helpers; zero-sentinel checks,
+// constant folds, and integer comparisons pass.
+package floateq
+
+type metric float64
+
+func bad(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func badNeq(a float64) bool {
+	return a != 1.5 // want "floating-point != comparison"
+}
+
+func badNamed(a, b metric) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func badFloat32(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func zeroSentinelOK(a float64) bool {
+	return a == 0 || a != 0.0
+}
+
+func constFoldOK() bool {
+	return 0.1+0.2 == 0.3
+}
+
+func intOK(a, b int) bool {
+	return a == b
+}
+
+// approxEqual is this package's approved epsilon helper (allowed via
+// Config.FloatEqAllowFuncs): the exact comparison inside is deliberate.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

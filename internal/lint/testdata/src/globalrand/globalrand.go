@@ -1,0 +1,18 @@
+// Seeded violations for the globalrand check: any math/rand use in
+// simulation code is forbidden — the top-level functions share a
+// process-global source, and even local sources bypass the per-run
+// seed-derivation scheme in internal/rng.
+package globalrand
+
+import "math/rand"
+
+var shared = rand.NewSource(1) // want "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want "math/rand"
+}
+
+func alsoBad() float64 {
+	r := rand.New(rand.NewSource(7)) // want "math/rand" "math/rand"
+	return r.Float64()
+}

@@ -1,0 +1,18 @@
+// The approved pool file for this testdata package (the analogue of
+// internal/experiment/parallel.go): go statements here are allowed by
+// Config.GoroutineAllow.
+package goroutine
+
+import "sync"
+
+func pool(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,23 @@
+// Seeded violations for the goroutine check: go statements are confined
+// to the approved worker pool file (allowed.go in this testdata package).
+package goroutine
+
+import "sync"
+
+func bad() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "go statement outside the approved worker pool"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func alsoBad(ch chan int) {
+	go drain(ch) // want "go statement outside the approved worker pool"
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,76 @@
+// Seeded violations for the maporder check: order-sensitive work inside
+// range-over-map loops, plus the allowed idioms (collect-then-sort,
+// keyed copies, integer accumulation).
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out"
+	}
+	return out
+}
+
+func sortedIdiomOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badPrint(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Println(k, v)       // want "fmt.Println"
+		fmt.Fprintf(w, "%d", v) // want "fmt.Fprintf"
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString"
+	}
+	return b.String()
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into sum"
+	}
+	return sum
+}
+
+func intSumOK(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func keyedCopyOK(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] = v
+		dst[k] += v
+	}
+}
+
+func localAppendOK(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var evens []int
+		evens = append(evens, vs...)
+		total += len(evens)
+	}
+	return total
+}

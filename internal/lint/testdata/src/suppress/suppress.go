@@ -1,0 +1,36 @@
+// Exercises //lint:ignore handling: inline and above-line suppression,
+// multi-check directives, and the directive-hygiene diagnostics (missing
+// reason, unknown check, unused directive).
+package suppress
+
+import (
+	"math/rand"
+	"time"
+)
+
+func inlineOK() time.Time {
+	return time.Now() //lint:ignore wallclock testdata exercises inline suppression
+}
+
+func aboveLineOK() {
+	//lint:ignore wallclock testdata exercises above-line suppression
+	time.Sleep(time.Millisecond)
+}
+
+//lint:ignore wallclock,globalrand testdata exercises multi-check suppression
+var t0, r0 = time.Now(), rand.Int()
+
+func missingReason() {
+	//lint:ignore wallclock
+	time.Sleep(1) // want "wall-clock time.Sleep" want:-1 "has no reason"
+}
+
+func unknownCheck() {
+	//lint:ignore nosuchcheck the reason is here but the check is not
+	time.Sleep(1) // want "wall-clock time.Sleep" want:-1 "unknown check"
+}
+
+func unusedDirective() {
+	//lint:ignore goroutine stale suppression that matches nothing
+	time.Sleep(1) // want "wall-clock time.Sleep" want:-1 "unused lint:ignore"
+}

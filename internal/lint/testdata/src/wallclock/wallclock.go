@@ -1,0 +1,23 @@
+// Seeded violations for the wallclock check: wall-clock reads and waits
+// are forbidden in simulation code; durations and constants are fine.
+package wallclock
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()             // want "wall-clock time.Now"
+	time.Sleep(time.Millisecond)    // want "wall-clock time.Sleep"
+	<-time.After(time.Second)       // want "wall-clock time.After"
+	t := time.NewTimer(time.Second) // want "wall-clock time.NewTimer"
+	_ = t
+	return time.Since(start) // want "wall-clock time.Since"
+}
+
+func okDurations() time.Duration {
+	d := 3 * time.Second
+	return d + time.Duration(5)*time.Millisecond
+}
+
+func okParse() (time.Time, error) {
+	return time.Parse(time.RFC3339, "2007-04-15T00:00:00Z")
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockFuncs are the package time entry points that read or wait on
+// the machine's clock. Conversions and constants (time.Duration,
+// time.Second) are fine: they carry no wall-clock state.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// WallclockCheck forbids wall-clock time in simulation code. Every
+// simulated run must be a pure function of its seed, so all time has to
+// flow through internal/simclock — a time.Now or time.Sleep anywhere in a
+// simulation package couples results to the host machine and breaks the
+// bit-identical replay the experiment harness promises.
+var WallclockCheck = &Check{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Sleep/... in simulation packages; time must flow through internal/simclock",
+}
+
+func init() {
+	WallclockCheck.Run = func(p *Pass) {
+		if !p.SimPackage() {
+			return
+		}
+		inspectFiles(p, func(f *File, n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if p.ImportedPackage(id) == "time" && wallclockFuncs[sel.Sel.Name] {
+				p.Reportf(WallclockCheck, sel.Pos(),
+					"wall-clock time.%s in simulation code: all time must flow through internal/simclock so runs replay bit-identically",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/stats"
@@ -68,8 +69,30 @@ func (c *Collector) onDone(q *engine.Query) {
 	agg.Cost.Add(q.Cost)
 }
 
-// Classes returns the tracked classes.
-func (c *Collector) Classes() map[engine.ClassID]*workload.Class { return c.classes }
+// Classes returns the tracked classes sorted by ID — a stable order for
+// rendering, whatever order they were registered in. The collector's
+// internal map must never drive output directly: map iteration order is
+// randomized per process (enforced tree-wide by the maporder lint check).
+func (c *Collector) Classes() []*workload.Class {
+	out := make([]*workload.Class, 0, len(c.classes))
+	for _, id := range c.ClassIDs() {
+		out = append(out, c.classes[id])
+	}
+	return out
+}
+
+// ClassIDs returns the tracked class IDs in ascending order.
+func (c *Collector) ClassIDs() []engine.ClassID {
+	ids := make([]engine.ClassID, 0, len(c.classes))
+	for id := range c.classes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Class returns the tracked class with the given ID, or nil.
+func (c *Collector) Class(id engine.ClassID) *workload.Class { return c.classes[id] }
 
 // Periods returns the number of schedule periods.
 func (c *Collector) Periods() int { return len(c.periods) }

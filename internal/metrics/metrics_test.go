@@ -38,6 +38,34 @@ func submit(eng *engine.Engine, class engine.ClassID, work float64) *engine.Quer
 	return q
 }
 
+func TestClassesSortedByIDRegardlessOfRegistrationOrder(t *testing.T) {
+	// Register the classes in descending-ID order; the accessors must
+	// still return ascending IDs — report rendering iterates Classes()
+	// and its order must never depend on map iteration or input order.
+	classes := testClasses()
+	reversed := []*workload.Class{classes[1], classes[0]}
+	clock := simclock.New()
+	eng := engine.New(engine.Config{CPUCapacity: 100, IOCapacity: 100}, clock)
+	col := NewCollector(eng, reversed, testSched(3, 10))
+
+	ids := col.ClassIDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ClassIDs() = %v, want strictly ascending", ids)
+		}
+	}
+	got := col.Classes()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("Classes() order = %v, want sorted by ID", []engine.ClassID{got[0].ID, got[1].ID})
+	}
+	if col.Class(2) == nil || col.Class(2).Name != "oltp" {
+		t.Fatalf("Class(2) lookup failed")
+	}
+	if col.Class(42) != nil {
+		t.Fatal("Class(42) should be nil for untracked ID")
+	}
+}
+
 func TestCompletionsBucketedByPeriod(t *testing.T) {
 	col, eng, clock := newRig(t)
 	submit(eng, 1, 2)                          // completes at t=2, period 0

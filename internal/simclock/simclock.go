@@ -49,8 +49,11 @@ type event struct {
 // before is the deterministic firing order: earliest time first, FIFO
 // (scheduling order) among ties.
 func (e *event) before(o *event) bool {
-	if e.at != o.at {
-		return e.at < o.at
+	if e.at < o.at {
+		return true
+	}
+	if o.at < e.at {
+		return false
 	}
 	return e.seq < o.seq
 }

@@ -53,11 +53,18 @@ func (p Plan) Clone() Plan {
 	return out
 }
 
-// Sum returns the plan's total allocation.
+// Sum returns the plan's total allocation. Accumulation runs over sorted
+// class IDs: map order would perturb the floating-point rounding from
+// process to process, and the total feeds planner decisions.
 func (p Plan) Sum() float64 {
+	ids := make([]engine.ClassID, 0, len(p))
+	for id := range p {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	total := 0.0
-	for _, v := range p {
-		total += v
+	for _, id := range ids {
+		total += p[id]
 	}
 	return total
 }
@@ -218,8 +225,8 @@ func (g Greedy) solveFrom(p Problem, plan Plan) Plan {
 						bestAmount = amt
 					}
 				}
-				if amt == avail {
-					break
+				if amount >= avail {
+					break // amt was clamped to avail: the donor is drained
 				}
 			}
 		}

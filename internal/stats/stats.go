@@ -9,6 +9,24 @@ import (
 	"sort"
 )
 
+// ApproxEqual reports whether a and b agree to within tol, scaled by the
+// larger magnitude (an absolute comparison below magnitude 1). It is the
+// repository's approved epsilon helper for floating-point equality: the
+// qlint floateq check forbids ==/!= on computed floats everywhere else,
+// because exact equality flips with evaluation order. The one exact
+// comparison below handles infinities and is allowed by name in the lint
+// configuration (see internal/lint.DefaultConfig).
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true // covers equal infinities, which produce a NaN diff
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+		return false // unequal non-finite values are never "approximately" equal
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
 // Summary accumulates count, mean, and variance online (Welford's
 // algorithm) along with min and max. The zero value is ready to use.
 type Summary struct {

@@ -320,3 +320,26 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-3, false},
+		{1e9, 1e9 * (1 + 1e-10), 1e-9, true}, // relative scaling kicks in
+		{1e9, 1e9 + 1, 1e-12, false},
+		{0, 1e-12, 1e-9, true}, // absolute comparison near zero
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1, 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false}, // NaN equals nothing
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
