@@ -30,8 +30,11 @@ RACEFLAGS ?= -short
 race:
 	$(GO) test -race $(RACEFLAGS) -timeout 30m ./...
 
+# `make bench` runs the whole suite once with -benchmem and records the
+# results as BENCH_qsim.json (see scripts/bench.sh for BENCH/BENCHTIME/OUT
+# overrides and README "Benchmark trajectory" for the JSON format).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=NONE ./...
+	./scripts/bench.sh
 
 check:
 	./scripts/check.sh

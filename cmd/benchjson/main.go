@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_qsim.json perf trajectory (see README "Benchmark
+// trajectory"). scripts/bench.sh is the normal entry point; it pipes the
+// benchmark run through this tool and supplies the timestamp and
+// toolchain version as flags (this tool itself reads no wall clock, per
+// the qlint wallclock invariant).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... |
+//	    benchjson -date 2026-08-05T00:00:00Z -go "$(go version)" -o BENCH_qsim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// File is the BENCH_qsim.json shape.
+type File struct {
+	// Format versions the JSON layout.
+	Format int `json:"format"`
+	// Generated is the RFC 3339 UTC timestamp supplied by the caller.
+	Generated string `json:"generated"`
+	// Go is the `go version` line of the toolchain that ran the suite.
+	Go string `json:"go"`
+	// Env echoes the goos/goarch/pkg/cpu header lines of the output.
+	Env map[string]string `json:"env"`
+	// Benchmarks lists one entry per result line, in output order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `BenchmarkName-P  N  <value unit>...` result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// trailing -GOMAXPROCS suffix; sub-benchmarks keep their /path.
+	Name string `json:"name"`
+	// Procs is the -GOMAXPROCS suffix (1 when the line has none).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "<value> <unit>" pair on the
+	// line: ns/op, B/op, allocs/op, and all b.ReportMetric units
+	// (class1-goal%, events/sec, ...). encoding/json sorts the keys, so
+	// identical runs serialize identically.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output. Non-benchmark lines (PASS, ok,
+// test logs) are skipped; header lines fill Env.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Format: 1, Env: map[string]string{}, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				f.Env[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "name N value unit [value unit]..."; a bare
+		// "BenchmarkFoo" line (b.Run header) has no fields to parse.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		b, err := parseResult(fields)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %w", line, err)
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: read: %w", err)
+	}
+	return f, nil
+}
+
+func parseResult(fields []string) (Benchmark, error) {
+	b := Benchmark{
+		Name:    strings.TrimPrefix(fields[0], "Benchmark"),
+		Procs:   1,
+		Metrics: make(map[string]float64, (len(fields)-2)/2),
+	}
+	// Split the trailing -GOMAXPROCS suffix, if numeric.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return b, fmt.Errorf("iterations: %w", err)
+	}
+	b.Iterations = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return b, fmt.Errorf("metric %s: %w", fields[i+1], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+func main() {
+	date := flag.String("date", "", "RFC 3339 UTC timestamp to record (supplied by scripts/bench.sh)")
+	goVersion := flag.String("go", "", "`go version` line to record")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	f, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	f.Generated = *date
+	f.Go = *goVersion
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

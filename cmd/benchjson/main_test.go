@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkClockThroughput 	       1	      1030 ns/op	   2890173 events/sec	       0 B/op	       0 allocs/op
+BenchmarkFig6-8          	       1	9503327740 ns/op	         0.8889 class1-goal%	         0.8889 class2-goal%	         1.000 class3-goal%
+BenchmarkSaturationSweep/parallel=4-8         	       1	  86061569 ns/op
+BenchmarkSaturationSweep
+PASS
+ok  	repro	12.907s
+?   	repro/cmd/qsim	[no test files]
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Env["goos"] != "linux" || f.Env["cpu"] == "" {
+		t.Errorf("env = %v", f.Env)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	b0 := f.Benchmarks[0]
+	if b0.Name != "ClockThroughput" || b0.Procs != 1 || b0.Iterations != 1 {
+		t.Errorf("b0 = %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 1030 || b0.Metrics["events/sec"] != 2890173 ||
+		b0.Metrics["allocs/op"] != 0 {
+		t.Errorf("b0 metrics = %v", b0.Metrics)
+	}
+	b1 := f.Benchmarks[1]
+	if b1.Name != "Fig6" || b1.Procs != 8 {
+		t.Errorf("b1 = %+v", b1)
+	}
+	if b1.Metrics["class3-goal%"] != 1.0 {
+		t.Errorf("b1 metrics = %v", b1.Metrics)
+	}
+	b2 := f.Benchmarks[2]
+	if b2.Name != "SaturationSweep/parallel=4" || b2.Procs != 8 {
+		t.Errorf("b2 = %+v", b2)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkBad 	 x 	 12 ns/op 	 3 B/op\n"))
+	if err == nil {
+		t.Error("bad iteration count: want error")
+	}
+	_, err = Parse(strings.NewReader("BenchmarkBad 	 1 	 oops ns/op 	 3 B/op\n"))
+	if err == nil {
+		t.Error("bad metric value: want error")
+	}
+}

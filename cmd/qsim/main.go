@@ -16,14 +16,63 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/experiment"
 	"repro/internal/workload"
 )
+
+// fileSink is a buffered file target for trace/metrics export. The trace
+// sink in particular receives one small write per event, so buffering is
+// what keeps exporting a 24-hour run cheap.
+type fileSink struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// openSink creates path (nil when path is empty).
+func openSink(path string) *fileSink {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return &fileSink{f: f, bw: bufio.NewWriterSize(f, 1<<20)}
+}
+
+// writer returns the sink's io.Writer, or a nil interface for a nil sink
+// (a typed-nil *fileSink inside an io.Writer would defeat nil checks).
+func (s *fileSink) writer() io.Writer {
+	if s == nil {
+		return nil
+	}
+	return s.bw
+}
+
+// close flushes and closes, exiting on error: a silently truncated
+// artifact is worse than a failed run.
+func (s *fileSink) close() {
+	if s == nil {
+		return
+	}
+	if err := s.bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := s.f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", s.f.Name())
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|all")
@@ -33,7 +82,27 @@ func main() {
 	chart := flag.Bool("chart", false, "draw figures as terminal line charts in addition to tables")
 	scenario := flag.String("scenario", "", "run a custom JSON scenario file instead of a named experiment")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV files into this directory")
+	traceFile := flag.String("trace", "", "write the run's lossless JSONL event trace to this file (mixed runs only: fig4|fig5|fig6|fig7 or -scenario; inspect with qtrace)")
+	metricsFile := flag.String("metrics", "", "write the run's metrics as Prometheus text exposition to this file (mixed runs only, like -trace)")
 	flag.Parse()
+
+	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true}
+	if (*traceFile != "" || *metricsFile != "") && *scenario == "" && !obsCapable[*exp] {
+		fmt.Fprintln(os.Stderr, "-trace/-metrics apply to a single mixed run: -exp fig4|fig5|fig6|fig7 or -scenario")
+		os.Exit(2)
+	}
+	traceSink := openSink(*traceFile)
+	metricsSink := openSink(*metricsFile)
+	checkExport := func(res *experiment.MixedResult) {
+		if res.ExportErr != nil {
+			fmt.Fprintln(os.Stderr, res.ExportErr)
+			os.Exit(1)
+		}
+	}
+	closeSinks := func() {
+		traceSink.close()
+		metricsSink.close()
+	}
 
 	writeCSV := func(name, content string) {
 		if *csvDir == "" {
@@ -73,7 +142,10 @@ func main() {
 		if sc.Name != "" {
 			fmt.Fprintf(out, "Scenario: %s\n", sc.Name)
 		}
+		sc.Trace = traceSink.writer()
+		sc.Metrics = metricsSink.writer()
 		res := sc.Run()
+		checkExport(res)
 		experiment.WriteMixed(out, res)
 		if res.CostLimits != nil {
 			experiment.WriteCostLimits(out, res)
@@ -81,6 +153,7 @@ func main() {
 		if *chart {
 			experiment.WriteMixedCharts(out, res)
 		}
+		closeSinks()
 		return
 	}
 
@@ -121,7 +194,11 @@ func main() {
 	mixed := func(mode experiment.Mode) *experiment.MixedResult {
 		cfg := experiment.DefaultMixedConfig(mode)
 		cfg.Seed = *seed
+		cfg.Experiment = *exp
+		cfg.Trace = traceSink.writer()
+		cfg.Metrics = metricsSink.writer()
 		res := experiment.RunMixed(cfg)
+		checkExport(res)
 		if err := res.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -212,4 +289,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	closeSinks()
 }

@@ -17,8 +17,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -29,6 +31,47 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/workload"
 )
+
+// sink is one run's buffered export file. Each swept value owns its sink,
+// so concurrent sweep workers never share a writer.
+type sink struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// newSink creates path, exiting on failure (before any runs start).
+func newSink(path string) *sink {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return &sink{f: f, bw: bufio.NewWriterSize(f, 1<<20)}
+}
+
+// writer returns a nil interface for a nil sink (never a typed nil).
+func (s *sink) writer() io.Writer {
+	if s == nil {
+		return nil
+	}
+	return s.bw
+}
+
+// finish flushes and closes, reporting the artifact path.
+func (s *sink) finish() {
+	if s == nil {
+		return
+	}
+	if err := s.bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := s.f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", s.f.Name())
+}
 
 // setters maps parameter names to config mutations.
 var setters = map[string]func(*core.Config, float64) error{
@@ -66,6 +109,8 @@ func main() {
 	values := flag.String("values", "", "comma-separated values")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
+	tracePrefix := flag.String("trace", "", "write each run's JSONL event trace to <prefix><value>.jsonl (inspect with qtrace)")
+	metricsPrefix := flag.String("metrics", "", "write each run's metrics exposition to <prefix><value>.prom")
 	flag.Parse()
 
 	setter, ok := setters[*param]
@@ -115,16 +160,36 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	results := experiment.Map(*parallel, sweep, func(_ float64, i int) *experiment.MixedResult {
+	// One export sink per swept value, created before the (possibly
+	// parallel) runs so failures abort early and workers never share one.
+	traceSinks := make([]*sink, len(sweep))
+	metricsSinks := make([]*sink, len(sweep))
+	for i, v := range sweep {
+		val := strconv.FormatFloat(v, 'g', -1, 64)
+		if *tracePrefix != "" {
+			traceSinks[i] = newSink(*tracePrefix + val + ".jsonl")
+		}
+		if *metricsPrefix != "" {
+			metricsSinks[i] = newSink(*metricsPrefix + val + ".prom")
+		}
+	}
+	results := experiment.Map(*parallel, sweep, func(v float64, i int) *experiment.MixedResult {
 		return experiment.RunMixed(experiment.MixedConfig{
-			Mode:  experiment.QueryScheduler,
-			Sched: workload.PaperSchedule(),
-			Seed:  *seed,
-			QS:    &cfgs[i],
+			Mode:       experiment.QueryScheduler,
+			Sched:      workload.PaperSchedule(),
+			Seed:       *seed,
+			QS:         &cfgs[i],
+			Experiment: fmt.Sprintf("qsweep %s=%g", *param, v),
+			Trace:      traceSinks[i].writer(),
+			Metrics:    metricsSinks[i].writer(),
 		})
 	})
 	for i, v := range sweep {
 		res := results[i]
+		if res.ExportErr != nil {
+			fmt.Fprintln(os.Stderr, res.ExportErr)
+			os.Exit(1)
+		}
 		fmt.Printf("%14g", v)
 		for ci := range classes {
 			fmt.Printf(" %11.0f%%", 100*res.Satisfaction[ci])
@@ -141,5 +206,9 @@ func main() {
 			fmt.Printf(" %14.0f", heavy/float64(n)*1000)
 		}
 		fmt.Println()
+	}
+	for i := range sweep {
+		traceSinks[i].finish()
+		metricsSinks[i].finish()
 	}
 }

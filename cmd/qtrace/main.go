@@ -1,0 +1,61 @@
+// Command qtrace inspects JSONL traces exported by qsim/qsweep -trace.
+//
+// Usage:
+//
+//	qtrace trace.jsonl                             # header + event counts
+//	qtrace -explain "class=B period=3" trace.jsonl # explain one cell
+//
+// The -explain spec names one class/period cell of the period tables:
+// classes by numeric ID, letter (A = first class in the trace header), or
+// name; periods 1-based as the tables print them. The explanation breaks
+// the cell's response time into admission wait vs execution, draws the
+// held-queue depth over the period, lists plan changes, and draws a
+// per-query lifetime Gantt. All analysis lives in internal/trace.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	explain := flag.String("explain", "", `explain one cell, e.g. "class=B period=3"`)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qtrace [-explain \"class=X period=K\"] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tf, err := trace.ReadJSONL(bufio.NewReaderSize(f, 1<<20))
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if *explain == "" {
+		trace.Summarize(out, tf)
+		return
+	}
+	q, err := trace.ParseExplainQuery(*explain, tf.Meta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ex, err := trace.Explain(tf, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ex.Render(out)
+}

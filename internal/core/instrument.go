@@ -1,0 +1,168 @@
+// Metrics instrumentation for the Query Scheduler: dispatcher
+// hold/release counters, cost-limit gauges, admission-wait histograms,
+// and the perf models' predicted-vs-actual error — the controller-quality
+// observables. All instruments live in a caller-owned obs.Registry, so
+// the parallel runner's one-registry-per-run isolation holds. Every
+// method on schedObs is nil-receiver safe: an uninstrumented scheduler
+// pays one pointer test per call site and nothing else.
+package core
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/patroller"
+)
+
+// Metric names exported by the scheduler.
+const (
+	MetricReleases  = "qs_dispatch_releases_total"
+	MetricHolds     = "qs_dispatch_holds_total"
+	MetricCostLimit = "qs_cost_limit_timerons"
+	MetricTicks     = "qs_control_ticks_total"
+	MetricUtility   = "qs_plan_utility"
+	MetricPredErr   = "qs_prediction_abs_error"
+	MetricAdmitWait = "qs_admission_wait_seconds"
+)
+
+// schedObs caches the scheduler's instruments per class so the dispatch
+// path does not re-render label sets on every decision.
+type schedObs struct {
+	reg      *obs.Registry
+	oltpID   engine.ClassID // -1 when there is no OLTP class
+	releases map[engine.ClassID]*obs.Counter
+	holds    map[engine.ClassID]*obs.Counter
+	limits   map[engine.ClassID]*obs.Gauge
+	predErr  map[engine.ClassID]*obs.Histogram
+	ticks    *obs.Counter
+	utility  *obs.Gauge
+}
+
+// Instrument registers the scheduler's observables in reg and begins
+// updating them: release/hold counters per dispatch decision, cost-limit
+// gauges and prediction-error histograms per control tick, and an
+// admission-wait histogram fed from the patroller's release hook. Call
+// before Start, at most once.
+func (qs *QueryScheduler) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		panic("core: nil registry")
+	}
+	if qs.instr != nil {
+		panic("core: scheduler already instrumented")
+	}
+	o := &schedObs{
+		reg:      reg,
+		oltpID:   -1,
+		releases: make(map[engine.ClassID]*obs.Counter),
+		holds:    make(map[engine.ClassID]*obs.Counter),
+		limits:   make(map[engine.ClassID]*obs.Gauge),
+		predErr:  make(map[engine.ClassID]*obs.Histogram),
+	}
+	if qs.oltpClass != nil {
+		o.oltpID = qs.oltpClass.ID
+	}
+	o.ticks = reg.Counter(MetricTicks, "Control-loop ticks executed.")
+	o.utility = reg.Gauge(MetricUtility, "Total utility of the current scheduling plan.")
+	qs.instr = o
+
+	// Admission wait becomes observable at release time; chain the
+	// patroller hook the same way the monitor and tracer do.
+	clock := qs.eng.Clock()
+	waits := make(map[engine.ClassID]*obs.Histogram)
+	prev := qs.pat.OnRelease
+	qs.pat.OnRelease = func(qi *patroller.QueryInfo) {
+		if prev != nil {
+			prev(qi)
+		}
+		h, ok := waits[qi.Class]
+		if !ok {
+			h = reg.Histogram(MetricAdmitWait,
+				"Time from interception to release, per class (seconds).",
+				obs.DefaultDurationBuckets(), classLabel(qi.Class))
+			waits[qi.Class] = h
+		}
+		h.Observe(qi.WaitTime(clock.Now()))
+	}
+}
+
+// classLabel renders the per-class label.
+func classLabel(id engine.ClassID) obs.Label {
+	return obs.L("class", strconv.Itoa(int(id)))
+}
+
+// noteRelease counts one dispatcher release decision.
+func (o *schedObs) noteRelease(class engine.ClassID) {
+	if o == nil {
+		return
+	}
+	c, ok := o.releases[class]
+	if !ok {
+		c = o.reg.Counter(MetricReleases,
+			"Held queries the dispatcher released, per class.", classLabel(class))
+		o.releases[class] = c
+	}
+	c.Inc()
+}
+
+// noteHold counts one dispatcher keep-held decision (a held query
+// evaluated and left in the queue this dispatch round).
+func (o *schedObs) noteHold(class engine.ClassID) {
+	if o == nil {
+		return
+	}
+	c, ok := o.holds[class]
+	if !ok {
+		c = o.reg.Counter(MetricHolds,
+			"Held queries the dispatcher evaluated and kept held, per class.", classLabel(class))
+		o.holds[class] = c
+	}
+	c.Inc()
+}
+
+// noteTick records one control interval: the new plan's limits and
+// utility, plus the previous tick's prediction error now that the
+// interval it forecast has been measured.
+func (o *schedObs) noteTick(rec PlanRecord, prevPredicted map[engine.ClassID]float64) {
+	if o == nil {
+		return
+	}
+	o.ticks.Inc()
+	o.utility.Set(rec.Utility)
+	for _, id := range sortedClassIDs(rec.Limits) {
+		g, ok := o.limits[id]
+		if !ok {
+			g = o.reg.Gauge(MetricCostLimit,
+				"Current class cost limit in timerons.", classLabel(id))
+			o.limits[id] = g
+		}
+		g.Set(rec.Limits[id])
+	}
+	for _, id := range sortedClassIDs(prevPredicted) {
+		actual := rec.Measurement.Velocity[id]
+		if id == o.oltpID {
+			actual = rec.Measurement.OLTPRespTime
+		}
+		h, ok := o.predErr[id]
+		if !ok {
+			h = o.reg.Histogram(MetricPredErr,
+				"Absolute error of the per-class performance prediction (velocity for OLAP, seconds for OLTP).",
+				obs.DefaultErrorBuckets(), classLabel(id))
+			o.predErr[id] = h
+		}
+		h.Observe(math.Abs(prevPredicted[id] - actual))
+	}
+}
+
+// sortedClassIDs returns m's keys in ascending order (deterministic map
+// iteration for instrument updates).
+func sortedClassIDs(m map[engine.ClassID]float64) []engine.ClassID {
+	ids := make([]engine.ClassID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -40,6 +40,11 @@ type PlanRecord struct {
 	// Workload holds the detector's characterization per class at
 	// planning time.
 	Workload map[engine.ClassID]detect.Characterization
+	// Predicted is the performance each class's model forecast for the
+	// coming interval at the chosen limits (velocity for OLAP classes,
+	// mean response time for the OLTP class). Comparing it against the
+	// next record's Measurement yields the model's prediction error.
+	Predicted map[engine.ClassID]float64
 }
 
 // QueryScheduler wires Monitor, Classifier, Dispatcher, Scheduling
@@ -61,10 +66,12 @@ type QueryScheduler struct {
 	velModel  perfmodel.OLAPVelocity
 	detector  *detect.Detector
 
-	limits  solver.Plan
-	ticker  *simclock.Ticker
-	history []PlanRecord
-	running bool
+	limits    solver.Plan
+	ticker    *simclock.Ticker
+	history   []PlanRecord
+	planHooks []func(PlanRecord)
+	instr     *schedObs
+	running   bool
 }
 
 // New builds a Query Scheduler for the given classes. At most one class
@@ -174,6 +181,16 @@ func (qs *QueryScheduler) CostLimits() solver.Plan { return qs.limits.Clone() }
 // History returns all control-interval records so far.
 func (qs *QueryScheduler) History() []PlanRecord { return qs.history }
 
+// OnPlan registers a hook called with each control interval's PlanRecord
+// as it is appended to the history. Hooks run in registration order; the
+// trace layer uses this to emit plan-change events.
+func (qs *QueryScheduler) OnPlan(h func(PlanRecord)) {
+	if h == nil {
+		panic("core: nil plan hook")
+	}
+	qs.planHooks = append(qs.planHooks, h)
+}
+
 // OLTPModel exposes the fitted response-time model (for diagnostics).
 func (qs *QueryScheduler) OLTPModel() *perfmodel.OLTPResponse { return qs.oltpModel }
 
@@ -195,16 +212,19 @@ func (qs *QueryScheduler) SelectReleases(v *patroller.View) []engine.QueryID {
 		limit, ok := qs.limits[class]
 		if !ok {
 			// Unknown class: release immediately rather than strand it.
+			qs.instr.noteRelease(class)
 			out = append(out, qi.ID)
 			continue
 		}
 		fits := activeCost[class]+qi.Cost <= limit+1e-9
 		starving := qs.cfg.StarvationGuard && activeCount[class] == 0 && qi.Cost > limit
 		if !fits && !starving {
+			qs.instr.noteHold(class)
 			continue // head-of-line blocks only its own class
 		}
 		activeCost[class] += qi.Cost
 		activeCount[class]++
+		qs.instr.noteRelease(class)
 		out = append(out, qi.ID)
 	}
 	return out
@@ -281,15 +301,29 @@ func (qs *QueryScheduler) controlTick() {
 	}
 
 	plan := qs.cfg.Solver.Solve(problem, qs.limits)
+	predicted := make(map[engine.ClassID]float64, len(problem.Classes))
+	for _, spec := range problem.Classes {
+		predicted[spec.ID] = spec.Predict(plan[spec.ID])
+	}
+	var prevPredicted map[engine.ClassID]float64
+	if n := len(qs.history); n > 0 {
+		prevPredicted = qs.history[n-1].Predicted
+	}
 	qs.limits = plan
-	qs.history = append(qs.history, PlanRecord{
+	rec := PlanRecord{
 		Time:        meas.Time,
 		Measurement: meas,
 		Limits:      plan.Clone(),
 		Utility:     solver.Utility(problem, plan),
 		OLTPSlope:   qs.oltpModel.Slope(),
 		Workload:    chars,
-	})
+		Predicted:   predicted,
+	}
+	qs.history = append(qs.history, rec)
+	qs.instr.noteTick(rec, prevPredicted)
+	for _, h := range qs.planHooks {
+		h(rec)
+	}
 	qs.pat.Poke() // apply the new limits right away
 }
 

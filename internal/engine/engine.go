@@ -192,6 +192,7 @@ type Engine struct {
 	interceptor     Interceptor
 	listeners       []Listener
 	submitListeners []Listener
+	startListeners  []Listener
 
 	nextID       QueryID
 	active       []*Query
@@ -255,6 +256,17 @@ func (e *Engine) OnSubmit(l Listener) {
 	e.submitListeners = append(e.submitListeners, l)
 }
 
+// OnStart registers an execution-start listener, called when a query
+// transitions to StateExecuting — immediately at submit for unintercepted
+// queries, at release for held ones. The trace layer uses this so query
+// lifecycle spans carry a real start edge.
+func (e *Engine) OnStart(l Listener) {
+	if l == nil {
+		panic("engine: nil listener")
+	}
+	e.startListeners = append(e.startListeners, l)
+}
+
 // Submit hands a query to the engine at the current virtual time. The
 // interceptor, if any, may hold it; otherwise execution starts immediately.
 func (e *Engine) Submit(q *Query) {
@@ -300,6 +312,9 @@ func (e *Engine) Start(q *Query) {
 	e.active = append(e.active, q)
 	e.stats.Started++
 	e.reschedule()
+	for _, l := range e.startListeners {
+		l(q)
+	}
 }
 
 // Active returns the number of currently executing queries.

@@ -72,6 +72,54 @@ func TestFig2ParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestTraceExportParallelMatchesSerial extends the isolation invariant to
+// the observability layer: the JSONL trace and metrics exposition of each
+// run in a sweep must come out byte-identical whether the sweep ran
+// serially or on 8 workers. Each run owns its tracer, registry, and
+// output buffer, so any divergence means shared mutable state leaked in.
+func TestTraceExportParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QS runs are slow under -race")
+	}
+	sched := shortSchedule()
+	seeds := []uint64{1, 2, 3}
+	export := func(parallel int) (traces, metrics [][]byte) {
+		type artifacts struct{ trace, metrics []byte }
+		outs := Map(parallel, seeds, func(seed uint64, _ int) artifacts {
+			var tb, mb bytes.Buffer
+			res := RunMixed(MixedConfig{
+				Mode: QueryScheduler, Sched: sched, Seed: seed,
+				Experiment: "determinism", Trace: &tb, Metrics: &mb,
+			})
+			if res.ExportErr != nil {
+				t.Error(res.ExportErr)
+			}
+			return artifacts{tb.Bytes(), mb.Bytes()}
+		})
+		for _, o := range outs {
+			traces = append(traces, o.trace)
+			metrics = append(metrics, o.metrics)
+		}
+		return traces, metrics
+	}
+	serialT, serialM := export(1)
+	parallelT, parallelM := export(8)
+	for i := range seeds {
+		if !bytes.Equal(serialT[i], parallelT[i]) {
+			t.Errorf("seed %d: JSONL trace differs between -parallel 1 and -parallel 8", seeds[i])
+		}
+		if len(serialT[i]) == 0 || bytes.Count(serialT[i], []byte("\n")) < 2 {
+			t.Errorf("seed %d: trace export suspiciously small (%d bytes)", seeds[i], len(serialT[i]))
+		}
+		if !bytes.Equal(serialM[i], parallelM[i]) {
+			t.Errorf("seed %d: metrics exposition differs between -parallel 1 and -parallel 8", seeds[i])
+		}
+		if !bytes.Contains(serialM[i], []byte("sim_time_seconds")) {
+			t.Errorf("seed %d: metrics exposition missing sim_time_seconds:\n%s", seeds[i], serialM[i])
+		}
+	}
+}
+
 func TestDetectionReplicatedParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("QS runs are slow under -race")

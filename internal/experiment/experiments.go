@@ -4,6 +4,7 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/core"
@@ -231,6 +232,14 @@ type MixedResult struct {
 	// PlanHistory, present only in Query Scheduler mode, is the full
 	// control-interval record.
 	PlanHistory []core.PlanRecord
+	// Pending[i][p] counts class i queries submitted by the end of period
+	// p that had not completed by then (still queued or running).
+	Pending [][]int
+	// ExportErr carries the first trace/metrics export failure, when the
+	// run was configured with observability writers. The simulation
+	// itself still completed; callers decide whether a truncated export
+	// is fatal.
+	ExportErr error
 }
 
 // MixedConfig tunes the mixed-workload experiments.
@@ -242,6 +251,15 @@ type MixedConfig struct {
 	QS *core.Config
 	// Classes optionally replaces the paper's three service classes.
 	Classes []*workload.Class
+	// Experiment names the run in the trace header (defaults to the
+	// mode's name).
+	Experiment string
+	// Trace, when non-nil, receives the run's lossless JSONL event
+	// stream (readable by cmd/qtrace).
+	Trace io.Writer
+	// Metrics, when non-nil, receives the run's metrics registry as
+	// Prometheus-style text exposition after the run.
+	Metrics io.Writer
 }
 
 // DefaultMixedConfig runs the given mode over the paper's Figure 3
@@ -258,7 +276,11 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 	}
 	rig := NewCustomRig(cfg.Seed, cfg.Sched, classes)
 	rig.AttachController(cfg.Mode, cfg.QS)
+	obsAttach, obsErr := attachObs(rig, cfg, cfg.Trace, cfg.Metrics)
 	rig.Run()
+	if obsErr == nil {
+		obsErr = obsAttach.finish()
+	}
 
 	res := &MixedResult{
 		Mode: cfg.Mode,
@@ -274,6 +296,7 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 		metRow := make([]bool, res.Periods)
 		completedRow := make([]int, res.Periods)
 		p95Row := make([]float64, res.Periods)
+		pendingRow := make([]int, res.Periods)
 		for p := 0; p < res.Periods; p++ {
 			v, ok := rig.Collector.Metric(p, cl.ID)
 			metricRow[p] = v
@@ -283,14 +306,17 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 			}
 			completedRow[p] = rig.Collector.Agg(p, cl.ID).Completed
 			p95Row[p] = rig.Collector.RespQuantile(p, cl.ID, 0.95)
+			pendingRow[p] = rig.Collector.Pending(p, cl.ID)
 		}
 		res.Metric = append(res.Metric, metricRow)
 		res.Measurable = append(res.Measurable, measurableRow)
 		res.GoalMet = append(res.GoalMet, metRow)
 		res.Completed = append(res.Completed, completedRow)
 		res.RespP95 = append(res.RespP95, p95Row)
+		res.Pending = append(res.Pending, pendingRow)
 		res.Satisfaction = append(res.Satisfaction, rig.Collector.GoalSatisfaction(cl.ID))
 	}
+	res.ExportErr = obsErr
 
 	if rig.QS != nil {
 		res.PlanHistory = rig.QS.History()

@@ -1,0 +1,140 @@
+// Observability wiring for experiment runs: attaches the tracer's JSONL
+// sink and the obs metrics registry to a rig, honouring the one-tracer/
+// one-registry-per-run isolation the parallel runner depends on. The
+// writers are caller-owned; export errors are collected into the result
+// rather than interrupting a simulation mid-run.
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// traceRingCap bounds the tracer's in-memory ring during exports. The
+// JSONL sink is lossless regardless; the ring only serves interactive
+// inspection.
+const traceRingCap = 4096
+
+// runObs holds one run's observability attachments.
+type runObs struct {
+	tracer *trace.Tracer
+	reg    *obs.Registry
+	mw     io.Writer
+}
+
+// attachObs wires trace export and metrics onto a rig whose controller is
+// already attached (hooks chain on top of the monitor's). Call before
+// rig.Run; nil writers disable the respective output.
+func attachObs(rig *Rig, cfg MixedConfig, tw, mw io.Writer) (*runObs, error) {
+	o := &runObs{}
+	if tw != nil {
+		tr := trace.New(traceRingCap)
+		tr.SetPeriodMapper(cfg.Sched.PeriodAt)
+		if err := tr.StreamJSONL(tw, traceMeta(cfg, rig.Classes)); err != nil {
+			return nil, err
+		}
+		trace.AttachEngine(tr, rig.Eng)
+		if rig.Pat != nil {
+			trace.AttachPatroller(tr, rig.Pat, rig.Clock)
+		}
+		if rig.QS != nil {
+			trace.AttachScheduler(tr, rig.QS)
+		}
+		o.tracer = tr
+	}
+	if mw != nil {
+		reg := obs.New(func() float64 { return rig.Clock.Now() })
+		instrumentEngine(reg, rig.Eng)
+		if rig.QS != nil {
+			rig.QS.Instrument(reg)
+		}
+		o.reg = reg
+		o.mw = mw
+	}
+	return o, nil
+}
+
+// finish flushes the metrics exposition and reports the first export
+// error (trace sink or metrics write) the run hit.
+func (o *runObs) finish() error {
+	if o == nil {
+		return nil
+	}
+	if o.tracer != nil {
+		if err := o.tracer.SinkErr(); err != nil {
+			return fmt.Errorf("experiment: trace export: %w", err)
+		}
+	}
+	if o.reg != nil {
+		if err := o.reg.WriteText(o.mw); err != nil {
+			return fmt.Errorf("experiment: metrics export: %w", err)
+		}
+	}
+	return nil
+}
+
+// traceMeta builds the trace header for a mixed run.
+func traceMeta(cfg MixedConfig, classes []*workload.Class) trace.Meta {
+	m := trace.Meta{
+		Experiment:    cfg.Experiment,
+		Seed:          int64(cfg.Seed),
+		PeriodSeconds: cfg.Sched.PeriodSeconds,
+		Periods:       cfg.Sched.Periods(),
+	}
+	if m.Experiment == "" {
+		m.Experiment = cfg.Mode.String()
+	}
+	for _, c := range classes {
+		m.Classes = append(m.Classes, trace.ClassMeta{
+			ID:     int(c.ID),
+			Name:   c.Name,
+			Kind:   c.Kind.String(),
+			Goal:   c.Goal.String(),
+			Target: c.Goal.Target,
+		})
+	}
+	return m
+}
+
+// instrumentEngine registers run-level query counters and latency
+// histograms fed from the engine's lifecycle hooks, so every mode — not
+// just Query Scheduler runs — produces a metrics exposition.
+func instrumentEngine(reg *obs.Registry, eng *engine.Engine) {
+	submitted := make(map[engine.ClassID]*obs.Counter)
+	completed := make(map[engine.ClassID]*obs.Counter)
+	resp := make(map[engine.ClassID]*obs.Histogram)
+	classLabel := func(id engine.ClassID) obs.Label {
+		return obs.L("class", fmt.Sprintf("%d", int(id)))
+	}
+	eng.OnSubmit(func(q *engine.Query) {
+		c, ok := submitted[q.Class]
+		if !ok {
+			c = reg.Counter("queries_submitted_total",
+				"Queries submitted to the engine, per class.", classLabel(q.Class))
+			submitted[q.Class] = c
+		}
+		c.Inc()
+	})
+	eng.OnDone(func(q *engine.Query) {
+		c, ok := completed[q.Class]
+		if !ok {
+			c = reg.Counter("queries_completed_total",
+				"Queries completed by the engine, per class.", classLabel(q.Class))
+			completed[q.Class] = c
+		}
+		c.Inc()
+		h, ok := resp[q.Class]
+		if !ok {
+			h = reg.Histogram("query_response_seconds",
+				"End-to-end response time (submit to done), per class.",
+				obs.DefaultDurationBuckets(), classLabel(q.Class))
+			resp[q.Class] = h
+		}
+		h.Observe(q.ResponseTime())
+	})
+}

@@ -55,6 +55,10 @@ type Scenario struct {
 	Classes []*workload.Class
 	Sched   workload.Schedule
 	QS      *core.Config
+	// Trace/Metrics optionally receive the run's JSONL event stream and
+	// metrics exposition (set by the caller, not the JSON spec).
+	Trace   io.Writer
+	Metrics io.Writer
 }
 
 // ParseScenario reads and validates a JSON scenario.
@@ -168,11 +172,18 @@ func buildScenario(spec ScenarioSpec) (*Scenario, error) {
 
 // Run executes the scenario.
 func (s *Scenario) Run() *MixedResult {
+	name := s.Name
+	if name == "" {
+		name = "scenario"
+	}
 	return RunMixed(MixedConfig{
-		Mode:    s.Mode,
-		Sched:   s.Sched,
-		Seed:    s.Seed,
-		QS:      s.QS,
-		Classes: s.Classes,
+		Mode:       s.Mode,
+		Sched:      s.Sched,
+		Seed:       s.Seed,
+		QS:         s.QS,
+		Classes:    s.Classes,
+		Experiment: name,
+		Trace:      s.Trace,
+		Metrics:    s.Metrics,
 	})
 }

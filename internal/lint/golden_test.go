@@ -15,7 +15,7 @@ import (
 func testConfig() *Config {
 	return &Config{
 		GoroutineAllow:    map[string][]string{"goroutine": {"allowed.go"}},
-		FloatEqAllowFuncs: map[string][]string{"floateq": {"approxEqual"}},
+		FloatEqAllowFuncs: map[string][]string{"floateq": {"approxEqual", "boundsEqual"}},
 	}
 }
 
@@ -132,5 +132,16 @@ func TestCheckDocs(t *testing.T) {
 		if !seen[name] {
 			t.Errorf("required check %q not registered", name)
 		}
+	}
+}
+
+// TestDefaultConfigObsAllowlist pins the metrics registry's floateq
+// allowlist entry: obs compares histogram bucket boundaries for identity
+// (configuration literals), and that exemption must be scoped to exactly
+// the one helper — not the whole package.
+func TestDefaultConfigObsAllowlist(t *testing.T) {
+	funcs := DefaultConfig().FloatEqAllowFuncs["repro/internal/obs"]
+	if len(funcs) != 1 || funcs[0] != "boundsEqual" {
+		t.Errorf("obs floateq allowlist = %v, want exactly [boundsEqual]", funcs)
 	}
 }

@@ -109,6 +109,11 @@ func DefaultConfig() *Config {
 		},
 		FloatEqAllowFuncs: map[string][]string{
 			"repro/internal/stats": {"ApproxEqual"},
+			// The metrics registry compares histogram bucket boundaries
+			// for identity (configuration literals, not computed values),
+			// which is exactly what == is for — no per-site //lint:ignore
+			// noise required.
+			"repro/internal/obs": {"boundsEqual"},
 		},
 	}
 }

@@ -45,3 +45,30 @@ func approxEqual(a, b, tol float64) bool {
 	}
 	return d <= tol
 }
+
+// boundsEqual mirrors the obs registry's histogram-boundary identity
+// check (also allowed via Config.FloatEqAllowFuncs): the operands are
+// configuration literals, never computed values, so exact comparison is
+// the correct semantics.
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// boundsEqualUnlisted is the same shape without an allowlist entry: the
+// per-element comparison is still flagged.
+func boundsEqualUnlisted(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] { // want "floating-point != comparison"
+			return false
+		}
+	}
+	return true
+}

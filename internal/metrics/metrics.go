@@ -14,8 +14,14 @@ import (
 )
 
 // ClassAgg accumulates one class's statistics within one period.
+// Completion statistics bucket by DoneTime; Submitted buckets by
+// SubmitTime, so within one period the two count different query sets.
 type ClassAgg struct {
 	Completed int
+	// Submitted counts queries that arrived during the period, whether
+	// or not they finished — the denominator that keeps still-queued and
+	// still-running work visible (see Collector.Pending).
+	Submitted int
 	Velocity  stats.Summary // per-query velocity of completions
 	Resp      stats.Summary // response times
 	Exec      stats.Summary // execution times
@@ -52,8 +58,17 @@ func NewCollector(eng *engine.Engine, classes []*workload.Class, sched workload.
 			c.periods[p][cl.ID] = &ClassAgg{RespSample: stats.NewReservoir(512, seed)}
 		}
 	}
+	eng.OnSubmit(c.onSubmit)
 	eng.OnDone(c.onDone)
 	return c
+}
+
+func (c *Collector) onSubmit(q *engine.Query) {
+	agg, ok := c.periods[c.sched.PeriodAt(q.SubmitTime)][q.Class]
+	if !ok {
+		return // class not tracked (e.g. ad-hoc test query)
+	}
+	agg.Submitted++
 }
 
 func (c *Collector) onDone(q *engine.Query) {
@@ -173,6 +188,29 @@ func (c *Collector) Series(class engine.ClassID) []float64 {
 // response times within a period — 0 when nothing completed.
 func (c *Collector) RespQuantile(period int, class engine.ClassID, q float64) float64 {
 	return c.Agg(period, class).RespSample.Quantile(q)
+}
+
+// Pending returns how many of a class's queries submitted by the end of
+// the period had not completed by then — work still queued at the
+// patroller or executing in the engine. Period tables that only count
+// completions undercount exactly this backlog.
+func (c *Collector) Pending(period int, class engine.ClassID) int {
+	if period < 0 || period >= len(c.periods) {
+		panic(fmt.Sprintf("metrics: period %d out of range", period))
+	}
+	submitted, completed := 0, 0
+	for p := 0; p <= period; p++ {
+		agg := c.Agg(p, class)
+		submitted += agg.Submitted
+		completed += agg.Completed
+	}
+	if pending := submitted - completed; pending > 0 {
+		return pending
+	}
+	// Completions can exceed submissions in early periods when the last
+	// schedule period absorbs post-horizon submits (PeriodAt clamps);
+	// never report negative backlog.
+	return 0
 }
 
 // Throughput returns completions per second for a class in a period.

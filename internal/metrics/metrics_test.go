@@ -223,6 +223,63 @@ type holdInterceptor struct{}
 
 func (holdInterceptor) Intercept(*engine.Query) bool { return true }
 
+// TestPendingCountsNonCompleted is the regression test for the
+// undercounting bug: period tables derived only from completions made
+// still-queued and still-running work invisible. Submitted buckets by
+// arrival, and Pending reports the backlog at each period's end.
+func TestPendingCountsNonCompleted(t *testing.T) {
+	col, eng, clock := newRig(t)
+	submit(eng, 1, 2) // completes at t=2, inside period 0
+
+	// Held in period 0, released at t=12 (period 1), completes at t=13.
+	crossing := &engine.Query{Class: 1, Cost: 1, Demand: engine.Demand{Work: 1, CPURate: 1}}
+	eng.SetInterceptor(holdInterceptor{})
+	eng.Submit(crossing)
+	eng.SetInterceptor(nil)
+	clock.At(12, func() { eng.Start(crossing) })
+
+	// Submitted in period 1 and never released: backlog forever.
+	clock.At(15, func() {
+		eng.SetInterceptor(holdInterceptor{})
+		stuck := &engine.Query{Class: 1, Cost: 1, Demand: engine.Demand{Work: 1, CPURate: 1}}
+		eng.Submit(stuck)
+		eng.SetInterceptor(nil)
+	})
+	clock.Run()
+
+	if got := col.Agg(0, 1).Submitted; got != 2 {
+		t.Fatalf("period 0 submitted = %d, want 2", got)
+	}
+	if got := col.Agg(1, 1).Submitted; got != 1 {
+		t.Fatalf("period 1 submitted = %d, want 1", got)
+	}
+	if got := col.Agg(0, 1).Completed; got != 1 {
+		t.Fatalf("period 0 completed = %d, want 1", got)
+	}
+	if got := col.Pending(0, 1); got != 1 {
+		t.Fatalf("Pending(0) = %d, want 1 (query held across the boundary)", got)
+	}
+	if got := col.Pending(1, 1); got != 1 {
+		t.Fatalf("Pending(1) = %d, want 1 (stuck query)", got)
+	}
+	if got := col.Pending(2, 1); got != 1 {
+		t.Fatalf("Pending(2) = %d, want 1 (stuck query never completes)", got)
+	}
+	if got := col.Pending(2, 2); got != 0 {
+		t.Fatalf("Pending for idle class = %d, want 0", got)
+	}
+}
+
+func TestPendingOutOfRangePanics(t *testing.T) {
+	col, _, _ := newRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range period did not panic")
+		}
+	}()
+	col.Pending(3, 1)
+}
+
 func TestRespQuantile(t *testing.T) {
 	col, eng, clock := newRig(t)
 	// 20 queries with response times 0.1..2.0s (work == RT, no contention).

@@ -1,0 +1,311 @@
+// Lifecycle spans and lossless JSONL export. The ring buffer in trace.go
+// bounds memory for interactive use; the JSONL sink streams every event to
+// a file so cmd/qtrace can reconstruct full query lifecycles after the
+// run. The format is line-oriented JSON with a "type" discriminator: one
+// meta line first, then one line per event, in emission order. Field
+// order is fixed by the struct definitions and floats use Go's shortest
+// round-trip encoding, so identical runs export byte-identical files.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/simclock"
+)
+
+// FormatVersion identifies the JSONL trace format.
+const FormatVersion = 1
+
+// ClassMeta describes one service class in the trace header.
+type ClassMeta struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Goal string `json:"goal"`
+	// Target is the numeric goal value (velocity floor or RT ceiling).
+	Target float64 `json:"target"`
+}
+
+// Meta is the trace header: enough run context for qtrace to interpret
+// event times as schedule periods and class IDs as named classes.
+type Meta struct {
+	Version       int         `json:"v"`
+	Experiment    string      `json:"experiment"`
+	Seed          int64       `json:"seed"`
+	PeriodSeconds float64     `json:"period_seconds"`
+	Periods       int         `json:"periods"`
+	Classes       []ClassMeta `json:"classes"`
+}
+
+// jsonMeta is the on-disk meta line.
+type jsonMeta struct {
+	Type string `json:"type"`
+	Meta
+}
+
+// jsonEvent is the on-disk event line.
+type jsonEvent struct {
+	Type   string  `json:"type"`
+	Seq    uint64  `json:"seq"`
+	T      float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Class  int     `json:"class"`
+	Query  uint64  `json:"query"`
+	Client int     `json:"client"`
+	Period int     `json:"period"`
+	Plan   int     `json:"plan"`
+	Value  float64 `json:"value"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// StreamJSONL attaches a lossless JSONL sink: the meta line is written
+// immediately and every subsequently emitted event is appended as one
+// line, regardless of ring eviction. Only one sink may be attached. The
+// caller owns w (and any buffering/closing); write errors after this call
+// are latched and reported by SinkErr.
+func (t *Tracer) StreamJSONL(w io.Writer, meta Meta) error {
+	if t.sink != nil {
+		panic("trace: JSONL sink already attached")
+	}
+	meta.Version = FormatVersion
+	line, err := json.Marshal(jsonMeta{Type: "meta", Meta: meta})
+	if err != nil {
+		return fmt.Errorf("trace: encode meta: %w", err)
+	}
+	if _, err := w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("trace: write meta: %w", err)
+	}
+	t.sink = w
+	return nil
+}
+
+// SinkErr returns the first error the JSONL sink hit, or nil. Emit never
+// fails loudly on the hot path; callers check this once after the run.
+func (t *Tracer) SinkErr() error { return t.sinkErr }
+
+// writeEventLine appends one event line to the sink.
+func writeEventLine(w io.Writer, e Event) error {
+	line, err := json.Marshal(jsonEvent{
+		Type:   "event",
+		Seq:    e.Seq,
+		T:      float64(e.Time),
+		Kind:   e.Kind.String(),
+		Class:  int(e.Class),
+		Query:  uint64(e.Query),
+		Client: int(e.Client),
+		Period: e.Period,
+		Plan:   e.Plan,
+		Value:  e.Value,
+		Detail: e.Detail,
+	})
+	if err != nil {
+		return fmt.Errorf("trace: encode event %d: %w", e.Seq, err)
+	}
+	_, err = w.Write(append(line, '\n'))
+	return err
+}
+
+// kindFromString inverts Kind.String for trace file parsing.
+func kindFromString(s string) (Kind, error) {
+	for k := QuerySubmit; k <= WorkloadShift; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// TraceFile is a parsed JSONL export.
+type TraceFile struct {
+	Meta   Meta
+	Events []Event
+}
+
+// ClassByID returns the class metadata for id, or nil.
+func (f *TraceFile) ClassByID(id int) *ClassMeta {
+	for i := range f.Meta.Classes {
+		if f.Meta.Classes[i].ID == id {
+			return &f.Meta.Classes[i]
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a trace exported by StreamJSONL. The meta line must
+// come first; unknown line types are rejected (the format is versioned,
+// not open-ended).
+func ReadJSONL(r io.Reader) (*TraceFile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var f TraceFile
+	sawMeta := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var disc struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &disc); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch disc.Type {
+		case "meta":
+			if sawMeta {
+				return nil, fmt.Errorf("trace: line %d: duplicate meta", lineNo)
+			}
+			var jm jsonMeta
+			if err := json.Unmarshal(line, &jm); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			f.Meta = jm.Meta
+			sawMeta = true
+		case "event":
+			if !sawMeta {
+				return nil, fmt.Errorf("trace: line %d: event before meta", lineNo)
+			}
+			var je jsonEvent
+			if err := json.Unmarshal(line, &je); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			kind, err := kindFromString(je.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			f.Events = append(f.Events, Event{
+				Seq:    je.Seq,
+				Time:   simclock.Time(je.T),
+				Kind:   kind,
+				Class:  engine.ClassID(je.Class),
+				Query:  engine.QueryID(je.Query),
+				Client: engine.ClientID(je.Client),
+				Period: je.Period,
+				Plan:   je.Plan,
+				Value:  je.Value,
+				Detail: je.Detail,
+			})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown type %q", lineNo, disc.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("trace: no meta line (not a trace export?)")
+	}
+	return &f, nil
+}
+
+// noTime marks a lifecycle edge a span never reached.
+const noTime = simclock.Time(-1)
+
+// Span is one query's reconstructed lifecycle: the times of each edge it
+// passed, with the class/cost identity and the plan version in force at
+// the edges. Edges the query never reached are -1 (check with the
+// predicates below).
+type Span struct {
+	Query    engine.QueryID
+	Class    engine.ClassID
+	Client   engine.ClientID
+	Cost     float64
+	Template string
+
+	Submit    simclock.Time
+	Intercept simclock.Time
+	Release   simclock.Time
+	Start     simclock.Time
+	Done      simclock.Time
+
+	SubmitPeriod int
+	DonePeriod   int
+	SubmitPlan   int
+	DonePlan     int
+}
+
+// Managed reports whether the patroller intercepted the query.
+func (s *Span) Managed() bool { return s.Intercept >= 0 }
+
+// Started reports whether the query began executing.
+func (s *Span) Started() bool { return s.Start >= 0 }
+
+// Completed reports whether the query finished inside the trace.
+func (s *Span) Completed() bool { return s.Done >= 0 }
+
+// AdmissionWait is the time from submit until execution start — the
+// dispatcher's hold time (0 for unintercepted queries, which start
+// immediately). For a query still held at end-of-trace pass the trace
+// horizon as now; for completed spans now is ignored.
+func (s *Span) AdmissionWait(now simclock.Time) float64 {
+	switch {
+	case s.Started():
+		return float64(s.Start - s.Submit)
+	default:
+		return float64(now - s.Submit)
+	}
+}
+
+// ExecTime is the execution duration, or the elapsed running time against
+// now for spans still executing at end-of-trace.
+func (s *Span) ExecTime(now simclock.Time) float64 {
+	if !s.Started() {
+		return 0
+	}
+	if s.Completed() {
+		return float64(s.Done - s.Start)
+	}
+	return float64(now - s.Start)
+}
+
+// BuildSpans folds lifecycle events into one span per query, ordered by
+// query ID. Non-query events (plan changes, workload shifts) are skipped.
+func BuildSpans(events []Event) []*Span {
+	byID := make(map[engine.QueryID]*Span)
+	var order []engine.QueryID
+	get := func(e Event) *Span {
+		s, ok := byID[e.Query]
+		if !ok {
+			s = &Span{Query: e.Query, Class: e.Class, Client: e.Client,
+				Cost: e.Value, Submit: noTime, Intercept: noTime,
+				Release: noTime, Start: noTime, Done: noTime}
+			byID[e.Query] = s
+			order = append(order, e.Query)
+		}
+		return s
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case QuerySubmit:
+			s := get(e)
+			s.Submit = e.Time
+			s.Template = e.Detail
+			s.SubmitPeriod = e.Period
+			s.SubmitPlan = e.Plan
+		case QueryIntercepted:
+			get(e).Intercept = e.Time
+		case QueryReleased:
+			get(e).Release = e.Time
+		case QueryStart:
+			get(e).Start = e.Time
+		case QueryDone:
+			s := get(e)
+			s.Done = e.Time
+			s.DonePeriod = e.Period
+			s.DonePlan = e.Plan
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]*Span, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	return out
+}

@@ -9,10 +9,14 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/patroller"
 	"repro/internal/simclock"
+	"repro/internal/solver"
 )
 
 // Kind classifies an event.
@@ -58,6 +62,14 @@ type Event struct {
 	Class  engine.ClassID
 	Query  engine.QueryID
 	Client engine.ClientID
+	// Period is the 0-based schedule period the event falls in, stamped
+	// by the tracer's period mapper (0 when no mapper is installed).
+	// Report tables number the same periods 1-based.
+	Period int
+	// Plan is the scheduling-plan version in force when the event was
+	// emitted: 0 until the first PlanChanged event, then incremented by
+	// each one.
+	Plan int
 	// Value carries the kind-specific number: query cost for lifecycle
 	// events, total plan utility for PlanChanged, signal value for
 	// WorkloadShift.
@@ -80,6 +92,11 @@ type Tracer struct {
 	seq     uint64
 	dropped uint64
 	counts  map[Kind]uint64
+
+	periodOf func(simclock.Time) int // stamps Event.Period; may be nil
+	plan     int                     // current plan version
+	sink     io.Writer               // lossless JSONL sink; may be nil
+	sinkErr  error                   // first sink write error, latched
 }
 
 // New returns a tracer retaining the most recent capacity events.
@@ -90,11 +107,28 @@ func New(capacity int) *Tracer {
 	return &Tracer{cap: capacity, counts: make(map[Kind]uint64)}
 }
 
-// Emit records an event, evicting the oldest when full.
+// SetPeriodMapper installs the schedule's time→period function; every
+// subsequent event is stamped with its 0-based period.
+func (t *Tracer) SetPeriodMapper(f func(simclock.Time) int) { t.periodOf = f }
+
+// Emit records an event, evicting the oldest when full. The tracer
+// stamps Seq, Period (when a mapper is installed), and Plan; a
+// PlanChanged event bumps the plan version before being stamped, so it
+// carries the version it introduces.
 func (t *Tracer) Emit(e Event) {
 	t.seq++
 	e.Seq = t.seq
+	if t.periodOf != nil {
+		e.Period = t.periodOf(e.Time)
+	}
+	if e.Kind == PlanChanged {
+		t.plan++
+	}
+	e.Plan = t.plan
 	t.counts[e.Kind]++
+	if t.sink != nil && t.sinkErr == nil {
+		t.sinkErr = writeEventLine(t.sink, e)
+	}
 	if len(t.events) < t.cap {
 		t.events = append(t.events, e)
 		return
@@ -163,13 +197,16 @@ func (t *Tracer) WriteTo(w io.Writer, max int) {
 }
 
 // AttachEngine records submit/start/done events from an engine. Start
-// events are approximated by Done (the engine does not expose a start
-// hook) — the patroller attachment records releases, which are starts for
-// managed queries.
+// events fire when a query actually begins executing — immediately after
+// submit for unintercepted queries, after release for held ones.
 func AttachEngine(t *Tracer, eng *engine.Engine) {
 	clock := eng.Clock()
 	eng.OnSubmit(func(q *engine.Query) {
 		t.Emit(Event{Time: clock.Now(), Kind: QuerySubmit, Class: q.Class,
+			Query: q.ID, Client: q.Client, Value: q.Cost, Detail: q.Template})
+	})
+	eng.OnStart(func(q *engine.Query) {
+		t.Emit(Event{Time: clock.Now(), Kind: QueryStart, Class: q.Class,
 			Query: q.ID, Client: q.Client, Value: q.Cost, Detail: q.Template})
 	})
 	eng.OnDone(func(q *engine.Query) {
@@ -199,4 +236,35 @@ func AttachPatroller(t *Tracer, pat *patroller.Patroller, clock *simclock.Clock)
 			Query: qi.ID, Client: qi.Client, Value: qi.Cost,
 			Detail: fmt.Sprintf("waited=%.1fs", qi.WaitTime(clock.Now()))})
 	}
+}
+
+// AttachScheduler records PlanChanged events from the Query Scheduler's
+// control loop. An event is emitted only when the new plan's limits
+// actually differ from the previous one, so plan-change markers mean a
+// real reallocation, and the tracer's plan version counts distinct plans.
+func AttachScheduler(t *Tracer, qs *core.QueryScheduler) {
+	last := ""
+	qs.OnPlan(func(rec core.PlanRecord) {
+		d := formatLimits(rec.Limits)
+		if d == last {
+			return
+		}
+		last = d
+		t.Emit(Event{Time: rec.Time, Kind: PlanChanged, Value: rec.Utility, Detail: d})
+	})
+}
+
+// formatLimits renders a plan's cost limits in class-ID order.
+func formatLimits(p solver.Plan) string {
+	ids := make([]int, 0, len(p))
+	for id := range p {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	b.WriteString("limits:")
+	for _, id := range ids {
+		fmt.Fprintf(&b, " %d=%.6g", id, p[engine.ClassID(id)])
+	}
+	return b.String()
 }

@@ -133,14 +133,17 @@ func TestAttachEngineRecordsLifecycle(t *testing.T) {
 	eng.Submit(q)
 	clock.Run()
 	events := tr.Events()
-	if len(events) != 2 {
-		t.Fatalf("%d events, want submit+done", len(events))
+	if len(events) != 3 {
+		t.Fatalf("%d events, want submit+start+done", len(events))
 	}
 	if events[0].Kind != QuerySubmit || events[0].Detail != "Q1" || events[0].Value != 42 {
 		t.Fatalf("submit event = %+v", events[0])
 	}
-	if events[1].Kind != QueryDone || !strings.Contains(events[1].Detail, "rt=") {
-		t.Fatalf("done event = %+v", events[1])
+	if events[1].Kind != QueryStart || events[1].Query != events[0].Query {
+		t.Fatalf("start event = %+v", events[1])
+	}
+	if events[2].Kind != QueryDone || !strings.Contains(events[2].Detail, "rt=") {
+		t.Fatalf("done event = %+v", events[2])
 	}
 }
 
