@@ -318,6 +318,22 @@ func BenchmarkReplicatedSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultMatrixQuick runs the CI-sized fault matrix (five fault
+// scenarios x mitigations off/on, one-hour schedule each) on the worker
+// pool — the end-to-end cost of the fault-injection and mitigation layer.
+func BenchmarkFaultMatrixQuick(b *testing.B) {
+	cfg := experiment.QuickFaultMatrixConfig()
+	cfg.Parallel = 4
+	for i := 0; i < b.N; i++ {
+		cells := experiment.RunFaultMatrix(cfg)
+		var retried uint64
+		for _, c := range cells {
+			retried += c.Retried
+		}
+		b.ReportMetric(float64(retried), "retries")
+	}
+}
+
 // --- Micro-benchmarks of the components themselves ---
 
 // BenchmarkClockThroughput measures the simclock kernel's event hot path:

@@ -24,8 +24,28 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/workload"
 )
+
+// loadFaults parses a JSON fault plan (nil when path is empty).
+func loadFaults(path string) *fault.Plan {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	plan, err := fault.ParseSpec(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return &plan
+}
 
 // fileSink is a buffered file target for trace/metrics export. The trace
 // sink in particular receives one small write per event, so buffering is
@@ -75,7 +95,7 @@ func (s *fileSink) close() {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|all")
+	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|all")
 	replications := flag.Int("seeds", 5, "number of seeds for -exp replicated / detection-replicated")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs within an experiment (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
@@ -84,6 +104,9 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV files into this directory")
 	traceFile := flag.String("trace", "", "write the run's lossless JSONL event trace to this file (mixed runs only: fig4|fig5|fig6|fig7 or -scenario; inspect with qtrace)")
 	metricsFile := flag.String("metrics", "", "write the run's metrics as Prometheus text exposition to this file (mixed runs only, like -trace)")
+	faultsFile := flag.String("faults", "", "inject the deterministic fault plan from this JSON file (mixed runs and -exp faultmatrix; see internal/fault)")
+	mitigate := flag.Bool("mitigate", false, "with -faults on a mixed run: arm the mitigation stack (timeout+retry, plan hold, slope fallback)")
+	quick := flag.Bool("quick", false, "with -exp faultmatrix: run the CI-smoke-sized schedule instead of the 24-hour one")
 	flag.Parse()
 
 	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true}
@@ -123,6 +146,7 @@ func main() {
 	out := os.Stdout
 	run := func(name string) bool { return *exp == name || *exp == "all" }
 	any := false
+	faults := loadFaults(*faultsFile)
 
 	if *scenario != "" {
 		f, err := os.Open(*scenario)
@@ -144,6 +168,15 @@ func main() {
 		}
 		sc.Trace = traceSink.writer()
 		sc.Metrics = metricsSink.writer()
+		sc.Faults = faults
+		if *mitigate {
+			if sc.Mode == experiment.QueryScheduler && sc.QS == nil {
+				qc := experiment.MitigatedQSConfig()
+				sc.QS = &qc
+			}
+			rp := experiment.DefaultRetryPolicy()
+			sc.Retry = &rp
+		}
 		res := sc.Run()
 		checkExport(res)
 		experiment.WriteMixed(out, res)
@@ -197,6 +230,15 @@ func main() {
 		cfg.Experiment = *exp
 		cfg.Trace = traceSink.writer()
 		cfg.Metrics = metricsSink.writer()
+		cfg.Faults = faults
+		if *mitigate {
+			if mode == experiment.QueryScheduler {
+				qc := experiment.MitigatedQSConfig()
+				cfg.QS = &qc
+			}
+			rp := experiment.DefaultRetryPolicy()
+			cfg.Retry = &rp
+		}
 		res := experiment.RunMixed(cfg)
 		checkExport(res)
 		if err := res.Validate(); err != nil {
@@ -275,6 +317,24 @@ func main() {
 		specs := experiment.AblationSpecs()
 		results := experiment.RunAblations(specs, workload.PaperSchedule(), *seed, *parallel)
 		experiment.WriteAblations(out, specs, results)
+		fmt.Fprintln(out)
+	}
+	if *exp == "faultmatrix" { // not part of "all": ten full QS runs
+		any = true
+		fmCfg := experiment.DefaultFaultMatrixConfig()
+		if *quick {
+			fmCfg = experiment.QuickFaultMatrixConfig()
+		}
+		fmCfg.Seed = *seed
+		fmCfg.Parallel = *parallel
+		if faults != nil {
+			// A custom plan replaces the built-in scenario set; it still
+			// runs both arms.
+			fmCfg.Scenarios = []experiment.FaultScenario{{Name: "custom", Plan: *faults}}
+		}
+		cells := experiment.RunFaultMatrix(fmCfg)
+		experiment.WriteFaultMatrix(out, cells)
+		writeCSV("faultmatrix.csv", experiment.FaultMatrixCSV(cells))
 		fmt.Fprintln(out)
 	}
 	if run("direct") {

@@ -29,6 +29,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/patroller"
 	"repro/internal/workload"
 )
 
@@ -111,7 +113,25 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	tracePrefix := flag.String("trace", "", "write each run's JSONL event trace to <prefix><value>.jsonl (inspect with qtrace)")
 	metricsPrefix := flag.String("metrics", "", "write each run's metrics exposition to <prefix><value>.prom")
+	faultsFile := flag.String("faults", "", "inject the deterministic fault plan from this JSON file into every swept run (see internal/fault)")
+	mitigate := flag.Bool("mitigate", false, "arm the mitigation stack (timeout+retry, plan hold, slope fallback) in every swept run")
 	flag.Parse()
+
+	var faults *fault.Plan
+	if *faultsFile != "" {
+		f, err := os.Open(*faultsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		plan, err := fault.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		faults = &plan
+	}
 
 	setter, ok := setters[*param]
 	if !ok {
@@ -155,6 +175,12 @@ func main() {
 	for i, v := range sweep {
 		cfgs[i] = core.DefaultConfig()
 		cfgs[i].SystemCostLimit = experiment.SystemCostLimit
+		if *mitigate {
+			// Overlay the degradation features, then let the swept
+			// parameter take effect on top.
+			cfgs[i].Degradation = core.Degradation{HoldPlanOnDropout: true, MaxHeldTicks: 5}
+			cfgs[i].OLTP.FallbackToLastFit = true
+		}
 		if err := setter(&cfgs[i], v); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -173,6 +199,11 @@ func main() {
 			metricsSinks[i] = newSink(*metricsPrefix + val + ".prom")
 		}
 	}
+	var retry *patroller.RetryPolicy
+	if *mitigate {
+		rp := experiment.DefaultRetryPolicy()
+		retry = &rp
+	}
 	results := experiment.Map(*parallel, sweep, func(v float64, i int) *experiment.MixedResult {
 		return experiment.RunMixed(experiment.MixedConfig{
 			Mode:       experiment.QueryScheduler,
@@ -182,6 +213,8 @@ func main() {
 			Experiment: fmt.Sprintf("qsweep %s=%g", *param, v),
 			Trace:      traceSinks[i].writer(),
 			Metrics:    metricsSinks[i].writer(),
+			Faults:     faults,
+			Retry:      retry,
 		})
 	})
 	for i, v := range sweep {

@@ -73,6 +73,34 @@ type Config struct {
 	// velocity anchor discounted proportionally, so the plan leads the
 	// workload change instead of trailing it by one interval.
 	FeedForward bool
+	// Degradation tunes the control loop's behaviour when the monitor's
+	// view is corrupted (fault injection, lost harvests).
+	Degradation Degradation
+	// MonitorFaults, when non-nil, lets a fault plan corrupt the
+	// monitor's observations (see internal/fault). Nil in production
+	// runs.
+	MonitorFaults MonitorFaultInjector
+}
+
+// MonitorFaultInjector is the monitor-side fault contract: whether the
+// snapshot poll or the whole control-interval harvest at time t is lost.
+// Implemented by fault.Injector.
+type MonitorFaultInjector interface {
+	DropSnapshot(t float64) bool
+	DropHarvest(t float64) bool
+}
+
+// Degradation configures graceful degradation of the Scheduling Planner.
+type Degradation struct {
+	// HoldPlanOnDropout keeps the previous scheduling plan when a
+	// harvest is lost or the OLTP view is entirely fault-dropped,
+	// instead of feeding the zeroed measurement into the performance
+	// models. Off by default (the paper's planner has no such guard).
+	HoldPlanOnDropout bool
+	// MaxHeldTicks bounds how many consecutive control intervals the
+	// plan may be held; after that the planner replans with whatever
+	// data it has rather than freeze indefinitely. 0 means no bound.
+	MaxHeldTicks int
 }
 
 // OLTPModelKind selects the OLTP performance model.

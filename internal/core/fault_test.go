@@ -1,0 +1,232 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// fakeFaults drops every harvest inside [from, to) — a deterministic
+// stand-in for the fault injector's MonitorFaultInjector contract.
+type fakeFaults struct{ from, to float64 }
+
+func (f fakeFaults) DropSnapshot(t float64) bool { return false }
+func (f fakeFaults) DropHarvest(t float64) bool  { return t >= f.from && t < f.to }
+
+func TestHistoryReturnsDeepCopies(t *testing.T) {
+	r := newRig(t, nil)
+	r.qs.Start()
+	driveOLAPLoop(r, 51, 1, 1000, 20)
+	submitOLTPLoop(r, 61)
+	r.clock.RunUntil(5 * 60)
+
+	hist := r.qs.History()
+	if len(hist) == 0 {
+		t.Fatal("no plans")
+	}
+	last := hist[len(hist)-1]
+	wantLimit := last.Limits[1]
+	wantVel := last.Measurement.Velocity[1]
+
+	// A caller scribbling on the returned record must not reach the
+	// scheduler's live maps.
+	last.Limits[1] += 4242
+	last.Measurement.Velocity[1] = -1
+	if last.Predicted != nil {
+		last.Predicted[1] = -1
+	}
+
+	again := r.qs.History()[len(hist)-1]
+	if again.Limits[1] != wantLimit {
+		t.Fatalf("live limits mutated through History: %v", again.Limits[1])
+	}
+	if again.Measurement.Velocity[1] != wantVel {
+		t.Fatalf("live measurement mutated through History: %v", again.Measurement.Velocity[1])
+	}
+	if lim := r.qs.CostLimits()[1]; lim != wantLimit {
+		t.Fatalf("scheduler's working plan mutated: %v", lim)
+	}
+}
+
+func TestOnPlanHookReceivesDeepCopies(t *testing.T) {
+	r := newRig(t, nil)
+	var seen []PlanRecord
+	r.qs.OnPlan(func(rec PlanRecord) {
+		rec.Limits[1] = -99 // hostile hook: must not reach the scheduler
+		rec.Measurement.Velocity[1] = -99
+		seen = append(seen, rec)
+	})
+	r.qs.Start()
+	driveOLAPLoop(r, 51, 1, 1000, 20)
+	r.clock.RunUntil(5 * 60)
+	if len(seen) == 0 {
+		t.Fatal("hook never fired")
+	}
+	for i, rec := range r.qs.History() {
+		if rec.Limits[1] == -99 || rec.Measurement.Velocity[1] == -99 {
+			t.Fatalf("record %d aliased into the hook's copy", i)
+		}
+	}
+	if r.qs.CostLimits()[1] == -99 {
+		t.Fatal("working plan aliased into the hook's copy")
+	}
+}
+
+func TestBlockedClassRecoversWithinTwoTicks(t *testing.T) {
+	// One oversized class-1 query: costlier than the initial class limit,
+	// so it sits held and the class measures velocity 0 while plainly not
+	// idle. The anchored velocity floor must keep the predicted gradient
+	// alive so the solver grows the limit and releases the query within
+	// two control ticks of the first zero-velocity harvest.
+	r := newRig(t, nil)
+	r.qs.Start()
+	big := olapQuery(1, 6000, 30)
+	r.eng.Submit(big)
+	if big.State != engine.StateQueued {
+		t.Fatalf("state = %v, want held at cost 6000", big.State)
+	}
+	interval := DefaultConfig().ControlInterval
+	r.clock.RunUntil(3 * interval)
+	if big.State == engine.StateQueued {
+		t.Fatalf("query still held after two ticks past the first harvest; limits = %v",
+			r.qs.CostLimits())
+	}
+	r.clock.RunUntil(3600)
+	if big.State != engine.StateDone {
+		t.Fatalf("state = %v", big.State)
+	}
+}
+
+func TestStopDrainReleasesEveryHeldQuery(t *testing.T) {
+	r := newRig(t, nil)
+	r.qs.Start()
+	var queries []*engine.Query
+	for i := 0; i < 40; i++ {
+		q := olapQuery(1, 800, 60)
+		queries = append(queries, q)
+		r.eng.Submit(q)
+	}
+	r.clock.RunUntil(30)
+	if r.pat.HeldCount() == 0 {
+		t.Fatal("test needs a backlog of held queries")
+	}
+	r.qs.StopWith(StopDrain)
+	r.clock.Run()
+	if held := r.pat.HeldCount(); held != 0 {
+		t.Fatalf("%d queries still held after drain", held)
+	}
+	for i, q := range queries {
+		if q.State != engine.StateDone {
+			t.Fatalf("query %d state = %v after drain", i, q.State)
+		}
+	}
+}
+
+func TestStopFreezeKeepsFrozenLimits(t *testing.T) {
+	// StopFreeze halts the control loop but does not force-release the
+	// backlog: held queries stay held until normal admission under the
+	// frozen limits frees budget for them (unlike StopDrain, which
+	// installs ReleaseAll and empties the hold queue immediately).
+	r := newRig(t, nil)
+	r.qs.Start()
+	for i := 0; i < 40; i++ {
+		r.eng.Submit(olapQuery(1, 800, 60))
+	}
+	r.clock.RunUntil(30)
+	before := r.pat.HeldCount()
+	if before == 0 {
+		t.Fatal("test needs a backlog of held queries")
+	}
+	frozen := r.qs.CostLimits()
+	plans := len(r.qs.History())
+	r.qs.Stop()
+	// Every query carries 60s of work, so nothing completes before t=60:
+	// with no completion pokes and no ReleaseAll, the backlog must be
+	// exactly as deep as it was at the stop.
+	r.clock.RunUntil(45)
+	if held := r.pat.HeldCount(); held != before {
+		t.Fatalf("held = %d at t=45, want %d (freeze must not force-release)", held, before)
+	}
+	// The plan is frozen for good: no further control ticks, no new
+	// history records, limits byte-identical to the stop-time plan.
+	r.clock.Run()
+	if got := len(r.qs.History()); got != plans {
+		t.Fatalf("history grew from %d to %d records after Stop", plans, got)
+	}
+	for id, lim := range r.qs.CostLimits() {
+		if frozen[id] != lim {
+			t.Fatalf("limit[%d] drifted after Stop: %v -> %v", id, frozen[id], lim)
+		}
+	}
+}
+
+func TestDroppedHarvestHoldsPlan(t *testing.T) {
+	interval := DefaultConfig().ControlInterval
+	r := newRig(t, func(cfg *Config) {
+		cfg.MonitorFaults = fakeFaults{from: 4.5 * interval, to: 11.5 * interval}
+		cfg.Degradation = Degradation{HoldPlanOnDropout: true, MaxHeldTicks: 2}
+	})
+	reg := obs.New(func() float64 { return r.clock.Now() })
+	r.qs.Instrument(reg)
+	r.qs.Start()
+	driveOLAPLoop(r, 51, 1, 1000, 20)
+	submitOLTPLoop(r, 61)
+	r.clock.RunUntil(15 * interval)
+
+	hist := r.qs.History()
+	var held, consecutive, maxConsecutive int
+	for i, rec := range hist {
+		if !rec.Held {
+			consecutive = 0
+			continue
+		}
+		held++
+		consecutive++
+		if consecutive > maxConsecutive {
+			maxConsecutive = consecutive
+		}
+		if i == 0 {
+			t.Fatal("first record held with nothing to hold")
+		}
+		prev := hist[i-1]
+		for id, lim := range rec.Limits {
+			if prev.Limits[id] != lim {
+				t.Fatalf("held record %d changed limit[%d]: %v -> %v", i, id, prev.Limits[id], lim)
+			}
+		}
+		if rec.Workload != nil || rec.Predicted != nil {
+			t.Fatalf("held record %d carries model state: %+v", i, rec)
+		}
+	}
+	if held == 0 {
+		t.Fatal("no held records despite a dropped-harvest window")
+	}
+	if maxConsecutive > 2 {
+		t.Fatalf("%d consecutive held ticks exceeds MaxHeldTicks 2", maxConsecutive)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "qs_plan_held_total") {
+		t.Fatal("qs_plan_held_total missing from exposition")
+	}
+}
+
+func TestDegradationOffFeedsDroppedHarvestThrough(t *testing.T) {
+	interval := DefaultConfig().ControlInterval
+	r := newRig(t, func(cfg *Config) {
+		cfg.MonitorFaults = fakeFaults{from: 4.5 * interval, to: 6.5 * interval}
+	})
+	r.qs.Start()
+	driveOLAPLoop(r, 51, 1, 1000, 20)
+	r.clock.RunUntil(8 * interval)
+	for _, rec := range r.qs.History() {
+		if rec.Held {
+			t.Fatal("plan held with degradation disabled")
+		}
+	}
+}

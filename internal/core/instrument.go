@@ -26,6 +26,7 @@ const (
 	MetricUtility   = "qs_plan_utility"
 	MetricPredErr   = "qs_prediction_abs_error"
 	MetricAdmitWait = "qs_admission_wait_seconds"
+	MetricPlanHeld  = "qs_plan_held_total"
 )
 
 // schedObs caches the scheduler's instruments per class so the dispatch
@@ -39,6 +40,7 @@ type schedObs struct {
 	predErr  map[engine.ClassID]*obs.Histogram
 	ticks    *obs.Counter
 	utility  *obs.Gauge
+	held     *obs.Counter
 }
 
 // Instrument registers the scheduler's observables in reg and begins
@@ -66,6 +68,9 @@ func (qs *QueryScheduler) Instrument(reg *obs.Registry) {
 	}
 	o.ticks = reg.Counter(MetricTicks, "Control-loop ticks executed.")
 	o.utility = reg.Gauge(MetricUtility, "Total utility of the current scheduling plan.")
+	// Registered eagerly so a zero-fault run still exposes the series.
+	o.held = reg.Counter(MetricPlanHeld,
+		"Control ticks that held the previous plan because the harvest was fault-dropped.")
 	qs.instr = o
 
 	// Admission wait becomes observable at release time; chain the
@@ -130,7 +135,9 @@ func (o *schedObs) noteTick(rec PlanRecord, prevPredicted map[engine.ClassID]flo
 		return
 	}
 	o.ticks.Inc()
-	o.utility.Set(rec.Utility)
+	if !rec.Held {
+		o.utility.Set(rec.Utility)
+	}
 	for _, id := range sortedClassIDs(rec.Limits) {
 		g, ok := o.limits[id]
 		if !ok {
@@ -154,6 +161,15 @@ func (o *schedObs) noteTick(rec PlanRecord, prevPredicted map[engine.ClassID]flo
 		}
 		h.Observe(math.Abs(prevPredicted[id] - actual))
 	}
+}
+
+// notePlanHeld counts one degraded control tick (plan held, models not
+// updated).
+func (o *schedObs) notePlanHeld() {
+	if o == nil {
+		return
+	}
+	o.held.Inc()
 }
 
 // sortedClassIDs returns m's keys in ascending order (deterministic map

@@ -33,6 +33,13 @@ type monitor struct {
 	lastOLTP  float64 // sticky last measured OLTP mean RT
 	ticker    *simclock.Ticker
 
+	// faults, when non-nil, can drop snapshot polls and whole harvests.
+	faults MonitorFaultInjector
+	// snapPolls/snapDropped count this interval's snapshot polls and how
+	// many of them the fault injector swallowed.
+	snapPolls   int
+	snapDropped int
+
 	arrivals    map[engine.ClassID]int
 	arrivalCost map[engine.ClassID]*stats.Summary
 	inflight    map[engine.ClassID]int
@@ -65,7 +72,11 @@ func newMonitor(eng *engine.Engine, pat *patroller.Patroller, olap []*workload.C
 	// Arrivals are observed at the engine (not the patroller) so the
 	// unintercepted OLTP class is characterized too.
 	eng.OnSubmit(func(q *engine.Query) {
-		if !m.tracked[q.Class] {
+		// A retry is the same logical query re-entering the system, not a
+		// new arrival; counting it would inflate the detector's demand
+		// estimate. In-flight balance still holds because the engine
+		// reports done/failed only for terminal outcomes.
+		if q.Attempt > 0 || !m.tracked[q.Class] {
 			return
 		}
 		m.arrivals[q.Class]++
@@ -112,8 +123,14 @@ func (m *monitor) onManagedDone(qi *patroller.QueryInfo) {
 }
 
 // sampleSnapshot polls the snapshot monitor: one response-time sample per
-// active OLTP client that has finished at least one statement.
+// active OLTP client that has finished at least one statement. A fault
+// dropout loses the whole poll (all clients, this tick).
 func (m *monitor) sampleSnapshot() {
+	m.snapPolls++
+	if m.faults != nil && m.faults.DropSnapshot(m.clock.Now()) {
+		m.snapDropped++
+		return
+	}
 	for _, id := range m.oltpClients() {
 		if s, ok := m.eng.LastFinished(id); ok {
 			m.oltpResp.Add(s.RespTime)
@@ -149,11 +166,57 @@ type Measurement struct {
 	// queries per class at harvest time — with zero-think-time clients,
 	// exactly the active client count. The detector's change signal.
 	Population map[engine.ClassID]int
+	// Dropped marks a harvest the fault injector swallowed whole: every
+	// value above is zeroed and the interval's raw data is lost.
+	Dropped bool
+	// OLTPDropout marks an interval in which every snapshot poll was
+	// fault-dropped, so OLTPRespTime is only the sticky previous value.
+	OLTPDropout bool
+}
+
+// Clone returns a deep copy: the caller may hold or mutate it without
+// aliasing the monitor's (or the plan history's) internal maps.
+func (m Measurement) Clone() Measurement {
+	m.Velocity = cloneMap(m.Velocity)
+	m.VelocitySamples = cloneMap(m.VelocitySamples)
+	m.Idle = cloneMap(m.Idle)
+	m.Arrivals = cloneMap(m.Arrivals)
+	m.ArrivalMeanCost = cloneMap(m.ArrivalMeanCost)
+	m.Population = cloneMap(m.Population)
+	return m
+}
+
+// cloneMap copies a per-class map, preserving nil.
+func cloneMap[V any](m map[engine.ClassID]V) map[engine.ClassID]V {
+	if m == nil {
+		return nil
+	}
+	out := make(map[engine.ClassID]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // harvest closes the current interval: it computes the measurement and
-// resets the windows.
+// resets the windows. A fault-dropped harvest loses the interval's data
+// entirely: the windows still reset (the raw samples are gone) and the
+// planner receives a zeroed measurement flagged Dropped.
 func (m *monitor) harvest() Measurement {
+	if m.faults != nil && m.faults.DropHarvest(m.clock.Now()) {
+		meas := Measurement{
+			Time:            m.clock.Now(),
+			Dropped:         true,
+			Velocity:        make(map[engine.ClassID]float64),
+			VelocitySamples: make(map[engine.ClassID]int),
+			Idle:            make(map[engine.ClassID]bool),
+			Arrivals:        make(map[engine.ClassID]int),
+			ArrivalMeanCost: make(map[engine.ClassID]float64),
+			Population:      make(map[engine.ClassID]int),
+		}
+		m.resetWindows()
+		return meas
+	}
 	meas := Measurement{
 		Time:            m.clock.Now(),
 		Velocity:        make(map[engine.ClassID]float64),
@@ -161,9 +224,11 @@ func (m *monitor) harvest() Measurement {
 		Idle:            make(map[engine.ClassID]bool),
 	}
 	// Index in-flight managed queries per class for fallback estimates.
+	// Failed rows are terminal, not in flight — a progress estimate from
+	// an aborted query would drag the class's velocity toward zero.
 	held := make(map[engine.ClassID][]*patroller.QueryInfo)
 	for _, qi := range m.pat.ControlTable() {
-		if qi.State != patroller.Completed {
+		if qi.State != patroller.Completed && qi.State != patroller.Failed {
 			held[qi.Class] = append(held[qi.Class], qi)
 		}
 	}
@@ -209,8 +274,10 @@ func (m *monitor) harvest() Measurement {
 			meas.OLTPSamples = m.oltpResp.Count()
 		}
 		meas.OLTPRespTime = m.lastOLTP
+		meas.OLTPDropout = m.snapPolls > 0 && m.snapDropped == m.snapPolls
 		m.oltpResp.Reset()
 	}
+	m.snapPolls, m.snapDropped = 0, 0
 	meas.Arrivals = make(map[engine.ClassID]int, len(m.arrivals))
 	meas.ArrivalMeanCost = make(map[engine.ClassID]float64, len(m.arrivals))
 	meas.Population = make(map[engine.ClassID]int, len(m.inflight))
@@ -224,6 +291,22 @@ func (m *monitor) harvest() Measurement {
 		m.arrivals[cls] = 0
 	}
 	return meas
+}
+
+// resetWindows discards the interval's accumulated samples — used when a
+// fault drops the whole harvest.
+func (m *monitor) resetWindows() {
+	for _, w := range m.velWindow {
+		w.Reset()
+	}
+	m.oltpResp.Reset()
+	for cls := range m.tracked {
+		m.arrivals[cls] = 0
+		if cs, ok := m.arrivalCost[cls]; ok {
+			cs.Reset()
+		}
+	}
+	m.snapPolls, m.snapDropped = 0, 0
 }
 
 // stop halts the snapshot ticker.

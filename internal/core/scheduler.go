@@ -45,6 +45,20 @@ type PlanRecord struct {
 	// mean response time for the OLTP class). Comparing it against the
 	// next record's Measurement yields the model's prediction error.
 	Predicted map[engine.ClassID]float64
+	// Held marks a degraded tick: the harvest (or the entire OLTP view)
+	// was fault-dropped and the planner kept the previous plan instead of
+	// feeding zeros to the models. Workload and Predicted are nil.
+	Held bool
+}
+
+// Clone returns a deep copy of the record; callers may hold or mutate it
+// without aliasing the scheduler's live maps.
+func (r PlanRecord) Clone() PlanRecord {
+	r.Measurement = r.Measurement.Clone()
+	r.Limits = r.Limits.Clone()
+	r.Workload = cloneMap(r.Workload)
+	r.Predicted = cloneMap(r.Predicted)
+	return r
 }
 
 // QueryScheduler wires Monitor, Classifier, Dispatcher, Scheduling
@@ -72,6 +86,7 @@ type QueryScheduler struct {
 	planHooks []func(PlanRecord)
 	instr     *schedObs
 	running   bool
+	heldTicks int // consecutive degraded ticks holding the plan
 }
 
 // New builds a Query Scheduler for the given classes. At most one class
@@ -124,6 +139,7 @@ func New(cfg Config, eng *engine.Engine, pat *patroller.Patroller,
 
 	qs.limits = qs.initialPlan()
 	qs.mon = newMonitor(eng, pat, qs.olapClasses, qs.oltpClass, oltpClients, cfg.SnapshotInterval)
+	qs.mon.faults = cfg.MonitorFaults
 	return qs, nil
 }
 
@@ -164,22 +180,53 @@ func (qs *QueryScheduler) Start() {
 	qs.ticker = qs.eng.Clock().StartTicker(qs.cfg.ControlInterval, qs.controlTick)
 }
 
-// Stop halts the control loop (held queries stay held until released).
-func (qs *QueryScheduler) Stop() {
+// StopMode selects what happens to still-held queries when the control
+// loop shuts down.
+type StopMode int
+
+// Stop modes.
+const (
+	// StopFreeze halts the control loop and leaves held queries held —
+	// the historical behaviour, right for end-of-simulation teardown
+	// where nothing will run again anyway.
+	StopFreeze StopMode = iota
+	// StopDrain halts the control loop and installs an unconditional
+	// release policy, so every held query (and any still arriving) is
+	// admitted instead of stranded. Use when the engine keeps running
+	// after the controller goes away.
+	StopDrain
+)
+
+// Stop halts the control loop, freezing held queries (StopFreeze).
+func (qs *QueryScheduler) Stop() { qs.StopWith(StopFreeze) }
+
+// StopWith halts the control loop with the given shutdown mode.
+func (qs *QueryScheduler) StopWith(mode StopMode) {
 	if !qs.running {
 		return
 	}
 	qs.running = false
 	qs.ticker.Stop()
 	qs.mon.stop()
+	if mode == StopDrain {
+		qs.pat.SetPolicy(patroller.ReleaseAll{})
+		qs.pat.Poke()
+	}
 }
 
 // CostLimits returns the current scheduling plan (class cost limits,
 // including the OLTP class's virtual limit). The returned plan is a copy.
 func (qs *QueryScheduler) CostLimits() solver.Plan { return qs.limits.Clone() }
 
-// History returns all control-interval records so far.
-func (qs *QueryScheduler) History() []PlanRecord { return qs.history }
+// History returns all control-interval records so far, deep-copied:
+// mutating the result never corrupts the scheduler's live state.
+func (qs *QueryScheduler) History() []PlanRecord {
+	out := make([]PlanRecord, len(qs.history))
+	for i, r := range qs.history {
+		out[i] = r.Clone()
+	}
+	return out
+}
 
 // OnPlan registers a hook called with each control interval's PlanRecord
 // as it is appended to the history. Hooks run in registration order; the
@@ -236,6 +283,33 @@ func (qs *QueryScheduler) SelectReleases(v *patroller.View) []engine.QueryID {
 func (qs *QueryScheduler) controlTick() {
 	meas := qs.mon.harvest()
 
+	// Graceful degradation: a fault-dropped harvest (or an interval whose
+	// entire OLTP view was lost) carries zeros, not measurements. Feeding
+	// them forward would collapse the velocity anchors and poison the
+	// OLTP regression, so — when enabled — hold the previous plan and
+	// skip the model updates, up to MaxHeldTicks consecutive intervals.
+	deg := qs.cfg.Degradation
+	if (meas.Dropped || meas.OLTPDropout) && deg.HoldPlanOnDropout &&
+		(deg.MaxHeldTicks <= 0 || qs.heldTicks < deg.MaxHeldTicks) {
+		qs.heldTicks++
+		rec := PlanRecord{
+			Time:        meas.Time,
+			Measurement: meas,
+			Limits:      qs.limits.Clone(),
+			OLTPSlope:   qs.oltpModel.Slope(),
+			Held:        true,
+		}
+		qs.history = append(qs.history, rec)
+		qs.instr.noteTick(rec, nil)
+		qs.instr.notePlanHeld()
+		for _, h := range qs.planHooks {
+			h(rec.Clone())
+		}
+		qs.pat.Poke()
+		return
+	}
+	qs.heldTicks = 0
+
 	// Workload detection: characterize each class's interval and, when
 	// feed-forward is enabled, compute demand forecasts for the coming
 	// interval.
@@ -266,6 +340,14 @@ func (qs *QueryScheduler) controlTick() {
 		vPrev := meas.Velocity[c.ID]
 		cPrev := qs.limits[c.ID]
 		idle := meas.Idle[c.ID]
+		if vPrev <= 0 && !idle {
+			// A busy class measured at zero velocity (every in-flight
+			// query still blocked, or a zeroed dropout measurement) would
+			// predict 0 at every candidate limit — the solver could never
+			// justify giving it capacity again. Anchor at the model floor
+			// so recovery stays reachable.
+			vPrev = qs.velModel.Floor
+		}
 		if qs.cfg.FeedForward && !idle {
 			vPrev = qs.feedForwardAnchor(c.ID, vPrev, chars[c.ID])
 		}
@@ -322,7 +404,7 @@ func (qs *QueryScheduler) controlTick() {
 	qs.history = append(qs.history, rec)
 	qs.instr.noteTick(rec, prevPredicted)
 	for _, h := range qs.planHooks {
-		h(rec)
+		h(rec.Clone())
 	}
 	qs.pat.Poke() // apply the new limits right away
 }

@@ -44,6 +44,10 @@ const (
 	StateQueued
 	StateExecuting
 	StateDone
+	// StateFailed marks a query aborted mid-execution (fault injection or
+	// a controller timeout). Failed queries carry a DoneTime like completed
+	// ones but never write a snapshot record.
+	StateFailed
 )
 
 func (s State) String() string {
@@ -56,6 +60,8 @@ func (s State) String() string {
 		return "executing"
 	case StateDone:
 		return "done"
+	case StateFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -102,6 +108,11 @@ type Query struct {
 	Template string  // workload template name, for reporting
 	Cost     float64 // optimizer's timeron estimate (what controllers see)
 	Demand   Demand
+	// Attempt is 0 for a fresh submission and counts up on each retry
+	// resubmission after an abort. Monitors and collectors skip
+	// Attempt > 0 submissions so a retried query is not double-counted
+	// as a new arrival.
+	Attempt int
 
 	State      State
 	SubmitTime simclock.Time // when the client issued the statement
@@ -180,6 +191,7 @@ type Stats struct {
 	Submitted      uint64
 	Started        uint64
 	Completed      uint64
+	Aborted        uint64
 	CPUSecondsUsed float64
 	IOSecondsUsed  float64
 	BusyTime       float64 // virtual seconds with at least one active query
@@ -193,6 +205,8 @@ type Engine struct {
 	listeners       []Listener
 	submitListeners []Listener
 	startListeners  []Listener
+	abortListeners  []Listener
+	abortHandler    func(*Query) bool
 
 	nextID       QueryID
 	active       []*Query
@@ -200,6 +214,7 @@ type Engine struct {
 	pendingEvt   simclock.EventID
 	hasEvt       bool
 	completionFn simclock.EventFunc // bound once; reschedule allocates no closure
+	speed        float64            // global progress multiplier (1 = nominal, 0 = stalled)
 
 	snapshots map[ClientID]Snapshot
 	stats     Stats
@@ -221,6 +236,7 @@ func New(cfg Config, clock *simclock.Clock) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		clock:     clock,
+		speed:     1,
 		snapshots: make(map[ClientID]Snapshot),
 	}
 	e.completionFn = e.onCompletionEvent
@@ -266,6 +282,71 @@ func (e *Engine) OnStart(l Listener) {
 	}
 	e.startListeners = append(e.startListeners, l)
 }
+
+// OnAbort registers an abort listener, called whenever an executing query
+// is killed via Abort — before the terminal-completion decision, so trace
+// layers see every abort whether or not it is later retried.
+func (e *Engine) OnAbort(l Listener) {
+	if l == nil {
+		panic("engine: nil listener")
+	}
+	e.abortListeners = append(e.abortListeners, l)
+}
+
+// SetAbortHandler installs the single claim slot for aborted queries. The
+// handler returns true to claim the abort (it will resubmit the query
+// itself — a retry — so the regular OnDone listeners do NOT fire) or
+// false to let the abort become a terminal failure (OnDone listeners fire
+// with the query in StateFailed). Passing nil removes the handler.
+func (e *Engine) SetAbortHandler(h func(*Query) bool) { e.abortHandler = h }
+
+// Abort kills an executing query at the current virtual time. The query
+// moves to StateFailed with DoneTime set; abort listeners always fire,
+// then either the abort handler claims it for retry or the OnDone
+// listeners see the terminal failure. Aborting a query that is not
+// executing (already done, still queued, or aborted by a racing event)
+// returns false and does nothing.
+func (e *Engine) Abort(q *Query) bool {
+	if q == nil || q.State != StateExecuting {
+		return false
+	}
+	e.advanceTo(e.clock.Now())
+	if q.State != StateExecuting {
+		return false // completed at exactly this instant
+	}
+	e.remove(q)
+	q.State = StateFailed
+	q.DoneTime = e.clock.Now()
+	q.remaining = 0
+	e.stats.Aborted++
+	e.reschedule()
+	for _, l := range e.abortListeners {
+		l(q)
+	}
+	if e.abortHandler != nil && e.abortHandler(q) {
+		return true // claimed for retry; no terminal notification
+	}
+	for _, l := range e.listeners {
+		l(q)
+	}
+	return true
+}
+
+// SetSpeed scales every active query's progress rate by f — the
+// fault-injection hook for engine slowdown (0 < f < 1) and stall (f = 0)
+// windows. Speed 1 restores nominal progress. During a stall no
+// completion event is armed; raising the speed re-arms it.
+func (e *Engine) SetSpeed(f float64) {
+	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("engine: invalid speed %v", f))
+	}
+	e.advanceTo(e.clock.Now())
+	e.speed = f
+	e.reschedule()
+}
+
+// Speed returns the current global progress multiplier.
+func (e *Engine) Speed() float64 { return e.speed }
 
 // Submit hands a query to the engine at the current virtual time. The
 // interceptor, if any, may hold it; otherwise execution starts immediately.
@@ -485,7 +566,7 @@ func (e *Engine) recomputeRates() {
 				r = s
 			}
 		}
-		q.rate = r / overhead
+		q.rate = r * e.speed / overhead
 	}
 }
 
@@ -576,6 +657,9 @@ func (e *Engine) reschedule() {
 	e.recomputeRates()
 	if len(e.active) == 0 {
 		return
+	}
+	if e.speed <= 0 {
+		return // stalled: no progress, so no completion event to arm
 	}
 	next := math.Inf(1)
 	for _, q := range e.active {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/patroller"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -240,6 +241,12 @@ type MixedResult struct {
 	// itself still completed; callers decide whether a truncated export
 	// is fatal.
 	ExportErr error
+	// Faults counts what the fault injector actually did (zero when the
+	// run had no fault plan).
+	Faults fault.Stats
+	// PatStats is the patroller's cumulative counters — interceptions,
+	// failures, retries, timeouts — for fault-matrix reporting.
+	PatStats patroller.Stats
 }
 
 // MixedConfig tunes the mixed-workload experiments.
@@ -260,6 +267,14 @@ type MixedConfig struct {
 	// Metrics, when non-nil, receives the run's metrics registry as
 	// Prometheus-style text exposition after the run.
 	Metrics io.Writer
+	// Faults, when non-nil and non-empty, injects the fault plan into
+	// the run's engine and (in Query Scheduler mode) monitor.
+	Faults *fault.Plan
+	// Retry, when non-nil, arms the patroller's per-query timeout and
+	// bounded-retry mitigation. If its RefreshCost is nil and a fault
+	// plan is active, retries are re-costed through the injector's
+	// misestimation factors.
+	Retry *patroller.RetryPolicy
 }
 
 // DefaultMixedConfig runs the given mode over the paper's Figure 3
@@ -275,7 +290,32 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 		classes = workload.PaperClasses()
 	}
 	rig := NewCustomRig(cfg.Seed, cfg.Sched, classes)
-	rig.AttachController(cfg.Mode, cfg.QS)
+	qsCfg := cfg.QS
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		inj := fault.NewInjector(*cfg.Faults, rig.Clock)
+		inj.AttachEngine(rig.Eng)
+		rig.Faults = inj
+		if cfg.Mode == QueryScheduler {
+			// Copy the scheduler config (never mutate the caller's) and
+			// point its monitor at the injector so snapshot/harvest drops
+			// land.
+			qc := core.DefaultConfig()
+			qc.SystemCostLimit = SystemCostLimit
+			if qsCfg != nil {
+				qc = *qsCfg
+			}
+			qc.MonitorFaults = inj
+			qsCfg = &qc
+		}
+	}
+	rig.AttachController(cfg.Mode, qsCfg)
+	if cfg.Retry != nil {
+		rp := *cfg.Retry
+		if rp.RefreshCost == nil && rig.Faults != nil {
+			rp.RefreshCost = rig.Faults.RefreshCost
+		}
+		rig.Pat.SetRetryPolicy(&rp)
+	}
 	obsAttach, obsErr := attachObs(rig, cfg, cfg.Trace, cfg.Metrics)
 	rig.Run()
 	if obsErr == nil {
@@ -317,6 +357,12 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 		res.Satisfaction = append(res.Satisfaction, rig.Collector.GoalSatisfaction(cl.ID))
 	}
 	res.ExportErr = obsErr
+	if rig.Faults != nil {
+		res.Faults = rig.Faults.Stats()
+	}
+	if rig.Pat != nil {
+		res.PatStats = rig.Pat.Stats()
+	}
 
 	if rig.QS != nil {
 		res.PlanHistory = rig.QS.History()

@@ -10,7 +10,9 @@ import (
 	"io"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/patroller"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -50,6 +52,12 @@ func attachObs(rig *Rig, cfg MixedConfig, tw, mw io.Writer) (*runObs, error) {
 	if mw != nil {
 		reg := obs.New(func() float64 { return rig.Clock.Now() })
 		instrumentEngine(reg, rig.Eng)
+		if rig.Faults != nil {
+			instrumentFaults(reg, rig.Faults)
+		}
+		if rig.Pat != nil {
+			instrumentRetries(reg, rig.Pat)
+		}
 		if rig.QS != nil {
 			rig.QS.Instrument(reg)
 		}
@@ -120,7 +128,21 @@ func instrumentEngine(reg *obs.Registry, eng *engine.Engine) {
 		}
 		c.Inc()
 	})
+	failed := make(map[engine.ClassID]*obs.Counter)
 	eng.OnDone(func(q *engine.Query) {
+		if q.State != engine.StateDone {
+			// Terminal failure: count separately, and keep the response
+			// histogram honest (an aborted query has no response time).
+			c, ok := failed[q.Class]
+			if !ok {
+				c = reg.Counter("queries_failed_total",
+					"Queries that ended in terminal failure (aborted, retries exhausted), per class.",
+					classLabel(q.Class))
+				failed[q.Class] = c
+			}
+			c.Inc()
+			return
+		}
 		c, ok := completed[q.Class]
 		if !ok {
 			c = reg.Counter("queries_completed_total",
@@ -137,4 +159,45 @@ func instrumentEngine(reg *obs.Registry, eng *engine.Engine) {
 		}
 		h.Observe(q.ResponseTime())
 	})
+}
+
+// instrumentFaults exposes every injection as fault_injected_total{kind,
+// class}, chaining any OnInject observer already installed.
+func instrumentFaults(reg *obs.Registry, inj *fault.Injector) {
+	counters := make(map[string]*obs.Counter)
+	prev := inj.OnInject
+	inj.OnInject = func(kind string, class engine.ClassID) {
+		if prev != nil {
+			prev(kind, class)
+		}
+		key := fmt.Sprintf("%s/%d", kind, int(class))
+		c, ok := counters[key]
+		if !ok {
+			c = reg.Counter("fault_injected_total",
+				"Faults injected, by kind and class (class 0 = system-wide).",
+				obs.L("kind", kind), obs.L("class", fmt.Sprintf("%d", int(class))))
+			counters[key] = c
+		}
+		c.Inc()
+	}
+}
+
+// instrumentRetries exposes query_retries_total{class}, chaining the
+// patroller's retry hook.
+func instrumentRetries(reg *obs.Registry, pat *patroller.Patroller) {
+	counters := make(map[engine.ClassID]*obs.Counter)
+	prev := pat.OnRetry
+	pat.OnRetry = func(qi *patroller.QueryInfo) {
+		if prev != nil {
+			prev(qi)
+		}
+		c, ok := counters[qi.Class]
+		if !ok {
+			c = reg.Counter("query_retries_total",
+				"Failed managed queries resubmitted by the retry policy, per class.",
+				obs.L("class", fmt.Sprintf("%d", int(qi.Class))))
+			counters[qi.Class] = c
+		}
+		c.Inc()
+	}
 }

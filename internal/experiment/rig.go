@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/patroller"
@@ -68,6 +69,8 @@ type Rig struct {
 	Collector *metrics.Collector
 	Pat       *patroller.Patroller
 	QS        *core.QueryScheduler
+	// Faults is the run's fault injector, when one is attached.
+	Faults *fault.Injector
 }
 
 // OLAPClassIDs returns the IDs of the rig's OLAP classes.

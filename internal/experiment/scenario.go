@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/patroller"
 	"repro/internal/workload"
 )
 
@@ -59,6 +61,11 @@ type Scenario struct {
 	// metrics exposition (set by the caller, not the JSON spec).
 	Trace   io.Writer
 	Metrics io.Writer
+	// Faults/Retry optionally inject a fault plan and arm the retry
+	// mitigation (set by the caller, not the JSON spec — fault plans have
+	// their own file format, see fault.ParseSpec).
+	Faults *fault.Plan
+	Retry  *patroller.RetryPolicy
 }
 
 // ParseScenario reads and validates a JSON scenario.
@@ -185,5 +192,7 @@ func (s *Scenario) Run() *MixedResult {
 		Experiment: name,
 		Trace:      s.Trace,
 		Metrics:    s.Metrics,
+		Faults:     s.Faults,
+		Retry:      s.Retry,
 	})
 }

@@ -1,0 +1,333 @@
+// Package fault is a deterministic, seeded fault-plan subsystem for the
+// simulated testbed: it injects query aborts (per-class base rates plus
+// scheduled bursts), optimizer cost misestimation (actual demand differs
+// from the timeron estimate by a per-class multiplier), engine slowdown
+// and stall windows, and monitor dropouts (snapshot polls and whole
+// harvests). The control loop's robustness features — per-query timeout,
+// bounded retry with refreshed cost, plan-hold degradation — are
+// evaluated against exactly these faults (see experiment.RunFaultMatrix).
+//
+// Everything is driven by one Plan and one owned RNG stream, so a run
+// with a given (workload seed, fault plan) pair is bit-reproducible: the
+// injector draws only at deterministic simulation events (query starts,
+// snapshot polls) and never from shared or global randomness.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+// Injection kinds, as reported through Injector.OnInject and counted in
+// Stats. They double as the obs label values of fault_injected_total.
+const (
+	KindAbort        = "abort"
+	KindMisestimate  = "misestimate"
+	KindSlowdown     = "slowdown"
+	KindSnapshotDrop = "snapshot_drop"
+	KindHarvestDrop  = "harvest_drop"
+)
+
+// Window is a half-open interval [Start, End) of virtual seconds.
+type Window struct {
+	Start float64
+	End   float64
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t float64) bool { return t >= w.Start && t < w.End }
+
+func (w Window) validate(what string) error {
+	if math.IsNaN(w.Start) || math.IsNaN(w.End) || w.Start < 0 || w.End <= w.Start {
+		return fmt.Errorf("fault: %s window [%v, %v) is invalid", what, w.Start, w.End)
+	}
+	return nil
+}
+
+// Burst raises the abort probability inside a window — a failure storm.
+type Burst struct {
+	Window Window
+	// Class restricts the burst to one service class; 0 hits every class.
+	Class engine.ClassID
+	// Rate is the per-query abort probability while the burst is active.
+	// It replaces (not adds to) the base rate when larger.
+	Rate float64
+}
+
+// Slowdown scales the engine's progress rate inside a window. Factor 0 is
+// a full stall (the engine freezes; queries neither progress nor finish).
+type Slowdown struct {
+	Window Window
+	Factor float64
+}
+
+// Plan is one deterministic fault scenario. The zero value injects
+// nothing.
+type Plan struct {
+	// Seed seeds the injector's private RNG stream (abort draws and
+	// probabilistic snapshot drops). Zero is a valid seed.
+	Seed uint64
+	// AbortRate is the base per-query abort probability per class,
+	// drawn once when a query starts executing.
+	AbortRate map[engine.ClassID]float64
+	// AbortBursts are scheduled failure storms layered over AbortRate.
+	AbortBursts []Burst
+	// Misestimate multiplies a class's actual resource demand relative
+	// to its optimizer estimate: 3 means the query really needs 3x what
+	// the timeron cost claims (the admission controller over-admits);
+	// 0 or absent leaves the class alone.
+	Misestimate map[engine.ClassID]float64
+	// Slowdowns are engine-wide degradation windows. Windows must not
+	// overlap.
+	Slowdowns []Slowdown
+	// SnapshotDrop is the probability that one snapshot-monitor poll is
+	// lost (all clients, that tick).
+	SnapshotDrop float64
+	// SnapshotOutages are windows in which every snapshot poll is lost.
+	SnapshotOutages []Window
+	// HarvestOutages are windows in which the monitor's whole control-
+	// interval harvest is lost: the planner receives a zeroed
+	// measurement flagged Dropped.
+	HarvestOutages []Window
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p Plan) Empty() bool {
+	return len(p.AbortRate) == 0 && len(p.AbortBursts) == 0 &&
+		len(p.Misestimate) == 0 && len(p.Slowdowns) == 0 &&
+		p.SnapshotDrop <= 0 && len(p.SnapshotOutages) == 0 && len(p.HarvestOutages) == 0
+}
+
+// Validate checks rates, multipliers, and window shapes.
+func (p Plan) Validate() error {
+	for _, class := range sortedClassKeys(p.AbortRate) {
+		if r := p.AbortRate[class]; r < 0 || r > 1 || math.IsNaN(r) {
+			return fmt.Errorf("fault: abort rate %v for class %d out of [0, 1]", r, class)
+		}
+	}
+	for i, b := range p.AbortBursts {
+		if err := b.Window.validate("abort burst"); err != nil {
+			return err
+		}
+		if b.Rate < 0 || b.Rate > 1 || math.IsNaN(b.Rate) {
+			return fmt.Errorf("fault: burst %d rate %v out of [0, 1]", i, b.Rate)
+		}
+	}
+	for _, class := range sortedClassKeys(p.Misestimate) {
+		if m := p.Misestimate[class]; m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			return fmt.Errorf("fault: misestimate factor %v for class %d is invalid", m, class)
+		}
+	}
+	slow := append([]Slowdown(nil), p.Slowdowns...)
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Window.Start < slow[j].Window.Start })
+	for i, s := range slow {
+		if err := s.Window.validate("slowdown"); err != nil {
+			return err
+		}
+		if s.Factor < 0 || s.Factor >= 1 || math.IsNaN(s.Factor) {
+			return fmt.Errorf("fault: slowdown factor %v out of [0, 1)", s.Factor)
+		}
+		if i > 0 && s.Window.Start < slow[i-1].Window.End {
+			return fmt.Errorf("fault: slowdown windows overlap at t=%v", s.Window.Start)
+		}
+	}
+	if p.SnapshotDrop < 0 || p.SnapshotDrop > 1 || math.IsNaN(p.SnapshotDrop) {
+		return fmt.Errorf("fault: snapshot drop %v out of [0, 1]", p.SnapshotDrop)
+	}
+	for _, w := range p.SnapshotOutages {
+		if err := w.validate("snapshot outage"); err != nil {
+			return err
+		}
+	}
+	for _, w := range p.HarvestOutages {
+		if err := w.validate("harvest outage"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats counts injections, total and per kind.
+type Stats struct {
+	Aborts        uint64
+	Misestimates  uint64
+	Slowdowns     uint64
+	SnapshotDrops uint64
+	HarvestDrops  uint64
+}
+
+// Total sums all injection counters.
+func (s Stats) Total() uint64 {
+	return s.Aborts + s.Misestimates + s.Slowdowns + s.SnapshotDrops + s.HarvestDrops
+}
+
+// Injector executes a Plan against one engine + monitor pair. Construct
+// with NewInjector, call AttachEngine before the run starts, and hand the
+// injector to the Query Scheduler config as its MonitorFaults source.
+type Injector struct {
+	plan  Plan
+	clock *simclock.Clock
+	eng   *engine.Engine
+	src   *rng.Source
+	stats Stats
+
+	// OnInject, when set, observes every injection as (kind, class);
+	// class is 0 for class-less kinds (slowdown, monitor drops). The obs
+	// wiring uses this to expose fault_injected_total.
+	OnInject func(kind string, class engine.ClassID)
+}
+
+// NewInjector builds an injector for the plan on the given clock. The
+// plan must validate.
+func NewInjector(plan Plan, clock *simclock.Clock) *Injector {
+	if clock == nil {
+		panic("fault: nil clock")
+	}
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{plan: plan, clock: clock, src: rng.New(plan.Seed)}
+}
+
+// Plan returns the injector's fault plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns cumulative injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+func (in *Injector) note(kind string, class engine.ClassID) {
+	if in.OnInject != nil {
+		in.OnInject(kind, class)
+	}
+}
+
+// AttachEngine hooks the plan into an engine: misestimation rewrites
+// demand at submit, abort draws happen at execution start, and slowdown
+// windows are scheduled as clock events. Call exactly once, before the
+// simulation runs.
+func (in *Injector) AttachEngine(eng *engine.Engine) {
+	if in.eng != nil {
+		panic("fault: injector already attached to an engine")
+	}
+	in.eng = eng
+	if len(in.plan.Misestimate) > 0 {
+		eng.OnSubmit(func(q *engine.Query) {
+			if q.Attempt > 0 {
+				return // a retry's demand was already rewritten
+			}
+			m, ok := in.plan.Misestimate[q.Class]
+			if !ok || m <= 0 {
+				return
+			}
+			q.Demand.Work *= m
+			in.stats.Misestimates++
+			in.note(KindMisestimate, q.Class)
+		})
+	}
+	if len(in.plan.AbortRate) > 0 || len(in.plan.AbortBursts) > 0 {
+		eng.OnStart(func(q *engine.Query) { in.maybeScheduleAbort(q) })
+	}
+	for _, s := range in.plan.Slowdowns {
+		s := s
+		in.clock.At(s.Window.Start, func() {
+			in.stats.Slowdowns++
+			in.note(KindSlowdown, 0)
+			eng.SetSpeed(s.Factor)
+		})
+		in.clock.At(s.Window.End, func() { eng.SetSpeed(1) })
+	}
+}
+
+// abortRateAt returns the effective abort probability for a class at time
+// t: the largest of the base rate and any active burst covering the
+// class.
+func (in *Injector) abortRateAt(t float64, class engine.ClassID) float64 {
+	rate := in.plan.AbortRate[class]
+	for _, b := range in.plan.AbortBursts {
+		if b.Window.Contains(t) && (b.Class == 0 || b.Class == class) && b.Rate > rate {
+			rate = b.Rate
+		}
+	}
+	return rate
+}
+
+// maybeScheduleAbort draws the query's fate at execution start; a doomed
+// query gets an abort event at a uniform fraction of its stand-alone
+// execution time, so the abort always lands mid-flight (a query running
+// at rate <= 1 cannot finish before Work seconds have passed).
+func (in *Injector) maybeScheduleAbort(q *engine.Query) {
+	rate := in.abortRateAt(in.clock.Now(), q.Class)
+	if rate <= 0 || in.src.Float64() >= rate {
+		return
+	}
+	delay := in.src.Range(0.2, 0.9) * q.Demand.Work
+	in.clock.After(delay, func() {
+		if in.eng.Abort(q) {
+			in.stats.Aborts++
+			in.note(KindAbort, q.Class)
+		}
+	})
+}
+
+// DropSnapshot reports whether the snapshot poll at time t is lost —
+// part of the Query Scheduler's MonitorFaultInjector contract. Outage
+// windows drop deterministically; otherwise SnapshotDrop draws from the
+// injector's RNG.
+func (in *Injector) DropSnapshot(t simclock.Time) bool {
+	for _, w := range in.plan.SnapshotOutages {
+		if w.Contains(t) {
+			in.stats.SnapshotDrops++
+			in.note(KindSnapshotDrop, 0)
+			return true
+		}
+	}
+	if in.plan.SnapshotDrop > 0 && in.src.Float64() < in.plan.SnapshotDrop {
+		in.stats.SnapshotDrops++
+		in.note(KindSnapshotDrop, 0)
+		return true
+	}
+	return false
+}
+
+// DropHarvest reports whether the whole control-interval harvest at time
+// t is lost (windows only; losing an entire harvest is an outage-class
+// event, not per-poll noise).
+func (in *Injector) DropHarvest(t simclock.Time) bool {
+	for _, w := range in.plan.HarvestOutages {
+		if w.Contains(t) {
+			in.stats.HarvestDrops++
+			in.note(KindHarvestDrop, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// RefreshCost is the corrected timeron estimate for a retried query:
+// the original estimate scaled by the class's misestimation factor —
+// what a re-cost after a failed attempt would reveal. With no
+// misestimation it returns the original cost unchanged. Wire it as
+// patroller.RetryPolicy.RefreshCost so retries are admitted under their
+// true footprint.
+func (in *Injector) RefreshCost(q *engine.Query) float64 {
+	if m, ok := in.plan.Misestimate[q.Class]; ok && m > 0 {
+		return q.Cost * m
+	}
+	return q.Cost
+}
+
+// sortedClassKeys returns m's keys in ascending order so validation
+// messages (and any per-class iteration) are deterministic.
+func sortedClassKeys(m map[engine.ClassID]float64) []engine.ClassID {
+	out := make([]engine.ClassID, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -20,12 +20,16 @@ type ClassAgg struct {
 	Completed int
 	// Submitted counts queries that arrived during the period, whether
 	// or not they finished — the denominator that keeps still-queued and
-	// still-running work visible (see Collector.Pending).
+	// still-running work visible (see Collector.Pending). Retries of an
+	// already-counted query are not new arrivals and are excluded.
 	Submitted int
-	Velocity  stats.Summary // per-query velocity of completions
-	Resp      stats.Summary // response times
-	Exec      stats.Summary // execution times
-	Cost      stats.Summary // timeron costs of completions
+	// Failed counts queries that ended the period aborted with no retry
+	// left — terminal failures, bucketed by their failure time.
+	Failed   int
+	Velocity stats.Summary // per-query velocity of completions
+	Resp     stats.Summary // response times
+	Exec     stats.Summary // execution times
+	Cost     stats.Summary // timeron costs of completions
 	// RespSample is a fixed-size uniform sample of response times for
 	// tail quantiles (see Collector.RespQuantile).
 	RespSample *stats.Reservoir
@@ -64,6 +68,9 @@ func NewCollector(eng *engine.Engine, classes []*workload.Class, sched workload.
 }
 
 func (c *Collector) onSubmit(q *engine.Query) {
+	if q.Attempt > 0 {
+		return // a retry re-enters the engine but is not a new arrival
+	}
 	agg, ok := c.periods[c.sched.PeriodAt(q.SubmitTime)][q.Class]
 	if !ok {
 		return // class not tracked (e.g. ad-hoc test query)
@@ -75,6 +82,12 @@ func (c *Collector) onDone(q *engine.Query) {
 	agg, ok := c.periods[c.sched.PeriodAt(q.DoneTime)][q.Class]
 	if !ok {
 		return // class not tracked (e.g. ad-hoc test query)
+	}
+	if q.State != engine.StateDone {
+		// Terminal failure: no velocity or response time to fold in, but
+		// count it so Pending doesn't report it queued forever.
+		agg.Failed++
+		return
 	}
 	agg.Completed++
 	agg.Velocity.Add(q.Velocity())
@@ -126,15 +139,25 @@ func (c *Collector) Agg(period int, class engine.ClassID) *ClassAgg {
 
 // Metric returns the class's goal-metric value for a period: mean velocity
 // for OLAP classes, mean response time for OLTP classes. ok is false when
-// the period had no completions to measure.
+// the period had nothing to measure.
+//
+// Terminal failures count as velocity-0 deliveries for velocity classes:
+// a query that never completes violates a velocity goal maximally, so a
+// class cannot "meet" its SLO by shedding queries to fault aborts.
+// Response-time classes have no honest number to assign a lost query, so
+// their mean stays completions-only.
 func (c *Collector) Metric(period int, class engine.ClassID) (v float64, ok bool) {
 	cl := c.classes[class]
 	agg := c.Agg(period, class)
+	if cl.Goal.Metric == workload.Velocity {
+		n := agg.Completed + agg.Failed
+		if n == 0 {
+			return 0, false
+		}
+		return agg.Velocity.Sum() / float64(n), true
+	}
 	if agg.Completed == 0 {
 		return 0, false
-	}
-	if cl.Goal.Metric == workload.Velocity {
-		return agg.Velocity.Mean(), true
 	}
 	return agg.Resp.Mean(), true
 }
@@ -198,13 +221,13 @@ func (c *Collector) Pending(period int, class engine.ClassID) int {
 	if period < 0 || period >= len(c.periods) {
 		panic(fmt.Sprintf("metrics: period %d out of range", period))
 	}
-	submitted, completed := 0, 0
+	submitted, resolved := 0, 0
 	for p := 0; p <= period; p++ {
 		agg := c.Agg(p, class)
 		submitted += agg.Submitted
-		completed += agg.Completed
+		resolved += agg.Completed + agg.Failed
 	}
-	if pending := submitted - completed; pending > 0 {
+	if pending := submitted - resolved; pending > 0 {
 		return pending
 	}
 	// Completions can exceed submissions in early periods when the last

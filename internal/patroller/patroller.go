@@ -23,6 +23,9 @@ const (
 	Held QueryState = iota
 	Running
 	Completed
+	// Failed marks a query aborted during execution. A retried query
+	// gets a fresh control-table row; the failed row stays Failed.
+	Failed
 )
 
 func (s QueryState) String() string {
@@ -33,6 +36,8 @@ func (s QueryState) String() string {
 		return "running"
 	case Completed:
 		return "completed"
+	case Failed:
+		return "failed"
 	default:
 		return fmt.Sprintf("QueryState(%d)", int(s))
 	}
@@ -50,6 +55,8 @@ type QueryInfo struct {
 	ReleaseTime simclock.Time
 	DoneTime    simclock.Time
 	State       QueryState
+	// Attempt is 0 for the first submission, counting up per retry.
+	Attempt int
 }
 
 // WaitTime returns how long the query was (or has been) blocked.
@@ -107,6 +114,53 @@ type Stats struct {
 	Completed   uint64
 	// WaitSeconds accumulates total blocked time of released queries.
 	WaitSeconds float64
+	// Failed counts managed queries aborted mid-execution (fault or
+	// timeout), whether or not they were retried afterwards.
+	Failed uint64
+	// TimedOut counts aborts issued by the patroller's own per-query
+	// timeout (a subset of Failed).
+	TimedOut uint64
+	// Retried counts failed attempts that were re-queued.
+	Retried uint64
+	// Exhausted counts queries whose failure was terminal because the
+	// retry budget was spent (or no retry policy was armed).
+	Exhausted uint64
+}
+
+// RetryPolicy arms the patroller's per-query timeout and bounded-retry
+// mitigation. Without a policy a managed query's abort is always
+// terminal.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of execution attempts a query may
+	// consume (first run included); must be >= 1.
+	MaxAttempts int
+	// Backoff spaces retries deterministically: attempt n (1-based
+	// retry count) is resubmitted Backoff*n virtual seconds after its
+	// failure.
+	Backoff float64
+	// TimeoutFloor + TimeoutPerCost*cost is the execution budget armed
+	// at release: a query still executing past it is aborted and
+	// retried. TimeoutPerCost 0 disables timeouts (aborts still retry).
+	// The final permitted attempt runs without a timeout so a
+	// misestimated query is guaranteed to finish eventually.
+	TimeoutFloor   float64
+	TimeoutPerCost float64
+	// RefreshCost, when set, re-estimates a failed query's timeron cost
+	// before the retry is re-queued — the post-mortem re-cost that lets
+	// the dispatcher admit the retry under its true footprint. Nil keeps
+	// the original estimate.
+	RefreshCost func(*engine.Query) float64
+}
+
+func (rp RetryPolicy) validate() error {
+	if rp.MaxAttempts < 1 {
+		return fmt.Errorf("patroller: retry MaxAttempts %d must be >= 1", rp.MaxAttempts)
+	}
+	if rp.Backoff < 0 || rp.TimeoutFloor < 0 || rp.TimeoutPerCost < 0 {
+		return fmt.Errorf("patroller: negative retry timing (backoff %v, floor %v, per-cost %v)",
+			rp.Backoff, rp.TimeoutFloor, rp.TimeoutPerCost)
+	}
+	return nil
 }
 
 // Patroller is the workload controller. Construct with New, then attach a
@@ -126,6 +180,10 @@ type Patroller struct {
 	pokePending bool
 	pokeFn      simclock.EventFunc // bound once; scheduling a poke allocates no closure
 
+	retry       *RetryPolicy
+	timeouts    map[engine.QueryID]simclock.EventID
+	requeueHead bool // next Intercept joins the queue head (retry re-queue)
+
 	// InterceptOverheadCPU, when positive, adds this many CPU-seconds to
 	// every intercepted query — the per-query cost of interception and
 	// management the paper measured to be prohibitive for sub-second OLTP
@@ -141,6 +199,11 @@ type Patroller struct {
 
 	// OnManagedDone, when set, is called when a managed query completes.
 	OnManagedDone func(*QueryInfo)
+
+	// OnRetry, when set, is called when a failed managed query is
+	// re-queued; the info is the failed attempt's row (its Attempt field
+	// counts the attempts consumed so far, starting at 0).
+	OnRetry func(*QueryInfo)
 }
 
 type entry struct {
@@ -152,11 +215,12 @@ type entry struct {
 // itself as the engine's interceptor and completion listener.
 func New(eng *engine.Engine, managed ...engine.ClassID) *Patroller {
 	p := &Patroller{
-		eng:     eng,
-		clock:   eng.Clock(),
-		managed: make(map[engine.ClassID]bool),
-		held:    make(map[engine.QueryID]*entry),
-		active:  make(map[engine.QueryID]*entry),
+		eng:      eng,
+		clock:    eng.Clock(),
+		managed:  make(map[engine.ClassID]bool),
+		held:     make(map[engine.QueryID]*entry),
+		active:   make(map[engine.QueryID]*entry),
+		timeouts: make(map[engine.QueryID]simclock.EventID),
 	}
 	for _, c := range managed {
 		p.managed[c] = true
@@ -165,6 +229,25 @@ func New(eng *engine.Engine, managed ...engine.ClassID) *Patroller {
 	eng.OnDone(p.onDone)
 	return p
 }
+
+// SetRetryPolicy arms timeout + bounded-retry handling for managed
+// queries, claiming the engine's abort-handler slot. Passing nil disarms
+// retries (aborts become terminal failures again) but keeps the handler
+// so failed rows are still recorded.
+func (p *Patroller) SetRetryPolicy(rp *RetryPolicy) {
+	if rp != nil {
+		if err := rp.validate(); err != nil {
+			panic(err)
+		}
+		cp := *rp
+		rp = &cp
+	}
+	p.retry = rp
+	p.eng.SetAbortHandler(p.onAbort)
+}
+
+// RetryPolicy returns the armed policy (nil when retries are disarmed).
+func (p *Patroller) RetryPolicy() *RetryPolicy { return p.retry }
 
 // SetPolicy installs the release policy and immediately re-evaluates it.
 func (p *Patroller) SetPolicy(pol Policy) {
@@ -191,10 +274,18 @@ func (p *Patroller) Intercept(q *engine.Query) bool {
 		Cost:       q.Cost,
 		SubmitTime: p.clock.Now(),
 		State:      Held,
+		Attempt:    q.Attempt,
 	}
 	e := &entry{info: info, q: q}
 	p.held[q.ID] = e
-	p.order = append(p.order, q.ID)
+	if p.requeueHead {
+		// A retry re-queues at the head so the failed attempt's place in
+		// line is not lost (head-of-line is per class, so only its own
+		// class sees it first).
+		p.order = append([]engine.QueryID{q.ID}, p.order...)
+	} else {
+		p.order = append(p.order, q.ID)
+	}
 	p.table = append(p.table, info)
 	p.stats.Intercepted++
 	if p.OnArrival != nil {
@@ -220,13 +311,84 @@ func (p *Patroller) onDone(q *engine.Query) {
 		return
 	}
 	delete(p.active, q.ID)
-	e.info.State = Completed
+	p.cancelTimeout(q.ID)
 	e.info.DoneTime = p.clock.Now()
+	if q.State != engine.StateDone {
+		// Terminal failure that no abort handler intercepted (retries
+		// were never armed): record the failed row, free the slot.
+		e.info.State = Failed
+		p.stats.Failed++
+		p.stats.Exhausted++
+		p.schedulePoke()
+		return
+	}
+	e.info.State = Completed
 	p.stats.Completed++
 	if p.OnManagedDone != nil {
 		p.OnManagedDone(e.info)
 	}
 	p.schedulePoke()
+}
+
+// onAbort is the engine's abort-handler: it retires the failed attempt's
+// control-table row and, while the retry budget lasts, claims the abort
+// and schedules a resubmission with deterministic backoff. Unmanaged
+// queries and spent budgets return false (the abort is terminal).
+func (p *Patroller) onAbort(q *engine.Query) bool {
+	e, ok := p.active[q.ID]
+	if !ok {
+		return false
+	}
+	delete(p.active, q.ID)
+	p.cancelTimeout(q.ID)
+	e.info.State = Failed
+	e.info.DoneTime = p.clock.Now()
+	p.stats.Failed++
+	rp := p.retry
+	if rp == nil || q.Attempt+1 >= rp.MaxAttempts {
+		p.stats.Exhausted++
+		p.schedulePoke()
+		return false
+	}
+	p.stats.Retried++
+	if p.OnRetry != nil {
+		p.OnRetry(e.info)
+	}
+	old := q
+	delay := rp.Backoff * float64(q.Attempt+1)
+	p.clock.After(delay, func() { p.resubmit(old) })
+	p.schedulePoke()
+	return true
+}
+
+// resubmit re-queues a failed query as a fresh submission with a bumped
+// attempt counter and a refreshed cost estimate. The engine assigns a new
+// query ID; monitors skip Attempt > 0 arrivals, so system-level
+// accounting sees one logical query.
+func (p *Patroller) resubmit(old *engine.Query) {
+	cost := old.Cost
+	if p.retry != nil && p.retry.RefreshCost != nil {
+		cost = p.retry.RefreshCost(old)
+	}
+	q := &engine.Query{
+		Client:   old.Client,
+		Class:    old.Class,
+		Template: old.Template,
+		Cost:     cost,
+		Demand:   old.Demand,
+		Attempt:  old.Attempt + 1,
+	}
+	p.requeueHead = true
+	p.eng.Submit(q)
+	p.requeueHead = false
+}
+
+// cancelTimeout disarms a query's pending timeout event, if any.
+func (p *Patroller) cancelTimeout(id engine.QueryID) {
+	if evt, ok := p.timeouts[id]; ok {
+		delete(p.timeouts, id)
+		p.clock.Cancel(evt)
+	}
 }
 
 // Release unblocks one held query — the explicit operator command of the
@@ -243,11 +405,37 @@ func (p *Patroller) Release(id engine.QueryID) error {
 	p.active[id] = e
 	p.stats.Released++
 	p.stats.WaitSeconds += e.info.ReleaseTime - e.info.SubmitTime
+	p.armTimeout(e)
 	if p.OnRelease != nil {
 		p.OnRelease(e.info)
 	}
 	p.eng.Start(e.q)
 	return nil
+}
+
+// armTimeout schedules the per-query execution budget at release time:
+// TimeoutFloor + TimeoutPerCost * cost. The last permitted attempt runs
+// untimed so a query whose budget is systematically too small (cost
+// misestimation) still finishes.
+func (p *Patroller) armTimeout(e *entry) {
+	rp := p.retry
+	if rp == nil || rp.TimeoutPerCost <= 0 || e.q.Attempt+1 >= rp.MaxAttempts {
+		return
+	}
+	d := rp.TimeoutFloor + rp.TimeoutPerCost*e.info.Cost
+	id := e.q.ID
+	q := e.q
+	p.timeouts[id] = p.clock.AfterCancellable(d, func() {
+		delete(p.timeouts, id)
+		if q.State != engine.StateExecuting {
+			return
+		}
+		// Abort reports false when the query completes at this exact
+		// instant (completion wins the tie); only a landed abort counts.
+		if p.eng.Abort(q) {
+			p.stats.TimedOut++
+		}
+	})
 }
 
 // schedulePoke coalesces policy evaluation into one zero-delay event.

@@ -140,3 +140,16 @@ func (g GroupPriority) SelectReleases(v *View) []engine.QueryID {
 func DefaultGroupCaps() map[Group]int {
 	return map[Group]int{Large: 1, Medium: 3, Small: 12}
 }
+
+// ReleaseAll unconditionally releases every held query — the drain policy
+// a controller installs at shutdown so nothing stays blocked forever.
+type ReleaseAll struct{}
+
+// SelectReleases implements Policy.
+func (ReleaseAll) SelectReleases(v *View) []engine.QueryID {
+	out := make([]engine.QueryID, 0, len(v.Held))
+	for _, qi := range v.Held {
+		out = append(out, qi.ID)
+	}
+	return out
+}

@@ -85,6 +85,13 @@ type OLTPConfig struct {
 	// MaxAbsSlope bounds the fitted slope; wilder fits (from measurement
 	// noise over a near-constant limit) fall back to the prior.
 	MaxAbsSlope float64
+	// FallbackToLastFit changes what an ill-conditioned window falls back
+	// to: the last usable fitted slope instead of PriorSlope. With fault
+	// injection a window can degenerate mid-run (dropped harvests leave
+	// <2 distinct limits, or a storm yields an absurd slope); the most
+	// recent trusted fit is a better guess than the cold-start prior.
+	// Off by default to keep the paper-faithful behaviour.
+	FallbackToLastFit bool
 }
 
 // DefaultOLTPConfig returns the configuration used in the experiments.
@@ -101,6 +108,9 @@ func DefaultOLTPConfig() OLTPConfig {
 type OLTPResponse struct {
 	cfg OLTPConfig
 	reg *stats.SlidingRegression
+
+	lastFit float64 // most recent usable fitted slope
+	hasFit  bool
 }
 
 // NewOLTPResponse builds the model with the given configuration.
@@ -124,23 +134,35 @@ func (m *OLTPResponse) Observe(c, t float64) {
 }
 
 // Slope returns the model's current s: the fitted regression slope when
-// enough well-conditioned data exists, the prior otherwise.
+// enough well-conditioned data exists, otherwise the fallback — the last
+// usable fit when FallbackToLastFit is set and one exists, the prior
+// slope otherwise.
 func (m *OLTPResponse) Slope() float64 {
 	if m.reg.Len() < m.cfg.MinPoints {
-		return m.cfg.PriorSlope
+		return m.fallbackSlope()
 	}
 	fit, ok := m.reg.Fit()
 	if !ok {
-		return m.cfg.PriorSlope
+		// Fewer than two distinct limits in the window: the slope is
+		// unidentifiable.
+		return m.fallbackSlope()
 	}
 	s := fit.Slope
 	// A positive slope would claim that giving the OLTP class more
 	// resources slows it down — an artifact of noise; so would an
-	// implausibly steep one. Keep the physically sensible prior.
+	// implausibly steep one. Fall back rather than trust it.
 	if s >= 0 || math.Abs(s) > m.cfg.MaxAbsSlope {
-		return m.cfg.PriorSlope
+		return m.fallbackSlope()
 	}
+	m.lastFit, m.hasFit = s, true
 	return s
+}
+
+func (m *OLTPResponse) fallbackSlope() float64 {
+	if m.cfg.FallbackToLastFit && m.hasFit {
+		return m.lastFit
+	}
+	return m.cfg.PriorSlope
 }
 
 // FitQuality returns the R² of the current window fit (0 when unfittable).

@@ -151,3 +151,41 @@ func TestOLTPConfigValidation(t *testing.T) {
 	}()
 	NewOLTPResponse(OLTPConfig{Window: 1, MinPoints: 2})
 }
+
+func TestOLTPModelFallsBackToLastFit(t *testing.T) {
+	cfg := DefaultOLTPConfig()
+	cfg.Window = 6
+	cfg.FallbackToLastFit = true
+	m := NewOLTPResponse(cfg)
+	// A clean window establishes a usable fit.
+	for _, c := range []float64{1000, 3000, 5000, 8000, 12000, 15000} {
+		m.Observe(c, 0.4-1e-5*c)
+	}
+	if got := m.Slope(); math.Abs(got+1e-5) > 1e-9 {
+		t.Fatalf("learned slope = %v, want -1e-5", got)
+	}
+	// A fault window then degenerates the regression: six observations
+	// all at the same limit leave the slope unidentifiable.
+	for i := 0; i < 6; i++ {
+		m.Observe(9000, 0.31+0.001*float64(i))
+	}
+	if got := m.Slope(); math.Abs(got+1e-5) > 1e-9 {
+		t.Fatalf("ill-conditioned window returned %v, want last fit -1e-5", got)
+	}
+}
+
+func TestOLTPModelFallbackDefaultsToPrior(t *testing.T) {
+	cfg := DefaultOLTPConfig()
+	cfg.Window = 6
+	m := NewOLTPResponse(cfg)
+	for _, c := range []float64{1000, 3000, 5000, 8000, 12000, 15000} {
+		m.Observe(c, 0.4-1e-5*c)
+	}
+	for i := 0; i < 6; i++ {
+		m.Observe(9000, 0.31+0.001*float64(i))
+	}
+	// Paper-faithful default: the cold-start prior, not the stale fit.
+	if got := m.Slope(); got != cfg.PriorSlope {
+		t.Fatalf("default fallback = %v, want prior %v", got, cfg.PriorSlope)
+	}
+}

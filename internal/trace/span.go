@@ -70,7 +70,7 @@ type jsonEvent struct {
 // are latched and reported by SinkErr.
 func (t *Tracer) StreamJSONL(w io.Writer, meta Meta) error {
 	if t.sink != nil {
-		panic("trace: JSONL sink already attached")
+		return fmt.Errorf("trace: JSONL sink already attached")
 	}
 	meta.Version = FormatVersion
 	line, err := json.Marshal(jsonMeta{Type: "meta", Meta: meta})
@@ -112,7 +112,7 @@ func writeEventLine(w io.Writer, e Event) error {
 
 // kindFromString inverts Kind.String for trace file parsing.
 func kindFromString(s string) (Kind, error) {
-	for k := QuerySubmit; k <= WorkloadShift; k++ {
+	for k := QuerySubmit; k <= QueryRetried; k++ {
 		if k.String() == s {
 			return k, nil
 		}

@@ -31,6 +31,8 @@ const (
 	QueryReleased
 	PlanChanged
 	WorkloadShift
+	QueryAborted
+	QueryRetried
 )
 
 func (k Kind) String() string {
@@ -49,6 +51,10 @@ func (k Kind) String() string {
 		return "plan"
 	case WorkloadShift:
 		return "shift"
+	case QueryAborted:
+		return "abort"
+	case QueryRetried:
+		return "retry"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -210,9 +216,20 @@ func AttachEngine(t *Tracer, eng *engine.Engine) {
 			Query: q.ID, Client: q.Client, Value: q.Cost, Detail: q.Template})
 	})
 	eng.OnDone(func(q *engine.Query) {
+		if q.State != engine.StateDone {
+			// Terminal failure (abort with retries exhausted, or no retry
+			// handler): recorded by the abort listener, not as a
+			// completion.
+			return
+		}
 		t.Emit(Event{Time: clock.Now(), Kind: QueryDone, Class: q.Class,
 			Query: q.ID, Client: q.Client, Value: q.Cost,
 			Detail: fmt.Sprintf("rt=%.3fs exec=%.3fs", q.ResponseTime(), q.ExecutionTime())})
+	})
+	eng.OnAbort(func(q *engine.Query) {
+		t.Emit(Event{Time: clock.Now(), Kind: QueryAborted, Class: q.Class,
+			Query: q.ID, Client: q.Client, Value: q.Cost,
+			Detail: fmt.Sprintf("attempt=%d", q.Attempt)})
 	})
 }
 
@@ -235,6 +252,15 @@ func AttachPatroller(t *Tracer, pat *patroller.Patroller, clock *simclock.Clock)
 		t.Emit(Event{Time: clock.Now(), Kind: QueryReleased, Class: qi.Class,
 			Query: qi.ID, Client: qi.Client, Value: qi.Cost,
 			Detail: fmt.Sprintf("waited=%.1fs", qi.WaitTime(clock.Now()))})
+	}
+	prevRetry := pat.OnRetry
+	pat.OnRetry = func(qi *patroller.QueryInfo) {
+		if prevRetry != nil {
+			prevRetry(qi)
+		}
+		t.Emit(Event{Time: clock.Now(), Kind: QueryRetried, Class: qi.Class,
+			Query: qi.ID, Client: qi.Client, Value: qi.Cost,
+			Detail: fmt.Sprintf("attempt=%d", qi.Attempt)})
 	}
 }
 
