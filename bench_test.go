@@ -334,6 +334,31 @@ func BenchmarkFaultMatrixQuick(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointOverhead measures the cost of crash-consistent
+// checkpointing on the paper's Query Scheduler run: the same simulation
+// with checkpoints off, at every 100th control boundary (the recommended
+// cadence — expected well under 5% overhead), and at every boundary (the
+// worst case). Compare with:
+//
+//	go test -bench=BenchmarkCheckpointOverhead -benchtime=3x
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	for _, every := range []int{0, 100, 1} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+			dir := b.TempDir()
+			cfg := experiment.DefaultMixedConfig(experiment.QueryScheduler)
+			if every > 0 {
+				cfg.CheckpointEvery = every
+				cfg.CheckpointDir = dir
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := experiment.RunMixed(cfg)
+				reportMixed(b, res)
+			}
+		})
+	}
+}
+
 // --- Micro-benchmarks of the components themselves ---
 
 // BenchmarkClockThroughput measures the simclock kernel's event hot path:

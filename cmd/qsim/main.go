@@ -22,9 +22,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -95,7 +97,7 @@ func (s *fileSink) close() {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|all")
+	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|crashrecovery|all")
 	replications := flag.Int("seeds", 5, "number of seeds for -exp replicated / detection-replicated")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs within an experiment (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
@@ -107,14 +109,53 @@ func main() {
 	faultsFile := flag.String("faults", "", "inject the deterministic fault plan from this JSON file (mixed runs and -exp faultmatrix; see internal/fault)")
 	mitigate := flag.Bool("mitigate", false, "with -faults on a mixed run: arm the mitigation stack (timeout+retry, plan hold, slope fallback)")
 	quick := flag.Bool("quick", false, "with -exp faultmatrix: run the CI-smoke-sized schedule instead of the 24-hour one")
+	traceRotate := flag.Int64("trace-rotate", 0, "rotate the -trace file once a segment exceeds this many bytes (0 = never); rotated segments move to <file>.1, .2, ... and each re-starts with the meta line")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "write a crash-consistent checkpoint every N control boundaries (single mixed runs only; requires -checkpoint-dir)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory checkpoint files are written to")
+	resumeDir := flag.String("resume", "", "resume an interrupted mixed run from this checkpoint directory; pass the interrupted run's -trace/-metrics paths and the finished outputs match an uninterrupted run byte for byte")
 	flag.Parse()
 
 	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true}
-	if (*traceFile != "" || *metricsFile != "") && *scenario == "" && !obsCapable[*exp] {
+	if (*traceFile != "" || *metricsFile != "") && *scenario == "" && *resumeDir == "" && !obsCapable[*exp] {
 		fmt.Fprintln(os.Stderr, "-trace/-metrics apply to a single mixed run: -exp fig4|fig5|fig6|fig7 or -scenario")
 		os.Exit(2)
 	}
-	traceSink := openSink(*traceFile)
+	traceCompressed := strings.HasSuffix(*traceFile, ".gz")
+	if *checkpointEvery > 0 {
+		if *checkpointDir == "" && *resumeDir == "" {
+			fmt.Fprintln(os.Stderr, "-checkpoint-every requires -checkpoint-dir")
+			os.Exit(2)
+		}
+		if *scenario == "" && *resumeDir == "" && !obsCapable[*exp] {
+			fmt.Fprintln(os.Stderr, "-checkpoint-every applies to a single mixed run: -exp fig4|fig5|fig6|fig7 or -scenario")
+			os.Exit(2)
+		}
+	}
+	if (*checkpointEvery > 0 || *resumeDir != "") && (*traceRotate > 0 || traceCompressed) {
+		// Resume rewinds the trace file to a checkpointed byte offset;
+		// rotation and compression destroy that stable offset.
+		fmt.Fprintln(os.Stderr, "checkpointing requires a plain -trace file (no -trace-rotate, no .gz)")
+		os.Exit(2)
+	}
+
+	// The trace sink handles optional gzip (.gz suffix) and rotation. On
+	// -resume the interrupted run's trace file must NOT be truncated here:
+	// ResumeMixed reopens it and rewinds to the checkpointed offset itself.
+	var traceSink *trace.Sink
+	if *traceFile != "" && *resumeDir == "" {
+		s, err := trace.OpenSink(*traceFile, *traceRotate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceSink = s
+	}
+	traceWriter := func() io.Writer {
+		if traceSink == nil {
+			return nil // a typed-nil *trace.Sink would defeat nil checks
+		}
+		return traceSink
+	}
 	metricsSink := openSink(*metricsFile)
 	checkExport := func(res *experiment.MixedResult) {
 		if res.ExportErr != nil {
@@ -123,8 +164,28 @@ func main() {
 		}
 	}
 	closeSinks := func() {
-		traceSink.close()
+		if traceSink != nil {
+			if err := traceSink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *traceFile)
+		}
 		metricsSink.close()
+	}
+	// A fault-plan crash ends the run mid-simulation: flush the partial
+	// artifacts (resume rewinds the trace) and exit distinctly.
+	exitIfCrashed := func(res *experiment.MixedResult) {
+		if !res.Crashed {
+			return
+		}
+		closeSinks()
+		if *checkpointDir != "" {
+			fmt.Fprintf(os.Stderr, "simulation crashed mid-run; resume with -resume %s\n", *checkpointDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "simulation crashed mid-run (no checkpoints were enabled)")
+		}
+		os.Exit(3)
 	}
 
 	writeCSV := func(name, content string) {
@@ -148,6 +209,36 @@ func main() {
 	any := false
 	faults := loadFaults(*faultsFile)
 
+	writeMixedTables := func(name string, res *experiment.MixedResult) {
+		experiment.WriteMixed(out, res)
+		if res.CostLimits != nil {
+			experiment.WriteCostLimits(out, res)
+		}
+		if *chart {
+			experiment.WriteMixedCharts(out, res)
+		}
+		writeCSV(name+".csv", experiment.MixedCSV(res))
+	}
+
+	if *resumeDir != "" {
+		res, err := experiment.ResumeMixed(experiment.ResumeOptions{
+			Dir:             *resumeDir,
+			TracePath:       *traceFile,
+			Metrics:         metricsSink.writer(),
+			CheckpointEvery: *checkpointEvery,
+			Warn:            os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exitIfCrashed(res)
+		checkExport(res)
+		writeMixedTables("resume", res)
+		closeSinks()
+		return
+	}
+
 	if *scenario != "" {
 		f, err := os.Open(*scenario)
 		if err != nil {
@@ -166,9 +257,11 @@ func main() {
 		if sc.Name != "" {
 			fmt.Fprintf(out, "Scenario: %s\n", sc.Name)
 		}
-		sc.Trace = traceSink.writer()
+		sc.Trace = traceWriter()
 		sc.Metrics = metricsSink.writer()
 		sc.Faults = faults
+		sc.CheckpointEvery = *checkpointEvery
+		sc.CheckpointDir = *checkpointDir
 		if *mitigate {
 			if sc.Mode == experiment.QueryScheduler && sc.QS == nil {
 				qc := experiment.MitigatedQSConfig()
@@ -178,6 +271,7 @@ func main() {
 			sc.Retry = &rp
 		}
 		res := sc.Run()
+		exitIfCrashed(res)
 		checkExport(res)
 		experiment.WriteMixed(out, res)
 		if res.CostLimits != nil {
@@ -228,9 +322,11 @@ func main() {
 		cfg := experiment.DefaultMixedConfig(mode)
 		cfg.Seed = *seed
 		cfg.Experiment = *exp
-		cfg.Trace = traceSink.writer()
+		cfg.Trace = traceWriter()
 		cfg.Metrics = metricsSink.writer()
 		cfg.Faults = faults
+		cfg.CheckpointEvery = *checkpointEvery
+		cfg.CheckpointDir = *checkpointDir
 		if *mitigate {
 			if mode == experiment.QueryScheduler {
 				qc := experiment.MitigatedQSConfig()
@@ -240,6 +336,7 @@ func main() {
 			cfg.Retry = &rp
 		}
 		res := experiment.RunMixed(cfg)
+		exitIfCrashed(res)
 		checkExport(res)
 		if err := res.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -336,6 +433,26 @@ func main() {
 		experiment.WriteFaultMatrix(out, cells)
 		writeCSV("faultmatrix.csv", experiment.FaultMatrixCSV(cells))
 		fmt.Fprintln(out)
+	}
+	if *exp == "crashrecovery" { // not part of "all": nine full QS runs
+		any = true
+		crCfg := experiment.DefaultCrashRecoveryConfig()
+		crCfg.Seed = *seed
+		crCfg.Parallel = *parallel
+		if faults != nil {
+			// A custom plan replaces the built-in one; its crash time is
+			// still overwritten per cell.
+			crCfg.Faults = *faults
+		}
+		cells := experiment.RunCrashRecovery(crCfg)
+		experiment.WriteCrashRecovery(out, cells)
+		writeCSV("crashrecovery.csv", experiment.CrashRecoveryCSV(cells))
+		fmt.Fprintln(out)
+		for _, c := range cells {
+			if !c.Recovered() {
+				os.Exit(1)
+			}
+		}
 	}
 	if run("direct") {
 		any = true

@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -115,7 +116,15 @@ func main() {
 	metricsPrefix := flag.String("metrics", "", "write each run's metrics exposition to <prefix><value>.prom")
 	faultsFile := flag.String("faults", "", "inject the deterministic fault plan from this JSON file into every swept run (see internal/fault)")
 	mitigate := flag.Bool("mitigate", false, "arm the mitigation stack (timeout+retry, plan hold, slope fallback) in every swept run")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "write a crash-consistent checkpoint every N control boundaries into a per-value subdirectory of -checkpoint-dir")
+	checkpointDir := flag.String("checkpoint-dir", "", "root directory for per-value checkpoint subdirectories")
+	resume := flag.Bool("resume", false, "resume swept values that left a checkpoint under -checkpoint-dir (values without one run fresh); pass the same -param/-values/-trace/-metrics as the interrupted sweep")
 	flag.Parse()
+
+	if (*checkpointEvery > 0 || *resume) && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint-every/-resume require -checkpoint-dir")
+		os.Exit(2)
+	}
 
 	var faults *fault.Plan
 	if *faultsFile != "" {
@@ -188,12 +197,26 @@ func main() {
 	}
 	// One export sink per swept value, created before the (possibly
 	// parallel) runs so failures abort early and workers never share one.
+	// A value being resumed keeps its interrupted trace file untouched:
+	// ResumeMixed reopens it and rewinds to the checkpointed offset, so no
+	// sink is created for it (the metrics exposition is rewritten wholesale
+	// after the run either way).
 	traceSinks := make([]*sink, len(sweep))
 	metricsSinks := make([]*sink, len(sweep))
+	tracePaths := make([]string, len(sweep))
+	ckptDirs := make([]string, len(sweep))
+	resuming := make([]bool, len(sweep))
 	for i, v := range sweep {
 		val := strconv.FormatFloat(v, 'g', -1, 64)
+		if *checkpointDir != "" {
+			ckptDirs[i] = filepath.Join(*checkpointDir, fmt.Sprintf("%s-%s", *param, val))
+		}
+		resuming[i] = *resume && experiment.HasCheckpoint(ckptDirs[i])
 		if *tracePrefix != "" {
-			traceSinks[i] = newSink(*tracePrefix + val + ".jsonl")
+			tracePaths[i] = *tracePrefix + val + ".jsonl"
+			if !resuming[i] {
+				traceSinks[i] = newSink(tracePaths[i])
+			}
 		}
 		if *metricsPrefix != "" {
 			metricsSinks[i] = newSink(*metricsPrefix + val + ".prom")
@@ -204,21 +227,52 @@ func main() {
 		rp := experiment.DefaultRetryPolicy()
 		retry = &rp
 	}
+	// Per-value errors from resume land here (each worker owns its index,
+	// so the slice is race-free under the parallel runner).
+	errs := make([]error, len(sweep))
 	results := experiment.Map(*parallel, sweep, func(v float64, i int) *experiment.MixedResult {
+		if resuming[i] {
+			res, err := experiment.ResumeMixed(experiment.ResumeOptions{
+				Dir:             ckptDirs[i],
+				TracePath:       tracePaths[i],
+				Metrics:         metricsSinks[i].writer(),
+				CheckpointEvery: *checkpointEvery,
+				Warn:            os.Stderr,
+			})
+			errs[i] = err
+			return res
+		}
 		return experiment.RunMixed(experiment.MixedConfig{
-			Mode:       experiment.QueryScheduler,
-			Sched:      workload.PaperSchedule(),
-			Seed:       *seed,
-			QS:         &cfgs[i],
-			Experiment: fmt.Sprintf("qsweep %s=%g", *param, v),
-			Trace:      traceSinks[i].writer(),
-			Metrics:    metricsSinks[i].writer(),
-			Faults:     faults,
-			Retry:      retry,
+			Mode:            experiment.QueryScheduler,
+			Sched:           workload.PaperSchedule(),
+			Seed:            *seed,
+			QS:              &cfgs[i],
+			Experiment:      fmt.Sprintf("qsweep %s=%g", *param, v),
+			Trace:           traceSinks[i].writer(),
+			Metrics:         metricsSinks[i].writer(),
+			Faults:          faults,
+			Retry:           retry,
+			CheckpointEvery: *checkpointEvery,
+			CheckpointDir:   ckptDirs[i],
 		})
 	})
+	// Flush every sink before reporting: a crashed value must not cost the
+	// other values their buffered exports, and its own partial trace has
+	// to reach disk for -resume to rewind.
+	for i := range sweep {
+		traceSinks[i].finish()
+		metricsSinks[i].finish()
+	}
 	for i, v := range sweep {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "%s=%g: %v\n", *param, v, errs[i])
+			os.Exit(1)
+		}
 		res := results[i]
+		if res.Crashed {
+			fmt.Fprintf(os.Stderr, "%s=%g: run crashed mid-simulation; re-run with -resume to finish it\n", *param, v)
+			os.Exit(3)
+		}
 		if res.ExportErr != nil {
 			fmt.Fprintln(os.Stderr, res.ExportErr)
 			os.Exit(1)
@@ -239,9 +293,5 @@ func main() {
 			fmt.Printf(" %14.0f", heavy/float64(n)*1000)
 		}
 		fmt.Println()
-	}
-	for i := range sweep {
-		traceSinks[i].finish()
-		metricsSinks[i].finish()
 	}
 }

@@ -1,0 +1,176 @@
+// Checkpoint state for the Query Scheduler: the current plan, the full
+// plan history, the control and snapshot tickers, and the monitor's
+// interval windows, plus the embedded perfmodel and detector state.
+//
+// Restore runs on a freshly constructed and Start()ed scheduler after
+// Clock.Restore has wiped the heap: the constructor-scheduled ticker
+// events are gone and RestoreCheckpoint re-arms them with the
+// checkpointed refs, so they fire with the original sequence numbers.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/perfmodel"
+	"repro/internal/simclock"
+	"repro/internal/solver"
+	"repro/internal/stats"
+)
+
+// PlanEntry is one class's cost limit in serialized (sorted) form.
+type PlanEntry struct {
+	Class engine.ClassID
+	Limit float64
+}
+
+// ClassCount is a per-class integer in serialized (sorted) form.
+type ClassCount struct {
+	Class engine.ClassID
+	N     int
+}
+
+// ClassSummary is a per-class Summary in serialized (sorted) form.
+type ClassSummary struct {
+	Class engine.ClassID
+	S     stats.SummaryState
+}
+
+// MonitorState is the monitor's serializable state.
+type MonitorState struct {
+	VelWindow   []ClassSummary // sorted by class
+	OLTPResp    stats.SummaryState
+	LastOLTP    float64
+	SnapPolls   int
+	SnapDropped int
+	Arrivals    []ClassCount   // sorted by class
+	ArrivalCost []ClassSummary // sorted by class
+	Inflight    []ClassCount   // sorted by class
+	HasTicker   bool
+	Ticker      simclock.TickerState
+}
+
+// CheckpointState is the scheduler's serializable state.
+type CheckpointState struct {
+	Limits    []PlanEntry // sorted by class
+	History   []PlanRecord
+	HeldTicks int
+	Running   bool
+	Ticker    simclock.TickerState
+	OLTPModel perfmodel.OLTPResponseState
+	OLTPTput  perfmodel.OLTPThroughputState
+	Detector  detect.CheckpointState
+	Monitor   MonitorState
+}
+
+func planEntries(p solver.Plan) []PlanEntry {
+	out := make([]PlanEntry, 0, len(p))
+	for class, limit := range p {
+		out = append(out, PlanEntry{Class: class, Limit: limit})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// CheckpointState captures the scheduler at a quiescent boundary.
+func (qs *QueryScheduler) CheckpointState() CheckpointState {
+	st := CheckpointState{
+		Limits:    planEntries(qs.limits),
+		History:   qs.History(), // deep copy — gob encoding must not alias live maps
+		HeldTicks: qs.heldTicks,
+		Running:   qs.running,
+		OLTPModel: qs.oltpModel.CheckpointState(),
+		OLTPTput:  qs.oltpTput.CheckpointState(),
+		Detector:  qs.detector.CheckpointState(),
+		Monitor:   qs.mon.checkpointState(),
+	}
+	if qs.ticker != nil {
+		st.Ticker = qs.ticker.State()
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites a freshly started scheduler with a
+// checkpointed state and re-arms its control ticker.
+func (qs *QueryScheduler) RestoreCheckpoint(st CheckpointState) {
+	if len(qs.history) != 0 {
+		panic("core: checkpoint restore onto a used scheduler")
+	}
+	qs.limits = make(solver.Plan, len(st.Limits))
+	for _, e := range st.Limits {
+		qs.limits[e.Class] = e.Limit
+	}
+	qs.history = st.History
+	qs.heldTicks = st.HeldTicks
+	qs.running = st.Running
+	qs.ticker.Restore(st.Ticker.Ref, st.Ticker.Active)
+	qs.oltpModel.RestoreCheckpoint(st.OLTPModel)
+	qs.oltpTput.RestoreCheckpoint(st.OLTPTput)
+	qs.detector.RestoreCheckpoint(st.Detector)
+	qs.mon.restoreCheckpoint(st.Monitor)
+}
+
+func (m *monitor) checkpointState() MonitorState {
+	st := MonitorState{
+		OLTPResp:    m.oltpResp.State(),
+		LastOLTP:    m.lastOLTP,
+		SnapPolls:   m.snapPolls,
+		SnapDropped: m.snapDropped,
+	}
+	for class, w := range m.velWindow {
+		st.VelWindow = append(st.VelWindow, ClassSummary{Class: class, S: w.State()})
+	}
+	sort.Slice(st.VelWindow, func(i, j int) bool { return st.VelWindow[i].Class < st.VelWindow[j].Class })
+	for class, n := range m.arrivals {
+		st.Arrivals = append(st.Arrivals, ClassCount{Class: class, N: n})
+	}
+	sort.Slice(st.Arrivals, func(i, j int) bool { return st.Arrivals[i].Class < st.Arrivals[j].Class })
+	for class, cs := range m.arrivalCost {
+		st.ArrivalCost = append(st.ArrivalCost, ClassSummary{Class: class, S: cs.State()})
+	}
+	sort.Slice(st.ArrivalCost, func(i, j int) bool { return st.ArrivalCost[i].Class < st.ArrivalCost[j].Class })
+	for class, n := range m.inflight {
+		st.Inflight = append(st.Inflight, ClassCount{Class: class, N: n})
+	}
+	sort.Slice(st.Inflight, func(i, j int) bool { return st.Inflight[i].Class < st.Inflight[j].Class })
+	if m.ticker != nil {
+		st.HasTicker = true
+		st.Ticker = m.ticker.State()
+	}
+	return st
+}
+
+func (m *monitor) restoreCheckpoint(st MonitorState) {
+	for _, rec := range st.VelWindow {
+		w, ok := m.velWindow[rec.Class]
+		if !ok {
+			panic(fmt.Sprintf("core: restore: velocity window for unknown class %d", rec.Class))
+		}
+		w.SetState(rec.S)
+	}
+	m.oltpResp.SetState(st.OLTPResp)
+	m.lastOLTP = st.LastOLTP
+	m.snapPolls, m.snapDropped = st.SnapPolls, st.SnapDropped
+	for _, rec := range st.Arrivals {
+		m.arrivals[rec.Class] = rec.N
+	}
+	for _, rec := range st.ArrivalCost {
+		cs, ok := m.arrivalCost[rec.Class]
+		if !ok {
+			cs = &stats.Summary{}
+			m.arrivalCost[rec.Class] = cs
+		}
+		cs.SetState(rec.S)
+	}
+	for _, rec := range st.Inflight {
+		m.inflight[rec.Class] = rec.N
+	}
+	if st.HasTicker != (m.ticker != nil) {
+		panic("core: restore: snapshot ticker presence mismatch")
+	}
+	if m.ticker != nil {
+		m.ticker.Restore(st.Ticker.Ref, st.Ticker.Active)
+	}
+}

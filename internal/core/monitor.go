@@ -315,3 +315,11 @@ func (m *monitor) stop() {
 		m.ticker.Stop()
 	}
 }
+
+// start re-arms the snapshot ticker after a stop (scheduler restart); a
+// no-op on first start, when the constructor's ticker is still active.
+func (m *monitor) start() {
+	if m.ticker != nil {
+		m.ticker.Start()
+	}
+}

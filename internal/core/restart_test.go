@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// Regression: StopWith(StopDrain) stops both the control ticker and the
+// monitor's snapshot ticker. A later Start() used to re-arm only the
+// control loop, so the OLTP class was never measured again — every
+// post-restart plan ran on the stale sticky response time. Start() must
+// undo all of the drain's side effects.
+func TestStopDrainThenRestartResumesMeasurement(t *testing.T) {
+	r := newRig(t, nil)
+	r.qs.Start()
+	submitOLTPLoop(r, 1)
+	submitOLTPLoop(r, 2)
+	driveOLAPLoop(r, 31, 1, 1000, 10)
+	r.clock.RunUntil(5 * 60)
+
+	r.qs.StopWith(StopDrain)
+	stopped := len(r.qs.History())
+	r.clock.RunUntil(10 * 60)
+	if n := len(r.qs.History()); n != stopped {
+		t.Fatalf("control loop kept planning while stopped: %d -> %d records", stopped, n)
+	}
+
+	r.qs.Start()
+	r.clock.RunUntil(20 * 60)
+	hist := r.qs.History()
+	if len(hist) <= stopped {
+		t.Fatalf("control loop did not resume after restart: still %d records", len(hist))
+	}
+	last := hist[len(hist)-1]
+	if last.Measurement.OLTPSamples == 0 {
+		t.Fatal("monitor snapshot ticker not re-armed: no OLTP samples after restart")
+	}
+}
+
+// Starting twice in a row must still panic; the restart path only
+// applies to a scheduler that was stopped.
+func TestDoubleStartStillPanics(t *testing.T) {
+	r := newRig(t, nil)
+	r.qs.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	r.qs.Start()
+}

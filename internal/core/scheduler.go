@@ -177,7 +177,16 @@ func (qs *QueryScheduler) Start() {
 	}
 	qs.running = true
 	qs.pat.SetPolicy(qs)
-	qs.ticker = qs.eng.Clock().StartTicker(qs.cfg.ControlInterval, qs.controlTick)
+	// A restart after StopWith(StopDrain) must also undo the drain's side
+	// effects: SetPolicy above replaces the installed ReleaseAll policy,
+	// and the monitor's snapshot ticker — stopped by StopWith — has to be
+	// re-armed or the OLTP class would never be measured again.
+	qs.mon.start()
+	if qs.ticker != nil {
+		qs.ticker.Start()
+	} else {
+		qs.ticker = qs.eng.Clock().StartTicker(qs.cfg.ControlInterval, qs.controlTick)
+	}
 }
 
 // StopMode selects what happens to still-held queries when the control

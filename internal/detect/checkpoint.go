@@ -1,0 +1,69 @@
+// Checkpoint state for the workload detector: per-class smoothers, trend
+// windows, CUSUM accumulators, and the shift log.
+package detect
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// ClassStateRecord is one class's serialized detector state.
+type ClassStateRecord struct {
+	Class      engine.ClassID
+	Char       Characterization
+	RateEWMA   stats.EWMAState
+	PopEWMA    stats.EWMAState
+	CostEWMA   stats.EWMAState
+	Trend      stats.RegressionState
+	Mean       stats.SummaryState
+	CusumPos   float64
+	CusumNeg   float64
+	SinceShift int
+}
+
+// CheckpointState is the detector's serializable state.
+type CheckpointState struct {
+	Classes []ClassStateRecord // sorted by class id
+	Shifts  []Shift
+}
+
+// CheckpointState captures the detector.
+func (d *Detector) CheckpointState() CheckpointState {
+	st := CheckpointState{Shifts: append([]Shift(nil), d.shifts...)}
+	for class, s := range d.states {
+		st.Classes = append(st.Classes, ClassStateRecord{
+			Class:      class,
+			Char:       s.char,
+			RateEWMA:   s.rateEWMA.State(),
+			PopEWMA:    s.popEWMA.State(),
+			CostEWMA:   s.costEWMA.State(),
+			Trend:      s.trend.State(),
+			Mean:       s.mean.State(),
+			CusumPos:   s.cusumPos,
+			CusumNeg:   s.cusumNeg,
+			SinceShift: s.sinceShift,
+		})
+	}
+	sort.Slice(st.Classes, func(i, j int) bool { return st.Classes[i].Class < st.Classes[j].Class })
+	return st
+}
+
+// RestoreCheckpoint overwrites a freshly constructed detector.
+func (d *Detector) RestoreCheckpoint(st CheckpointState) {
+	d.shifts = append([]Shift(nil), st.Shifts...)
+	d.states = make(map[engine.ClassID]*classState, len(st.Classes))
+	for _, rec := range st.Classes {
+		s := d.state(rec.Class) // allocates the EWMA/regression internals
+		s.char = rec.Char
+		s.rateEWMA.SetState(rec.RateEWMA)
+		s.popEWMA.SetState(rec.PopEWMA)
+		s.costEWMA.SetState(rec.CostEWMA)
+		s.trend.SetState(rec.Trend)
+		s.mean.SetState(rec.Mean)
+		s.cusumPos = rec.CusumPos
+		s.cusumNeg = rec.CusumNeg
+		s.sinceShift = rec.SinceShift
+	}
+}

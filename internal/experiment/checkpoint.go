@@ -1,0 +1,448 @@
+// Crash-consistent checkpoint/restore for mixed-workload runs.
+//
+// A checkpoint is taken only at a quiescent boundary — between RunUntil
+// calls, when every event at or before the current time has fired — so
+// each component's state is internally consistent. The snapshot records
+// the run's construction parameters (RunSpec) next to every component's
+// logical state; closures are never serialized. Resume rebuilds the rig
+// by re-running the exact construction sequence RunMixed uses, wipes the
+// constructor-scheduled clock events wholesale (Clock.Restore), and then
+// re-arms each component's recorded future events with their original
+// (time, seq, id) triples, so FIFO tie-breaking and all later sequence
+// draws reproduce the uninterrupted run exactly.
+package experiment
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/patroller"
+	"repro/internal/simclock"
+	"repro/internal/solver"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RetrySpec mirrors patroller.RetryPolicy without its RefreshCost func
+// (which cannot be serialized; resume re-wires it to the injector the
+// same way RunMixed does).
+type RetrySpec struct {
+	MaxAttempts    int
+	Backoff        float64
+	TimeoutFloor   float64
+	TimeoutPerCost float64
+}
+
+// RunSpec is the gob-safe record of how a checkpointed run was
+// constructed. Resume rebuilds an identical rig from it; only the output
+// writers are supplied fresh by the resuming caller.
+type RunSpec struct {
+	Mode       Mode
+	Seed       uint64
+	Sched      workload.Schedule
+	Classes    []*workload.Class
+	Experiment string
+	// HasQSCfg records whether the run carried a custom core.Config. The
+	// config's interface fields travel out of band: SolverName +
+	// GreedyMaxMoves stand in for Config.Solver, and MonitorFaults is
+	// re-wired to the rebuilt injector.
+	HasQSCfg       bool
+	QS             core.Config
+	SolverName     string
+	GreedyMaxMoves int
+	HasFaults      bool
+	Faults         fault.Plan
+	HasRetry       bool
+	Retry          RetrySpec
+	// HasTrace/HasMetrics record which exports were attached; resume
+	// must re-attach the same set or the outputs would diverge.
+	HasTrace   bool
+	HasMetrics bool
+}
+
+// runSnapshot is the gob payload of one checkpoint file.
+type runSnapshot struct {
+	Spec  RunSpec
+	Index int // boundary index the snapshot was taken at
+	Clock simclock.State
+
+	Engine     engine.CheckpointState
+	Pool       workload.PoolState
+	Boundaries []workload.BoundaryRef
+	Pat        patroller.CheckpointState
+	Collector  metrics.CheckpointState
+	HasQS      bool
+	QS         core.CheckpointState
+	HasFaults  bool
+	Faults     fault.CheckpointState
+	HasTrace   bool
+	Trace      trace.CheckpointState
+	HasReg     bool
+	Reg        obs.CheckpointState
+}
+
+// solverSpec names a solver for the run spec. Only the built-in
+// (stateless) solvers are serializable.
+func solverSpec(s solver.Solver) (name string, greedyMaxMoves int) {
+	switch v := s.(type) {
+	case nil:
+		return "", 0
+	case solver.Greedy:
+		return "greedy", v.MaxMoves
+	case solver.Grid:
+		return "grid", 0
+	default:
+		panic(fmt.Sprintf("experiment: checkpointing cannot serialize solver %T", s))
+	}
+}
+
+// solverFromSpec inverts solverSpec. Unknown names are an error (the
+// checkpoint may come from a newer build), not a panic.
+func solverFromSpec(name string, greedyMaxMoves int) (solver.Solver, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "greedy":
+		return solver.Greedy{MaxMoves: greedyMaxMoves}, nil
+	case "grid":
+		return solver.Grid{}, nil
+	default:
+		return nil, fmt.Errorf("experiment: checkpoint names unknown solver %q", name)
+	}
+}
+
+// specFromConfig records a checkpointable run's construction parameters.
+// It panics on configurations that cannot round-trip through a
+// checkpoint (custom solver or RefreshCost closures).
+func specFromConfig(cfg MixedConfig, classes []*workload.Class) RunSpec {
+	spec := RunSpec{
+		Mode:       cfg.Mode,
+		Seed:       cfg.Seed,
+		Sched:      cfg.Sched,
+		Classes:    classes,
+		Experiment: cfg.Experiment,
+		HasTrace:   cfg.Trace != nil,
+		HasMetrics: cfg.Metrics != nil,
+	}
+	if cfg.QS != nil {
+		spec.HasQSCfg = true
+		qc := *cfg.QS
+		spec.SolverName, spec.GreedyMaxMoves = solverSpec(qc.Solver)
+		qc.Solver = nil
+		qc.MonitorFaults = nil
+		spec.QS = qc
+	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		spec.HasFaults = true
+		spec.Faults = *cfg.Faults
+	}
+	if cfg.Retry != nil {
+		if cfg.Retry.RefreshCost != nil {
+			panic("experiment: checkpointing cannot serialize a custom RetryPolicy.RefreshCost; leave it nil")
+		}
+		spec.HasRetry = true
+		spec.Retry = RetrySpec{
+			MaxAttempts:    cfg.Retry.MaxAttempts,
+			Backoff:        cfg.Retry.Backoff,
+			TimeoutFloor:   cfg.Retry.TimeoutFloor,
+			TimeoutPerCost: cfg.Retry.TimeoutPerCost,
+		}
+	}
+	return spec
+}
+
+// config rebuilds the MixedConfig a resumed run is constructed from. The
+// writers are the resuming caller's; everything else comes from the spec.
+func (s *RunSpec) config(tw, mw io.Writer) (MixedConfig, error) {
+	cfg := MixedConfig{
+		Mode:       s.Mode,
+		Sched:      s.Sched,
+		Seed:       s.Seed,
+		Classes:    s.Classes,
+		Experiment: s.Experiment,
+		Trace:      tw,
+		Metrics:    mw,
+	}
+	if s.HasQSCfg {
+		qc := s.QS
+		sol, err := solverFromSpec(s.SolverName, s.GreedyMaxMoves)
+		if err != nil {
+			return MixedConfig{}, err
+		}
+		qc.Solver = sol
+		cfg.QS = &qc
+	}
+	if s.HasFaults {
+		p := s.Faults
+		cfg.Faults = &p
+	}
+	if s.HasRetry {
+		cfg.Retry = &patroller.RetryPolicy{
+			MaxAttempts:    s.Retry.MaxAttempts,
+			Backoff:        s.Retry.Backoff,
+			TimeoutFloor:   s.Retry.TimeoutFloor,
+			TimeoutPerCost: s.Retry.TimeoutPerCost,
+		}
+	}
+	return cfg, nil
+}
+
+// boundaryStep is the distance between checkpointable boundaries: the
+// control interval in Query Scheduler mode (so "-checkpoint-every N"
+// means every N control ticks), one schedule period otherwise.
+func boundaryStep(cfg MixedConfig) float64 {
+	if cfg.Mode == QueryScheduler {
+		if cfg.QS != nil && cfg.QS.ControlInterval > 0 {
+			return cfg.QS.ControlInterval
+		}
+		return core.DefaultConfig().ControlInterval
+	}
+	return cfg.Sched.PeriodSeconds
+}
+
+// validateCheckpointing rejects run configurations whose outputs cannot
+// survive a resume: a rotating or compressed trace sink has no stable
+// byte offset to truncate back to.
+func validateCheckpointing(cfg MixedConfig) {
+	if cfg.CheckpointDir == "" {
+		panic("experiment: CheckpointEvery set without CheckpointDir")
+	}
+	if s, ok := cfg.Trace.(*trace.Sink); ok && (s.Rotating() || s.Gzipped()) {
+		panic("experiment: checkpointing requires a plain trace sink (no rotation, no gzip)")
+	}
+}
+
+// snapshotRun captures the full simulation state at a quiescent boundary.
+func snapshotRun(rig *Rig, o *runObs, inst *workload.Installation, spec *RunSpec, idx int) *runSnapshot {
+	snap := &runSnapshot{
+		Spec:       *spec,
+		Index:      idx,
+		Clock:      rig.Clock.State(),
+		Engine:     rig.Eng.CheckpointState(),
+		Pool:       rig.Pool.CheckpointState(),
+		Boundaries: inst.CheckpointState(rig.Clock.Now()),
+		Pat:        rig.Pat.CheckpointState(),
+		Collector:  rig.Collector.CheckpointState(),
+	}
+	if rig.QS != nil {
+		snap.HasQS = true
+		snap.QS = rig.QS.CheckpointState()
+	}
+	if rig.Faults != nil {
+		snap.HasFaults = true
+		snap.Faults = rig.Faults.CheckpointState()
+	}
+	if o != nil && o.tracer != nil {
+		snap.HasTrace = true
+		snap.Trace = o.tracer.CheckpointState()
+	}
+	if o != nil && o.reg != nil {
+		snap.HasReg = true
+		snap.Reg = o.reg.CheckpointState()
+	}
+	return snap
+}
+
+// runBoundaries drives the simulation to the end of the schedule. With
+// checkpointing disabled it is a single RunUntil, exactly as Rig.Run;
+// with checkpointing enabled the run is split at boundary multiples —
+// behaviour-neutral, since all events at or before each boundary have
+// fired either way — and a snapshot is written every CheckpointEvery
+// boundaries. Returns crashed=true when a fault-plan crash stopped the
+// clock mid-run (the "process death" the recovery experiments resume
+// from); nothing is written or finished after a crash.
+func runBoundaries(rig *Rig, o *runObs, inst *workload.Installation, spec *RunSpec, cfg MixedConfig, startIdx int) (crashed bool, err error) {
+	duration := rig.Sched.Duration()
+	died := func() bool { return rig.Faults != nil && rig.Faults.Crashed() }
+	if cfg.CheckpointEvery <= 0 {
+		rig.Clock.RunUntil(duration)
+		return died(), nil
+	}
+	step := boundaryStep(cfg)
+	for idx := startIdx; ; idx++ {
+		t := float64(idx+1) * step
+		last := t >= duration
+		if last {
+			t = duration
+		}
+		rig.Clock.RunUntil(t)
+		if died() {
+			return true, nil
+		}
+		if last {
+			return false, nil
+		}
+		if (idx+1)%cfg.CheckpointEvery == 0 {
+			snap := snapshotRun(rig, o, inst, spec, idx+1)
+			if werr := checkpoint.Write(cfg.CheckpointDir, idx+1, snap); werr != nil {
+				return false, werr
+			}
+		}
+	}
+}
+
+// ResumeOptions configures ResumeMixed.
+type ResumeOptions struct {
+	// Dir is the checkpoint directory of the interrupted run.
+	Dir string
+	// Index selects a specific checkpoint by boundary index; 0 resumes
+	// from the newest valid one.
+	Index int
+	// TracePath is the interrupted run's trace file. Required when the
+	// run exported a trace: the file is truncated to the checkpointed
+	// byte offset and appended to, reproducing the uninterrupted export.
+	TracePath string
+	// Metrics receives the metrics exposition after the resumed run.
+	// Required when the checkpointed run had a metrics writer.
+	Metrics io.Writer
+	// CheckpointEvery continues checkpointing the resumed run at this
+	// cadence (0 = stop checkpointing).
+	CheckpointEvery int
+	// Warn receives corrupt-checkpoint warnings (nil = discard).
+	Warn io.Writer
+}
+
+// ResumeMixed restores the newest (or selected) checkpoint from an
+// interrupted run and drives the simulation to completion. The final
+// period tables, metrics exposition, and trace file are byte-identical
+// to a run that was never interrupted.
+func ResumeMixed(opts ResumeOptions) (*MixedResult, error) {
+	warn := opts.Warn
+	if warn == nil {
+		warn = io.Discard
+	}
+	snap := new(runSnapshot)
+	if opts.Index > 0 {
+		if err := checkpoint.Read(filepath.Join(opts.Dir, checkpoint.FileName(opts.Index)), snap); err != nil {
+			return nil, err
+		}
+		if snap.Index != opts.Index {
+			return nil, fmt.Errorf("experiment: checkpoint %d carries boundary index %d", opts.Index, snap.Index)
+		}
+	} else {
+		idx, ok, err := checkpoint.Latest(opts.Dir, snap, warn)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("experiment: no usable checkpoint in %s", opts.Dir)
+		}
+		if snap.Index != idx {
+			return nil, fmt.Errorf("experiment: checkpoint %d carries boundary index %d", idx, snap.Index)
+		}
+	}
+	if snap.HasTrace != (opts.TracePath != "") {
+		if snap.HasTrace {
+			return nil, fmt.Errorf("experiment: checkpointed run exported a trace; TracePath is required")
+		}
+		return nil, fmt.Errorf("experiment: checkpointed run had no trace export; TracePath must be empty")
+	}
+	if snap.Spec.HasMetrics != (opts.Metrics != nil) {
+		if snap.Spec.HasMetrics {
+			return nil, fmt.Errorf("experiment: checkpointed run exported metrics; Metrics is required")
+		}
+		return nil, fmt.Errorf("experiment: checkpointed run had no metrics export; Metrics must be nil")
+	}
+
+	// Rewind the trace file to the checkpointed offset: everything the
+	// interrupted run wrote after this boundary is discarded and will be
+	// re-emitted, byte for byte, by the resumed run.
+	var tw io.Writer
+	var tf *os.File
+	var bw *bufio.Writer
+	if snap.HasTrace {
+		f, err := os.OpenFile(opts.TracePath, os.O_RDWR, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: resume trace: %w", err)
+		}
+		if err := f.Truncate(snap.Trace.SinkBytes); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiment: resume trace: %w", err)
+		}
+		if _, err := f.Seek(snap.Trace.SinkBytes, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiment: resume trace: %w", err)
+		}
+		tf = f
+		bw = bufio.NewWriterSize(f, 1<<20)
+		tw = bw
+	}
+	closeTrace := func() error {
+		if tf == nil {
+			return nil
+		}
+		ferr := bw.Flush()
+		if cerr := tf.Close(); ferr == nil {
+			ferr = cerr
+		}
+		tf = nil
+		return ferr
+	}
+	fail := func(err error) (*MixedResult, error) {
+		closeTrace()
+		return nil, err
+	}
+
+	cfg, err := snap.Spec.config(tw, opts.Metrics)
+	if err != nil {
+		return fail(err)
+	}
+	cfg.CheckpointEvery = opts.CheckpointEvery
+	cfg.CheckpointDir = opts.Dir
+
+	// Reconstruction must mirror RunMixed exactly (same constructor and
+	// hook-attachment order), so restored event closures and listener
+	// chains line up with the checkpointed run's.
+	rig, o, obsErr := buildMixedRig(cfg, true)
+	if obsErr != nil {
+		return fail(obsErr)
+	}
+	if (rig.QS != nil) != snap.HasQS || (rig.Faults != nil) != snap.HasFaults {
+		return fail(fmt.Errorf("experiment: checkpoint state does not match its run spec"))
+	}
+
+	// Wipe the constructor-scheduled events and re-arm the recorded ones.
+	// Order matters: the clock first (everything re-arms onto it), the
+	// engine before the patroller (held/active entries re-link to the
+	// engine's rebuilt query objects).
+	rig.Clock.Restore(snap.Clock)
+	rig.Eng.RestoreCheckpoint(snap.Engine)
+	rig.Pool.RestoreCheckpoint(snap.Pool)
+	inst := rig.Sched.RestoreBoundaries(rig.Clock, rig.Pool, nil, snap.Boundaries)
+	rig.Pat.RestoreCheckpoint(snap.Pat)
+	if rig.QS != nil {
+		rig.QS.RestoreCheckpoint(snap.QS)
+	}
+	rig.Collector.RestoreCheckpoint(snap.Collector)
+	if rig.Faults != nil {
+		rig.Faults.RestoreCheckpoint(snap.Faults)
+	}
+	if o != nil && o.tracer != nil {
+		o.tracer.RestoreCheckpoint(snap.Trace)
+	}
+	if o != nil && o.reg != nil && snap.HasReg {
+		o.reg.RestoreCheckpoint(snap.Reg)
+	}
+
+	spec := snap.Spec
+	crashed, runErr := runBoundaries(rig, o, inst, &spec, cfg, snap.Index)
+	obsErr = runErr
+	if obsErr == nil && !crashed {
+		obsErr = o.finish()
+	}
+	if cerr := closeTrace(); obsErr == nil {
+		obsErr = cerr
+	}
+	res := collectMixed(cfg, rig, obsErr)
+	res.Crashed = crashed
+	return res, nil
+}

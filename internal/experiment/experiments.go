@@ -247,6 +247,10 @@ type MixedResult struct {
 	// PatStats is the patroller's cumulative counters — interceptions,
 	// failures, retries, timeouts — for fault-matrix reporting.
 	PatStats patroller.Stats
+	// Crashed reports that a fault-plan crash stopped the run mid-
+	// simulation. The tables above cover only the completed prefix;
+	// resume the run from its checkpoints with ResumeMixed.
+	Crashed bool
 }
 
 // MixedConfig tunes the mixed-workload experiments.
@@ -275,6 +279,14 @@ type MixedConfig struct {
 	// plan is active, retries are re-costed through the injector's
 	// misestimation factors.
 	Retry *patroller.RetryPolicy
+	// CheckpointEvery, when positive, writes a crash-consistent snapshot
+	// into CheckpointDir every N control boundaries (control ticks in
+	// Query Scheduler mode, schedule periods otherwise). See
+	// checkpoint.go; resume with ResumeMixed.
+	CheckpointEvery int
+	// CheckpointDir is where checkpoint files land; required when
+	// CheckpointEvery is set.
+	CheckpointDir string
 }
 
 // DefaultMixedConfig runs the given mode over the paper's Figure 3
@@ -285,6 +297,34 @@ func DefaultMixedConfig(mode Mode) MixedConfig {
 
 // RunMixed executes one mixed-workload experiment.
 func RunMixed(cfg MixedConfig) *MixedResult {
+	if cfg.CheckpointEvery > 0 {
+		validateCheckpointing(cfg)
+	}
+	rig, obsAttach, obsErr := buildMixedRig(cfg, false)
+	var spec RunSpec
+	if cfg.CheckpointEvery > 0 {
+		spec = specFromConfig(cfg, rig.Classes)
+	}
+	inst := rig.Sched.Install(rig.Clock, rig.Pool, nil)
+	crashed, runErr := runBoundaries(rig, obsAttach, inst, &spec, cfg, 0)
+	if obsErr == nil {
+		obsErr = runErr
+	}
+	if obsErr == nil && !crashed {
+		obsErr = obsAttach.finish()
+	}
+	res := collectMixed(cfg, rig, obsErr)
+	res.Crashed = crashed
+	return res
+}
+
+// buildMixedRig runs RunMixed's construction sequence: rig, fault
+// injector, controller, retry policy, observability — in that order.
+// ResumeMixed replays the identical sequence (resume=true switches the
+// tracer to sink re-attachment without a fresh meta line), which is what
+// lets a checkpoint re-arm recorded events onto structurally identical
+// components.
+func buildMixedRig(cfg MixedConfig, resume bool) (*Rig, *runObs, error) {
 	classes := cfg.Classes
 	if classes == nil {
 		classes = workload.PaperClasses()
@@ -316,12 +356,13 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 		}
 		rig.Pat.SetRetryPolicy(&rp)
 	}
-	obsAttach, obsErr := attachObs(rig, cfg, cfg.Trace, cfg.Metrics)
-	rig.Run()
-	if obsErr == nil {
-		obsErr = obsAttach.finish()
-	}
+	obsAttach, obsErr := attachObs(rig, cfg, cfg.Trace, cfg.Metrics, resume)
+	return rig, obsAttach, obsErr
+}
 
+// collectMixed assembles the result tables from a finished (or crashed)
+// rig.
+func collectMixed(cfg MixedConfig, rig *Rig, obsErr error) *MixedResult {
 	res := &MixedResult{
 		Mode: cfg.Mode,
 		// The collector returns classes sorted by ID, so report columns

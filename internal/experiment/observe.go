@@ -31,13 +31,19 @@ type runObs struct {
 
 // attachObs wires trace export and metrics onto a rig whose controller is
 // already attached (hooks chain on top of the monitor's). Call before
-// rig.Run; nil writers disable the respective output.
-func attachObs(rig *Rig, cfg MixedConfig, tw, mw io.Writer) (*runObs, error) {
+// rig.Run; nil writers disable the respective output. With resume=true
+// the tracer attaches its sink without writing a meta line — the resumed
+// trace file already carries the original header.
+func attachObs(rig *Rig, cfg MixedConfig, tw, mw io.Writer, resume bool) (*runObs, error) {
 	o := &runObs{}
 	if tw != nil {
 		tr := trace.New(traceRingCap)
 		tr.SetPeriodMapper(cfg.Sched.PeriodAt)
-		if err := tr.StreamJSONL(tw, traceMeta(cfg, rig.Classes)); err != nil {
+		if resume {
+			if err := tr.ResumeJSONL(tw); err != nil {
+				return nil, err
+			}
+		} else if err := tr.StreamJSONL(tw, traceMeta(cfg, rig.Classes)); err != nil {
 			return nil, err
 		}
 		trace.AttachEngine(tr, rig.Eng)

@@ -66,6 +66,10 @@ type Scenario struct {
 	// their own file format, see fault.ParseSpec).
 	Faults *fault.Plan
 	Retry  *patroller.RetryPolicy
+	// CheckpointEvery/CheckpointDir arm crash-consistent checkpointing
+	// (set by the caller, not the JSON spec); see MixedConfig.
+	CheckpointEvery int
+	CheckpointDir   string
 }
 
 // ParseScenario reads and validates a JSON scenario.
@@ -184,15 +188,17 @@ func (s *Scenario) Run() *MixedResult {
 		name = "scenario"
 	}
 	return RunMixed(MixedConfig{
-		Mode:       s.Mode,
-		Sched:      s.Sched,
-		Seed:       s.Seed,
-		QS:         s.QS,
-		Classes:    s.Classes,
-		Experiment: name,
-		Trace:      s.Trace,
-		Metrics:    s.Metrics,
-		Faults:     s.Faults,
-		Retry:      s.Retry,
+		Mode:            s.Mode,
+		Sched:           s.Sched,
+		Seed:            s.Seed,
+		QS:              s.QS,
+		Classes:         s.Classes,
+		Experiment:      name,
+		Trace:           s.Trace,
+		Metrics:         s.Metrics,
+		Faults:          s.Faults,
+		Retry:           s.Retry,
+		CheckpointEvery: s.CheckpointEvery,
+		CheckpointDir:   s.CheckpointDir,
 	})
 }

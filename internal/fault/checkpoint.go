@@ -1,0 +1,76 @@
+// Checkpoint state for the fault injector: the RNG cursor, the injection
+// counters, and every still-pending fault event. The plan's crash event
+// is deliberately NOT checkpointed — a resumed run continues past the
+// crash point instead of dying again.
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/simclock"
+)
+
+// SlowdownRecord is one pending engine-speed transition.
+type SlowdownRecord struct {
+	Ref     simclock.EventRef
+	Factor  float64
+	IsStart bool
+}
+
+// AbortRecord is one pending doomed-query abort.
+type AbortRecord struct {
+	Ref     simclock.EventRef
+	Query   engine.QueryID
+	Class   engine.ClassID
+	Attempt int
+}
+
+// CheckpointState is the injector's serializable state.
+type CheckpointState struct {
+	RNG       uint64
+	Stats     Stats
+	Slowdowns []SlowdownRecord // pending transitions, in scheduling order
+	Aborts    []AbortRecord    // sorted by event seq
+}
+
+// CheckpointState captures the injector at a quiescent boundary. Only
+// events strictly after now are pending (everything at or before now has
+// fired at a boundary).
+func (in *Injector) CheckpointState() CheckpointState {
+	st := CheckpointState{RNG: in.src.State(), Stats: in.stats}
+	now := in.clock.Now()
+	for _, se := range in.slowEvents {
+		if se.ref.At > now {
+			st.Slowdowns = append(st.Slowdowns, SlowdownRecord{Ref: se.ref, Factor: se.factor, IsStart: se.isStart})
+		}
+	}
+	for _, pa := range in.aborts {
+		st.Aborts = append(st.Aborts, AbortRecord{Ref: pa.ref, Query: pa.query, Class: pa.class, Attempt: pa.attempt})
+	}
+	sort.Slice(st.Aborts, func(i, j int) bool { return st.Aborts[i].Ref.Seq < st.Aborts[j].Ref.Seq })
+	return st
+}
+
+// RestoreCheckpoint overwrites a freshly attached injector after
+// Clock.Restore wiped its construction-time events, re-arming exactly
+// the checkpointed pending faults.
+func (in *Injector) RestoreCheckpoint(st CheckpointState) {
+	in.src.SetState(st.RNG)
+	in.stats = st.Stats
+	in.crashed = false
+	in.slowEvents = in.slowEvents[:0]
+	for _, sr := range st.Slowdowns {
+		in.clock.RestoreEvent(sr.Ref, in.slowdownFn(sr.Factor, sr.IsStart))
+		in.slowEvents = append(in.slowEvents, slowEvent{ref: sr.Ref, factor: sr.Factor, isStart: sr.IsStart})
+	}
+	in.aborts = nil
+	if len(st.Aborts) > 0 {
+		in.aborts = make(map[uint64]*pendingAbort, len(st.Aborts))
+	}
+	for _, ar := range st.Aborts {
+		pa := &pendingAbort{ref: ar.Ref, query: ar.Query, class: ar.Class, attempt: ar.Attempt}
+		in.clock.RestoreEvent(pa.ref, in.restoredAbortFn(pa))
+		in.aborts[pa.ref.Seq] = pa
+	}
+}

@@ -31,6 +31,7 @@ const (
 	KindSlowdown     = "slowdown"
 	KindSnapshotDrop = "snapshot_drop"
 	KindHarvestDrop  = "harvest_drop"
+	KindCrash        = "crash"
 )
 
 // Window is a half-open interval [Start, End) of virtual seconds.
@@ -94,13 +95,19 @@ type Plan struct {
 	// interval harvest is lost: the planner receives a zeroed
 	// measurement flagged Dropped.
 	HarvestOutages []Window
+	// Crash, when positive, kills the run at that virtual time: the clock
+	// stops mid-simulation as if the process died. Used by the crash-
+	// recovery experiments to exercise checkpoint/resume; a resumed run
+	// does not re-arm the crash.
+	Crash float64
 }
 
 // Empty reports whether the plan injects nothing at all.
 func (p Plan) Empty() bool {
 	return len(p.AbortRate) == 0 && len(p.AbortBursts) == 0 &&
 		len(p.Misestimate) == 0 && len(p.Slowdowns) == 0 &&
-		p.SnapshotDrop <= 0 && len(p.SnapshotOutages) == 0 && len(p.HarvestOutages) == 0
+		p.SnapshotDrop <= 0 && len(p.SnapshotOutages) == 0 && len(p.HarvestOutages) == 0 &&
+		p.Crash <= 0
 }
 
 // Validate checks rates, multipliers, and window shapes.
@@ -149,6 +156,9 @@ func (p Plan) Validate() error {
 			return err
 		}
 	}
+	if p.Crash < 0 || math.IsNaN(p.Crash) || math.IsInf(p.Crash, 0) {
+		return fmt.Errorf("fault: crash time %v is invalid", p.Crash)
+	}
 	return nil
 }
 
@@ -159,11 +169,12 @@ type Stats struct {
 	Slowdowns     uint64
 	SnapshotDrops uint64
 	HarvestDrops  uint64
+	Crashes       uint64
 }
 
 // Total sums all injection counters.
 func (s Stats) Total() uint64 {
-	return s.Aborts + s.Misestimates + s.Slowdowns + s.SnapshotDrops + s.HarvestDrops
+	return s.Aborts + s.Misestimates + s.Slowdowns + s.SnapshotDrops + s.HarvestDrops + s.Crashes
 }
 
 // Injector executes a Plan against one engine + monitor pair. Construct
@@ -176,10 +187,33 @@ type Injector struct {
 	src   *rng.Source
 	stats Stats
 
+	// slowEvents records every scheduled slowdown transition with its
+	// event ref; aborts tracks pending doomed-query aborts by event seq.
+	// Both exist so a checkpoint can re-arm exactly the still-pending
+	// fault events on resume.
+	slowEvents []slowEvent
+	aborts     map[uint64]*pendingAbort
+	crashed    bool
+
 	// OnInject, when set, observes every injection as (kind, class);
 	// class is 0 for class-less kinds (slowdown, monitor drops). The obs
 	// wiring uses this to expose fault_injected_total.
 	OnInject func(kind string, class engine.ClassID)
+}
+
+// slowEvent is one scheduled engine-speed transition.
+type slowEvent struct {
+	ref     simclock.EventRef
+	factor  float64
+	isStart bool // window start (counts as an injection) vs window end
+}
+
+// pendingAbort is one scheduled doomed-query abort.
+type pendingAbort struct {
+	ref     simclock.EventRef
+	query   engine.QueryID
+	class   engine.ClassID
+	attempt int
 }
 
 // NewInjector builds an injector for the plan on the given clock. The
@@ -233,13 +267,36 @@ func (in *Injector) AttachEngine(eng *engine.Engine) {
 		eng.OnStart(func(q *engine.Query) { in.maybeScheduleAbort(q) })
 	}
 	for _, s := range in.plan.Slowdowns {
-		s := s
-		in.clock.At(s.Window.Start, func() {
+		in.armSlowdown(s.Window.Start, s.Factor, true)
+		in.armSlowdown(s.Window.End, 1, false)
+	}
+	if in.plan.Crash > 0 {
+		in.clock.At(in.plan.Crash, func() {
+			in.crashed = true
+			in.stats.Crashes++
+			in.note(KindCrash, 0)
+			in.clock.Stop()
+		})
+	}
+}
+
+// Crashed reports whether the plan's crash event has fired — the run is
+// dead and its driver must stop as if the process were killed.
+func (in *Injector) Crashed() bool { return in.crashed }
+
+// armSlowdown schedules one engine-speed transition and records its ref.
+func (in *Injector) armSlowdown(at float64, factor float64, isStart bool) {
+	ref := in.clock.AtRef(at, in.slowdownFn(factor, isStart))
+	in.slowEvents = append(in.slowEvents, slowEvent{ref: ref, factor: factor, isStart: isStart})
+}
+
+func (in *Injector) slowdownFn(factor float64, isStart bool) simclock.EventFunc {
+	return func() {
+		if isStart {
 			in.stats.Slowdowns++
 			in.note(KindSlowdown, 0)
-			eng.SetSpeed(s.Factor)
-		})
-		in.clock.At(s.Window.End, func() { eng.SetSpeed(1) })
+		}
+		in.eng.SetSpeed(factor)
 	}
 }
 
@@ -266,12 +323,44 @@ func (in *Injector) maybeScheduleAbort(q *engine.Query) {
 		return
 	}
 	delay := in.src.Range(0.2, 0.9) * q.Demand.Work
-	in.clock.After(delay, func() {
+	pa := &pendingAbort{query: q.ID, class: q.Class, attempt: q.Attempt}
+	pa.ref = in.clock.AfterRef(delay, in.abortFn(pa, q))
+	if in.aborts == nil {
+		in.aborts = make(map[uint64]*pendingAbort)
+	}
+	in.aborts[pa.ref.Seq] = pa
+}
+
+// abortFn fires one scheduled abort against the query object the draw
+// doomed. A stale fire (the attempt already finished, timed out, or was
+// retried) is a no-op: Abort rejects a non-executing query.
+func (in *Injector) abortFn(pa *pendingAbort, q *engine.Query) simclock.EventFunc {
+	return func() {
+		delete(in.aborts, pa.ref.Seq)
 		if in.eng.Abort(q) {
 			in.stats.Aborts++
-			in.note(KindAbort, q.Class)
+			in.note(KindAbort, pa.class)
 		}
-	})
+	}
+}
+
+// restoredAbortFn is abortFn rebuilt after a checkpoint restore: the
+// original *Query pointer is gone, so the closure re-finds the query by
+// id and guards on the attempt counter — an id whose doomed attempt
+// already ended (and possibly retried under the same id) must no-op,
+// exactly as the original closure's stale-pointer Abort would.
+func (in *Injector) restoredAbortFn(pa *pendingAbort) simclock.EventFunc {
+	return func() {
+		delete(in.aborts, pa.ref.Seq)
+		q := in.eng.ActiveQuery(pa.query)
+		if q == nil || q.Attempt != pa.attempt {
+			return
+		}
+		if in.eng.Abort(q) {
+			in.stats.Aborts++
+			in.note(KindAbort, pa.class)
+		}
+	}
 }
 
 // DropSnapshot reports whether the snapshot poll at time t is lost —

@@ -50,6 +50,7 @@ type jsonPlan struct {
 	SnapshotDrop    float64            `json:"snapshot_drop"`
 	SnapshotOutages []jsonWindow       `json:"snapshot_outages"`
 	HarvestOutages  []jsonWindow       `json:"harvest_outages"`
+	Crash           float64            `json:"crash"`
 }
 
 // ParseSpec reads a JSON fault plan. Unknown fields are rejected (a typo
@@ -65,6 +66,7 @@ func ParseSpec(r io.Reader) (Plan, error) {
 	p := Plan{
 		Seed:         js.Seed,
 		SnapshotDrop: js.SnapshotDrop,
+		Crash:        js.Crash,
 	}
 	var err error
 	if p.AbortRate, err = classMap(js.AbortRate, "abort_rate"); err != nil {

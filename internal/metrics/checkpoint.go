@@ -1,0 +1,76 @@
+// Checkpoint state for the period/class aggregates.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// ClassAggState is one (period, class) aggregate's serializable state.
+type ClassAggState struct {
+	Class      engine.ClassID
+	Completed  int
+	Submitted  int
+	Failed     int
+	Velocity   stats.SummaryState
+	Resp       stats.SummaryState
+	Exec       stats.SummaryState
+	Cost       stats.SummaryState
+	RespSample stats.ReservoirState
+}
+
+// CheckpointState is the collector's serializable state.
+type CheckpointState struct {
+	// Periods[p] holds period p's per-class aggregates, sorted by class id.
+	Periods [][]ClassAggState
+}
+
+// CheckpointState captures every period/class aggregate.
+func (c *Collector) CheckpointState() CheckpointState {
+	st := CheckpointState{Periods: make([][]ClassAggState, len(c.periods))}
+	ids := c.ClassIDs()
+	for p := range c.periods {
+		for _, id := range ids {
+			agg := c.periods[p][id]
+			st.Periods[p] = append(st.Periods[p], ClassAggState{
+				Class:      id,
+				Completed:  agg.Completed,
+				Submitted:  agg.Submitted,
+				Failed:     agg.Failed,
+				Velocity:   agg.Velocity.State(),
+				Resp:       agg.Resp.State(),
+				Exec:       agg.Exec.State(),
+				Cost:       agg.Cost.State(),
+				RespSample: agg.RespSample.State(),
+			})
+		}
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites a freshly constructed collector. The
+// collector must have been built for the same classes and schedule.
+func (c *Collector) RestoreCheckpoint(st CheckpointState) {
+	if len(st.Periods) != len(c.periods) {
+		panic(fmt.Sprintf("metrics: restore: %d checkpointed periods, collector has %d",
+			len(st.Periods), len(c.periods)))
+	}
+	for p, aggs := range st.Periods {
+		for _, rec := range aggs {
+			agg, ok := c.periods[p][rec.Class]
+			if !ok {
+				panic(fmt.Sprintf("metrics: restore: class %d not tracked", rec.Class))
+			}
+			agg.Completed = rec.Completed
+			agg.Submitted = rec.Submitted
+			agg.Failed = rec.Failed
+			agg.Velocity.SetState(rec.Velocity)
+			agg.Resp.SetState(rec.Resp)
+			agg.Exec.SetState(rec.Exec)
+			agg.Cost.SetState(rec.Cost)
+			agg.RespSample.SetState(rec.RespSample)
+		}
+	}
+}

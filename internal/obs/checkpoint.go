@@ -1,0 +1,122 @@
+// Checkpoint state for the metrics registry. Restore writes checkpointed
+// values INTO the registry's existing (or newly created) instruments via
+// the same family/child paths normal registration uses, so instrument
+// pointers already cached in controller closures keep observing the same
+// counters after a resume.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChildState is one labelled instrument's serialized state.
+type ChildState struct {
+	Labels string // rendered {k="v",...} identity, "" when unlabelled
+	Value  float64
+	// Histogram children only:
+	HistCounts []uint64
+	HistSum    float64
+	HistN      uint64
+}
+
+// FamilyState is one metric family's serialized state.
+type FamilyState struct {
+	Name     string
+	Help     string
+	Kind     int // counterKind/gaugeKind/histogramKind
+	Bounds   []float64
+	Children []ChildState // sorted by label string
+}
+
+// CheckpointState is the registry's serializable state.
+type CheckpointState struct {
+	Families []FamilyState // sorted by name
+}
+
+// CheckpointState captures every instrument's current value.
+func (r *Registry) CheckpointState() CheckpointState {
+	var st CheckpointState
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		fs := FamilyState{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   int(f.kind),
+			Bounds: append([]float64(nil), f.bounds...),
+		}
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ch := f.children[k]
+			cs := ChildState{Labels: k}
+			switch f.kind {
+			case counterKind:
+				cs.Value = ch.ctr.v
+			case gaugeKind:
+				cs.Value = ch.gauge.v
+			case histogramKind:
+				cs.HistCounts = append([]uint64(nil), ch.hist.counts...)
+				cs.HistSum = ch.hist.sum
+				cs.HistN = ch.hist.n
+			}
+			fs.Children = append(fs.Children, cs)
+		}
+		st.Families = append(st.Families, fs)
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites the registry with a checkpointed state.
+// Families and children already registered (by the rebuilt rig's
+// constructors) keep their instrument pointers; the rest are created, so
+// later lazy registrations find them populated.
+func (r *Registry) RestoreCheckpoint(st CheckpointState) {
+	for _, fs := range st.Families {
+		f := r.familyFor(fs.Name, fs.Help, kind(fs.Kind))
+		if kind(fs.Kind) == histogramKind {
+			if f.bounds == nil {
+				f.bounds = append([]float64(nil), fs.Bounds...)
+			} else if !boundsEqual(f.bounds, fs.Bounds) {
+				panic(fmt.Sprintf("obs: restore: histogram %q bucket mismatch", fs.Name))
+			}
+		}
+		for _, cs := range fs.Children {
+			ch, ok := f.children[cs.Labels]
+			if !ok {
+				ch = &child{labels: cs.Labels}
+				f.children[cs.Labels] = ch
+			}
+			switch kind(fs.Kind) {
+			case counterKind:
+				if ch.ctr == nil {
+					ch.ctr = &Counter{}
+				}
+				ch.ctr.v = cs.Value
+			case gaugeKind:
+				if ch.gauge == nil {
+					ch.gauge = &Gauge{}
+				}
+				ch.gauge.Set(cs.Value)
+			case histogramKind:
+				if ch.hist == nil {
+					ch.hist = &Histogram{bounds: f.bounds, counts: make([]uint64, len(f.bounds)+1)}
+				}
+				if len(cs.HistCounts) != len(ch.hist.counts) {
+					panic(fmt.Sprintf("obs: restore: histogram %q bucket count mismatch", fs.Name))
+				}
+				copy(ch.hist.counts, cs.HistCounts)
+				ch.hist.sum = cs.HistSum
+				ch.hist.n = cs.HistN
+			}
+		}
+	}
+}

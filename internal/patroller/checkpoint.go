@@ -1,0 +1,143 @@
+// Checkpoint support: the patroller's control table, hold queue, active
+// set, pending timeouts, and pending retry resubmissions export to plain
+// data and restore onto a freshly constructed patroller. Restore must run
+// after the engine's checkpoint restore (active entries re-link to the
+// engine's rebuilt query objects) and after the clock restore (timeout
+// and retry events are re-armed with their original triples).
+package patroller
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/simclock"
+)
+
+// TimeoutRecord is one armed per-query timeout.
+type TimeoutRecord struct {
+	Query engine.QueryID
+	Ref   simclock.EventRef
+}
+
+// RetryRecord is one pending retry resubmission; Old is the failed
+// attempt the resubmission clones.
+type RetryRecord struct {
+	Ref simclock.EventRef
+	Old engine.QueryRecord
+}
+
+// CheckpointState is the patroller's serializable state at a quiescent
+// boundary.
+type CheckpointState struct {
+	Table []QueryInfo // every control-table row, in arrival order
+	// Order lists the currently held query ids in arrival order; Held[i]
+	// is Order[i]'s queued engine query.
+	Order    []engine.QueryID
+	Held     []engine.QueryRecord
+	Active   []engine.QueryID // sorted; re-linked to the engine on restore
+	Stats    Stats
+	Timeouts []TimeoutRecord // sorted by query id
+	Retries  []RetryRecord   // sorted by event seq
+}
+
+// CheckpointState captures the patroller. It panics on a non-quiescent
+// patroller (a poke event pending means an event at the current time has
+// not fired yet, so this is not a checkpointable boundary).
+func (p *Patroller) CheckpointState() CheckpointState {
+	if p.pokePending {
+		panic("patroller: checkpoint at a non-quiescent boundary (poke pending)")
+	}
+	st := CheckpointState{Stats: p.stats}
+	for _, info := range p.table {
+		st.Table = append(st.Table, *info)
+	}
+	p.compactAllOrder()
+	for _, id := range p.order {
+		e := p.held[id]
+		st.Order = append(st.Order, id)
+		st.Held = append(st.Held, engine.RecordQuery(e.q))
+	}
+	for id := range p.active {
+		st.Active = append(st.Active, id)
+	}
+	sort.Slice(st.Active, func(i, j int) bool { return st.Active[i] < st.Active[j] })
+	for id, evt := range p.timeouts {
+		ref, ok := p.clock.Ref(evt)
+		if !ok {
+			panic(fmt.Sprintf("patroller: timeout for query %d not pending in clock", id))
+		}
+		st.Timeouts = append(st.Timeouts, TimeoutRecord{Query: id, Ref: ref})
+	}
+	sort.Slice(st.Timeouts, func(i, j int) bool { return st.Timeouts[i].Query < st.Timeouts[j].Query })
+	for _, pr := range p.retries {
+		st.Retries = append(st.Retries, RetryRecord{Ref: pr.ref, Old: engine.RecordQuery(pr.old)})
+	}
+	sort.Slice(st.Retries, func(i, j int) bool { return st.Retries[i].Ref.Seq < st.Retries[j].Ref.Seq })
+	return st
+}
+
+// compactAllOrder drops every stale id from the arrival-order list
+// (unconditional version of compactOrder, for checkpointing).
+func (p *Patroller) compactAllOrder() {
+	kept := p.order[:0]
+	for _, id := range p.order {
+		if _, ok := p.held[id]; ok {
+			kept = append(kept, id)
+		}
+	}
+	p.order = kept
+}
+
+// RestoreCheckpoint overwrites a freshly constructed patroller with a
+// checkpointed state. Hooks, policy, retry policy, and overhead settings
+// are not restored here — the caller re-attaches them by re-running the
+// same construction sequence as the checkpointed run.
+func (p *Patroller) RestoreCheckpoint(st CheckpointState) {
+	if len(p.table) != 0 {
+		panic("patroller: checkpoint restore onto a used patroller")
+	}
+	p.stats = st.Stats
+	rows := make(map[engine.QueryID]*QueryInfo, len(st.Table))
+	for i := range st.Table {
+		info := st.Table[i] // copy out of the state slice
+		row := &info
+		p.table = append(p.table, row)
+		rows[row.ID] = row
+	}
+	p.order = append([]engine.QueryID(nil), st.Order...)
+	for i, id := range st.Order {
+		row, ok := rows[id]
+		if !ok {
+			panic(fmt.Sprintf("patroller: restore: held query %d has no control-table row", id))
+		}
+		p.held[id] = &entry{info: row, q: engine.RebuildQuery(st.Held[i])}
+	}
+	for _, id := range st.Active {
+		row, ok := rows[id]
+		if !ok {
+			panic(fmt.Sprintf("patroller: restore: active query %d has no control-table row", id))
+		}
+		q := p.eng.ActiveQuery(id)
+		if q == nil {
+			panic(fmt.Sprintf("patroller: restore: active query %d not executing in engine", id))
+		}
+		p.active[id] = &entry{info: row, q: q}
+	}
+	for _, tr := range st.Timeouts {
+		q := p.eng.ActiveQuery(tr.Query)
+		if q == nil {
+			panic(fmt.Sprintf("patroller: restore: timed query %d not executing in engine", tr.Query))
+		}
+		p.clock.RestoreEvent(tr.Ref, p.timeoutFn(q))
+		p.timeouts[tr.Query] = tr.Ref.ID
+	}
+	if len(st.Retries) > 0 && p.retries == nil {
+		p.retries = make(map[uint64]*pendingRetry)
+	}
+	for _, rr := range st.Retries {
+		pr := &pendingRetry{ref: rr.Ref, old: engine.RebuildQuery(rr.Old)}
+		p.clock.RestoreEvent(rr.Ref, p.retryFn(pr))
+		p.retries[pr.ref.Seq] = pr
+	}
+}

@@ -182,7 +182,8 @@ type Patroller struct {
 
 	retry       *RetryPolicy
 	timeouts    map[engine.QueryID]simclock.EventID
-	requeueHead bool // next Intercept joins the queue head (retry re-queue)
+	retries     map[uint64]*pendingRetry // pending resubmissions by event seq
+	requeueHead bool                     // next Intercept joins the queue head (retry re-queue)
 
 	// InterceptOverheadCPU, when positive, adds this many CPU-seconds to
 	// every intercepted query — the per-query cost of interception and
@@ -209,6 +210,12 @@ type Patroller struct {
 type entry struct {
 	info *QueryInfo
 	q    *engine.Query
+}
+
+// pendingRetry is one scheduled resubmission of a failed query.
+type pendingRetry struct {
+	ref simclock.EventRef
+	old *engine.Query
 }
 
 // New builds a patroller on eng managing the given classes, installing
@@ -354,11 +361,30 @@ func (p *Patroller) onAbort(q *engine.Query) bool {
 	if p.OnRetry != nil {
 		p.OnRetry(e.info)
 	}
-	old := q
 	delay := rp.Backoff * float64(q.Attempt+1)
-	p.clock.After(delay, func() { p.resubmit(old) })
+	p.scheduleRetry(q, delay)
 	p.schedulePoke()
 	return true
+}
+
+// scheduleRetry arms the backoff-delayed resubmission of a failed query,
+// tracking the event so checkpoints can capture and restores re-arm it.
+func (p *Patroller) scheduleRetry(old *engine.Query, delay float64) {
+	pr := &pendingRetry{old: old}
+	pr.ref = p.clock.AfterRef(delay, p.retryFn(pr))
+	if p.retries == nil {
+		p.retries = make(map[uint64]*pendingRetry)
+	}
+	p.retries[pr.ref.Seq] = pr
+}
+
+// retryFn builds the resubmission callback for one pending retry — shared
+// by the live scheduling path and checkpoint restore.
+func (p *Patroller) retryFn(pr *pendingRetry) simclock.EventFunc {
+	return func() {
+		delete(p.retries, pr.ref.Seq)
+		p.resubmit(pr.old)
+	}
 }
 
 // resubmit re-queues a failed query as a fresh submission with a bumped
@@ -423,9 +449,14 @@ func (p *Patroller) armTimeout(e *entry) {
 		return
 	}
 	d := rp.TimeoutFloor + rp.TimeoutPerCost*e.info.Cost
-	id := e.q.ID
-	q := e.q
-	p.timeouts[id] = p.clock.AfterCancellable(d, func() {
+	p.timeouts[e.q.ID] = p.clock.AfterCancellable(d, p.timeoutFn(e.q))
+}
+
+// timeoutFn builds the timeout callback for one released query — shared
+// by the live arming path and checkpoint restore.
+func (p *Patroller) timeoutFn(q *engine.Query) simclock.EventFunc {
+	id := q.ID
+	return func() {
 		delete(p.timeouts, id)
 		if q.State != engine.StateExecuting {
 			return
@@ -435,7 +466,7 @@ func (p *Patroller) armTimeout(e *entry) {
 		if p.eng.Abort(q) {
 			p.stats.TimedOut++
 		}
-	})
+	}
 }
 
 // schedulePoke coalesces policy evaluation into one zero-delay event.

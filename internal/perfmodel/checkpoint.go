@@ -1,0 +1,40 @@
+// Checkpoint state for the online-fitted OLTP models (the OLAP velocity
+// model is stateless).
+package perfmodel
+
+import "repro/internal/stats"
+
+// OLTPResponseState is OLTPResponse's serializable state.
+type OLTPResponseState struct {
+	Reg     stats.RegressionState
+	LastFit float64
+	HasFit  bool
+}
+
+// CheckpointState captures the regression window and fit memory.
+func (m *OLTPResponse) CheckpointState() OLTPResponseState {
+	return OLTPResponseState{Reg: m.reg.State(), LastFit: m.lastFit, HasFit: m.hasFit}
+}
+
+// RestoreCheckpoint restores the window and fit memory.
+func (m *OLTPResponse) RestoreCheckpoint(st OLTPResponseState) {
+	m.reg.SetState(st.Reg)
+	m.lastFit, m.hasFit = st.LastFit, st.HasFit
+}
+
+// OLTPThroughputState is OLTPThroughput's serializable state.
+type OLTPThroughputState struct {
+	Reg   stats.RegressionState
+	LastN float64
+}
+
+// CheckpointState captures the regression window and last population.
+func (m *OLTPThroughput) CheckpointState() OLTPThroughputState {
+	return OLTPThroughputState{Reg: m.reg.State(), LastN: m.lastN}
+}
+
+// RestoreCheckpoint restores the window and last population.
+func (m *OLTPThroughput) RestoreCheckpoint(st OLTPThroughputState) {
+	m.reg.SetState(st.Reg)
+	m.lastN = st.LastN
+}

@@ -27,6 +27,13 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64())
 }
 
+// State returns the generator's raw cursor for checkpointing. Restoring it
+// with SetState resumes the stream at exactly the same position.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState repositions the generator's cursor (see State).
+func (s *Source) SetState(v uint64) { s.state = v }
+
 // Uint64 returns the next 64 pseudo-random bits (splitmix64).
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

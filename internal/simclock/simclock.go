@@ -333,3 +333,13 @@ func (t *Ticker) Stop() {
 	t.active = false
 	t.clock.Cancel(t.pending)
 }
+
+// Start re-arms a stopped ticker: the next tick fires one interval from
+// now. Starting an active ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.schedule()
+}

@@ -1,0 +1,84 @@
+// Checkpoint state types: every accumulator in this package can export its
+// internal state as a plain exported-field struct (gob-serializable) and
+// restore it exactly. The internal fields stay unexported so normal code
+// cannot corrupt an accumulator; checkpoint/restore is the one sanctioned
+// bypass.
+package stats
+
+// SummaryState is Summary's serializable state.
+type SummaryState struct {
+	N              int
+	Mean, M2       float64
+	MinVal, MaxVal float64
+}
+
+// State exports the summary for a checkpoint.
+func (s *Summary) State() SummaryState {
+	return SummaryState{N: s.n, Mean: s.mean, M2: s.m2, MinVal: s.min, MaxVal: s.max}
+}
+
+// SetState restores a checkpointed summary.
+func (s *Summary) SetState(st SummaryState) {
+	s.n, s.mean, s.m2, s.min, s.max = st.N, st.Mean, st.M2, st.MinVal, st.MaxVal
+}
+
+// EWMAState is EWMA's serializable state.
+type EWMAState struct {
+	Alpha, Value float64
+	Init         bool
+}
+
+// State exports the average for a checkpoint.
+func (e *EWMA) State() EWMAState {
+	return EWMAState{Alpha: e.alpha, Value: e.value, Init: e.init}
+}
+
+// SetState restores a checkpointed average.
+func (e *EWMA) SetState(st EWMAState) {
+	e.alpha, e.value, e.init = st.Alpha, st.Value, st.Init
+}
+
+// RegressionState is SlidingRegression's serializable state.
+type RegressionState struct {
+	Window int
+	Xs, Ys []float64
+}
+
+// State exports the window for a checkpoint (copies, safe to hold).
+func (s *SlidingRegression) State() RegressionState {
+	return RegressionState{
+		Window: s.Window,
+		Xs:     append([]float64(nil), s.xs...),
+		Ys:     append([]float64(nil), s.ys...),
+	}
+}
+
+// SetState restores a checkpointed window.
+func (s *SlidingRegression) SetState(st RegressionState) {
+	s.Window = st.Window
+	s.xs = append(s.xs[:0], st.Xs...)
+	s.ys = append(s.ys[:0], st.Ys...)
+}
+
+// ReservoirState is Reservoir's serializable state.
+type ReservoirState struct {
+	K, Seen int
+	Samples []float64
+	RNG     uint64
+}
+
+// State exports the reservoir for a checkpoint (copies, safe to hold).
+func (r *Reservoir) State() ReservoirState {
+	return ReservoirState{
+		K:       r.k,
+		Seen:    r.seen,
+		Samples: append([]float64(nil), r.samples...),
+		RNG:     r.state,
+	}
+}
+
+// SetState restores a checkpointed reservoir.
+func (r *Reservoir) SetState(st ReservoirState) {
+	r.k, r.seen, r.state = st.K, st.Seen, st.RNG
+	r.samples = append(r.samples[:0], st.Samples...)
+}

@@ -1,0 +1,59 @@
+// Checkpoint state for the tracer: counters, the retained ring, the plan
+// version and dedup memory, and the sink byte offset the resumed run
+// truncates its trace file to.
+package trace
+
+import "sort"
+
+// KindCount is one cumulative event-kind counter.
+type KindCount struct {
+	Kind Kind
+	N    uint64
+}
+
+// CheckpointState is the tracer's serializable state.
+type CheckpointState struct {
+	Seq       uint64
+	Dropped   uint64
+	Plan      int
+	LastPlan  string
+	SinkBytes int64
+	Counts    []KindCount // sorted by kind
+	Events    []Event     // retained ring, in emission order
+}
+
+// CheckpointState captures the tracer.
+func (t *Tracer) CheckpointState() CheckpointState {
+	st := CheckpointState{
+		Seq:       t.seq,
+		Dropped:   t.dropped,
+		Plan:      t.plan,
+		LastPlan:  t.lastPlan,
+		SinkBytes: t.sinkBytes,
+		Events:    t.Events(),
+	}
+	for k, n := range t.counts {
+		st.Counts = append(st.Counts, KindCount{Kind: k, N: n})
+	}
+	sort.Slice(st.Counts, func(i, j int) bool { return st.Counts[i].Kind < st.Counts[j].Kind })
+	return st
+}
+
+// RestoreCheckpoint overwrites a freshly constructed tracer (same
+// capacity as the checkpointed one). The sink and period mapper are not
+// restored — the caller re-attaches them (see ResumeJSONL).
+func (t *Tracer) RestoreCheckpoint(st CheckpointState) {
+	if t.seq != 0 {
+		panic("trace: checkpoint restore onto a used tracer")
+	}
+	t.seq = st.Seq
+	t.dropped = st.Dropped
+	t.plan = st.Plan
+	t.lastPlan = st.LastPlan
+	t.sinkBytes = st.SinkBytes
+	for _, kc := range st.Counts {
+		t.counts[kc.Kind] = kc.N
+	}
+	t.events = append(t.events[:0], st.Events...)
+	t.start = 0
+}

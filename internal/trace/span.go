@@ -9,6 +9,7 @@ package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -77,19 +78,38 @@ func (t *Tracer) StreamJSONL(w io.Writer, meta Meta) error {
 	if err != nil {
 		return fmt.Errorf("trace: encode meta: %w", err)
 	}
-	if _, err := w.Write(append(line, '\n')); err != nil {
+	n, err := w.Write(append(line, '\n'))
+	t.sinkBytes += int64(n)
+	if err != nil {
 		return fmt.Errorf("trace: write meta: %w", err)
 	}
 	t.sink = w
 	return nil
 }
 
+// ResumeJSONL re-attaches a JSONL sink after a checkpoint restore,
+// without writing a meta line: the resumed file already carries the
+// original header and every event up to the checkpoint (the caller
+// truncates it to the checkpointed SinkBytes offset first).
+func (t *Tracer) ResumeJSONL(w io.Writer) error {
+	if t.sink != nil {
+		return fmt.Errorf("trace: JSONL sink already attached")
+	}
+	t.sink = w
+	return nil
+}
+
+// SinkBytes returns how many bytes the tracer has written to its sink —
+// the truncation offset a resumed run rewinds the trace file to.
+func (t *Tracer) SinkBytes() int64 { return t.sinkBytes }
+
 // SinkErr returns the first error the JSONL sink hit, or nil. Emit never
 // fails loudly on the hot path; callers check this once after the run.
 func (t *Tracer) SinkErr() error { return t.sinkErr }
 
-// writeEventLine appends one event line to the sink.
-func writeEventLine(w io.Writer, e Event) error {
+// writeEventLine appends one event line to the sink, returning the bytes
+// written.
+func writeEventLine(w io.Writer, e Event) (int, error) {
 	line, err := json.Marshal(jsonEvent{
 		Type:   "event",
 		Seq:    e.Seq,
@@ -104,10 +124,9 @@ func writeEventLine(w io.Writer, e Event) error {
 		Detail: e.Detail,
 	})
 	if err != nil {
-		return fmt.Errorf("trace: encode event %d: %w", e.Seq, err)
+		return 0, fmt.Errorf("trace: encode event %d: %w", e.Seq, err)
 	}
-	_, err = w.Write(append(line, '\n'))
-	return err
+	return w.Write(append(line, '\n'))
 }
 
 // kindFromString inverts Kind.String for trace file parsing.
@@ -136,10 +155,26 @@ func (f *TraceFile) ClassByID(id int) *ClassMeta {
 	return nil
 }
 
-// ReadJSONL parses a trace exported by StreamJSONL. The meta line must
-// come first; unknown line types are rejected (the format is versioned,
-// not open-ended).
+// ReadJSONL parses a trace exported by StreamJSONL. Gzip-compressed
+// exports (written through a .jsonl.gz sink) are detected by their magic
+// bytes and decompressed transparently. The meta line must come first;
+// unknown line types are rejected (the format is versioned, not
+// open-ended). Corrupt or truncated input yields an error, never a
+// panic.
 func ReadJSONL(r io.Reader) (*TraceFile, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: gzip: %w", err)
+		}
+		defer zr.Close()
+		return readJSONL(zr)
+	}
+	return readJSONL(br)
+}
+
+func readJSONL(r io.Reader) (*TraceFile, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	var f TraceFile

@@ -99,10 +99,12 @@ type Tracer struct {
 	dropped uint64
 	counts  map[Kind]uint64
 
-	periodOf func(simclock.Time) int // stamps Event.Period; may be nil
-	plan     int                     // current plan version
-	sink     io.Writer               // lossless JSONL sink; may be nil
-	sinkErr  error                   // first sink write error, latched
+	periodOf  func(simclock.Time) int // stamps Event.Period; may be nil
+	plan      int                     // current plan version
+	lastPlan  string                  // last emitted plan detail (dedup)
+	sink      io.Writer               // lossless JSONL sink; may be nil
+	sinkErr   error                   // first sink write error, latched
+	sinkBytes int64                   // bytes written to the sink so far
 }
 
 // New returns a tracer retaining the most recent capacity events.
@@ -133,7 +135,9 @@ func (t *Tracer) Emit(e Event) {
 	e.Plan = t.plan
 	t.counts[e.Kind]++
 	if t.sink != nil && t.sinkErr == nil {
-		t.sinkErr = writeEventLine(t.sink, e)
+		n, err := writeEventLine(t.sink, e)
+		t.sinkBytes += int64(n)
+		t.sinkErr = err
 	}
 	if len(t.events) < t.cap {
 		t.events = append(t.events, e)
@@ -269,13 +273,12 @@ func AttachPatroller(t *Tracer, pat *patroller.Patroller, clock *simclock.Clock)
 // actually differ from the previous one, so plan-change markers mean a
 // real reallocation, and the tracer's plan version counts distinct plans.
 func AttachScheduler(t *Tracer, qs *core.QueryScheduler) {
-	last := ""
 	qs.OnPlan(func(rec core.PlanRecord) {
 		d := formatLimits(rec.Limits)
-		if d == last {
+		if d == t.lastPlan {
 			return
 		}
-		last = d
+		t.lastPlan = d
 		t.Emit(Event{Time: rec.Time, Kind: PlanChanged, Value: rec.Utility, Detail: d})
 	})
 }

@@ -1,0 +1,110 @@
+// Checkpoint support for the client pool and the intensity schedule.
+//
+// The pool's structure (which clients exist, their class and template
+// set) is rebuilt by re-running the experiment's construction sequence;
+// only the per-client dynamic state — activity, in-flight flag, submit
+// count, and the private random stream — is serialized. Schedule
+// boundaries are plain clock events whose closures Install creates; a
+// checkpoint records each future boundary's (period, event ref) pair so
+// Restore can re-arm identical closures.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/simclock"
+)
+
+// ClientState is one client's serializable dynamic state.
+type ClientState struct {
+	ID        engine.ClientID
+	Active    bool
+	InFlight  bool
+	Submitted int
+	RNG       uint64
+}
+
+// PoolState is the pool's serializable state.
+type PoolState struct {
+	NextID  engine.ClientID
+	Clients []ClientState // sorted by client id
+}
+
+// CheckpointState captures every client's dynamic state.
+func (p *Pool) CheckpointState() PoolState {
+	st := PoolState{NextID: p.nextID}
+	for _, c := range p.clients {
+		st.Clients = append(st.Clients, ClientState{
+			ID:        c.ID,
+			Active:    c.active,
+			InFlight:  c.inFlight,
+			Submitted: c.Submitted,
+			RNG:       c.src.State(),
+		})
+	}
+	sort.Slice(st.Clients, func(i, j int) bool { return st.Clients[i].ID < st.Clients[j].ID })
+	return st
+}
+
+// RestoreCheckpoint overwrites the dynamic state of a structurally
+// identical pool (same AddClients sequence as the checkpointed run).
+func (p *Pool) RestoreCheckpoint(st PoolState) {
+	if len(p.clients) != len(st.Clients) {
+		panic(fmt.Sprintf("workload: pool restore with %d clients, checkpoint has %d",
+			len(p.clients), len(st.Clients)))
+	}
+	p.nextID = st.NextID
+	for _, cs := range st.Clients {
+		c, ok := p.clients[cs.ID]
+		if !ok {
+			panic(fmt.Sprintf("workload: pool restore: unknown client %d", cs.ID))
+		}
+		c.active = cs.Active
+		c.inFlight = cs.InFlight
+		c.Submitted = cs.Submitted
+		c.src.SetState(cs.RNG)
+	}
+}
+
+// BoundaryRef records one scheduled period boundary for a checkpoint.
+type BoundaryRef struct {
+	Period int
+	Ref    simclock.EventRef
+}
+
+// Installation tracks the boundary events one Install call scheduled, so
+// a checkpoint can record and a restore re-arm them.
+type Installation struct {
+	sched    Schedule
+	pool     *Pool
+	onPeriod func(int)
+	refs     []BoundaryRef
+}
+
+// CheckpointState returns the refs of boundaries still in the future at
+// time now (boundaries at or before now have already fired).
+func (inst *Installation) CheckpointState(now simclock.Time) []BoundaryRef {
+	var out []BoundaryRef
+	for _, b := range inst.refs {
+		if b.Ref.At > now {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// RestoreBoundaries re-arms checkpointed period boundaries on a restored
+// clock, with closures equivalent to the ones Install created. It returns
+// an Installation so later checkpoints of the resumed run work the same
+// way.
+func (s Schedule) RestoreBoundaries(clock *simclock.Clock, pool *Pool, onPeriod func(period int), refs []BoundaryRef) *Installation {
+	inst := &Installation{sched: s, pool: pool, onPeriod: onPeriod}
+	for _, b := range refs {
+		p := b.Period
+		clock.RestoreEvent(b.Ref, func() { s.applyPeriod(pool, onPeriod, p) })
+		inst.refs = append(inst.refs, b)
+	}
+	return inst
+}

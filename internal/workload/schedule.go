@@ -54,34 +54,41 @@ func (s Schedule) MaxClients() map[engine.ClassID]int {
 
 // Install arranges for pool client counts to track the schedule: period 0
 // is applied immediately and each subsequent boundary is scheduled on the
-// clock. onPeriod, when non-nil, fires at the start of every period.
-func (s Schedule) Install(clock *simclock.Clock, pool *Pool, onPeriod func(period int)) {
+// clock. onPeriod, when non-nil, fires at the start of every period. The
+// returned Installation records the boundary events for checkpointing;
+// callers that never checkpoint may ignore it.
+func (s Schedule) Install(clock *simclock.Clock, pool *Pool, onPeriod func(period int)) *Installation {
 	if len(s.Clients) == 0 {
 		panic("workload: empty schedule")
 	}
 	if s.PeriodSeconds <= 0 {
 		panic(fmt.Sprintf("workload: non-positive period length %v", s.PeriodSeconds))
 	}
-	apply := func(p int) {
-		// Apply classes in ID order: SetActive submits queries for newly
-		// activated clients, so map-order iteration would make the
-		// simulation's event order — and thus whole runs — irreproducible.
-		ids := make([]engine.ClassID, 0, len(s.Clients[p]))
-		for cls := range s.Clients[p] {
-			ids = append(ids, cls)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, cls := range ids {
-			pool.SetActive(cls, s.Clients[p][cls])
-		}
-		if onPeriod != nil {
-			onPeriod(p)
-		}
-	}
-	apply(0)
+	inst := &Installation{sched: s, pool: pool, onPeriod: onPeriod}
+	s.applyPeriod(pool, onPeriod, 0)
 	for p := 1; p < len(s.Clients); p++ {
 		p := p
-		clock.At(float64(p)*s.PeriodSeconds, func() { apply(p) })
+		ref := clock.AtRef(float64(p)*s.PeriodSeconds, func() { s.applyPeriod(pool, onPeriod, p) })
+		inst.refs = append(inst.refs, BoundaryRef{Period: p, Ref: ref})
+	}
+	return inst
+}
+
+// applyPeriod activates period p's client counts. Classes apply in ID
+// order: SetActive submits queries for newly activated clients, so
+// map-order iteration would make the simulation's event order — and thus
+// whole runs — irreproducible.
+func (s Schedule) applyPeriod(pool *Pool, onPeriod func(period int), p int) {
+	ids := make([]engine.ClassID, 0, len(s.Clients[p]))
+	for cls := range s.Clients[p] {
+		ids = append(ids, cls)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, cls := range ids {
+		pool.SetActive(cls, s.Clients[p][cls])
+	}
+	if onPeriod != nil {
+		onPeriod(p)
 	}
 }
 
