@@ -530,3 +530,42 @@ func BenchmarkPatrollerChurn(b *testing.B) {
 		clock.RunUntil(clock.Now() + 0.01)
 	}
 }
+
+// BenchmarkMillionClients drives one million distinct streaming clients
+// through a 24-sim-hour closed-loop OLTP run. A 25-client cohort rotates
+// through the population every ~2.2 sim-seconds via SetActiveWindow, so
+// every client in turn materializes, submits queries, and parks back to
+// its 12-byte (rng cursor, submit count) record. The eager generator
+// would build a million Client objects and rng streams up front; the
+// streaming pool keeps resident state bounded by the live cohort, which
+// is what lets the run fit in container memory.
+func BenchmarkMillionClients(b *testing.B) {
+	const (
+		population = 1_000_000
+		cohort     = 25
+		simHours   = 24
+	)
+	slices := population / cohort
+	span := simHours * 3600.0 / float64(slices)
+	oltp := workload.PaperClasses()[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock := simclock.New()
+		eng := engine.New(engine.DefaultConfig(), clock)
+		opt := optimizer.New(optimizer.DefaultModel(), workload.TPCCCatalog())
+		set := workload.NewSet(opt, workload.TPCCTemplates())
+		pool := workload.NewPool(eng)
+		pool.AddClientsStreaming(oltp, set, population, rng.New(7))
+		for s := 0; s < slices; s++ {
+			lo := s * cohort
+			pool.SetActiveWindow(oltp.ID, lo, lo+cohort)
+			clock.RunUntil(simclock.Time(s+1) * span)
+		}
+		// Drain: park the final cohort once its in-flight work completes.
+		pool.SetActiveWindow(oltp.ID, population, population)
+		clock.RunUntil(clock.Now() + 60)
+		b.ReportMetric(float64(eng.Stats().Completed), "completions")
+		b.ReportMetric(float64(pool.ActiveCount(oltp.ID)), "live-clients")
+	}
+}

@@ -50,6 +50,42 @@ type Benchmark struct {
 	// (class1-goal%, events/sec, ...). encoding/json sorts the keys, so
 	// identical runs serialize identically.
 	Metrics map[string]float64 `json:"metrics"`
+	// Delta, when a previous trajectory file is available, maps unit →
+	// relative change versus the same-named entry: (new-old)/old, so
+	// -0.25 reads "25% less than last run". Units or benchmarks absent
+	// from the previous file carry no delta — new benchmarks and new
+	// ReportMetric keys are expected as the suite grows, never an error.
+	Delta map[string]float64 `json:"delta,omitempty"`
+}
+
+// addDeltas annotates cur's benchmarks with their relative change vs the
+// same-named (name, procs) entry of a previous trajectory file.
+func addDeltas(cur, prev *File) {
+	type key struct {
+		name  string
+		procs int
+	}
+	byName := make(map[key]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		byName[key{b.Name, b.Procs}] = b
+	}
+	for i := range cur.Benchmarks {
+		b := &cur.Benchmarks[i]
+		p, ok := byName[key{b.Name, b.Procs}]
+		if !ok {
+			continue
+		}
+		for unit, v := range b.Metrics {
+			old, ok := p.Metrics[unit]
+			if !ok || old == 0 {
+				continue
+			}
+			if b.Delta == nil {
+				b.Delta = make(map[string]float64)
+			}
+			b.Delta[unit] = (v - old) / old
+		}
+	}
 }
 
 // Parse reads `go test -bench` output. Non-benchmark lines (PASS, ok,
@@ -117,6 +153,7 @@ func main() {
 	date := flag.String("date", "", "RFC 3339 UTC timestamp to record (supplied by scripts/bench.sh)")
 	goVersion := flag.String("go", "", "`go version` line to record")
 	out := flag.String("o", "", "output path (default stdout)")
+	prev := flag.String("prev", "", "previous trajectory JSON to diff against (default: the existing -o file)")
 	flag.Parse()
 
 	f, err := Parse(os.Stdin)
@@ -130,6 +167,30 @@ func main() {
 	}
 	f.Generated = *date
 	f.Go = *goVersion
+
+	// Diff against the previous trajectory before overwriting it. An
+	// explicit -prev must exist and parse; the implicit default (the
+	// file -o is about to replace) is best-effort — a first run has no
+	// history to diff against.
+	prevPath, explicit := *prev, *prev != ""
+	if !explicit {
+		prevPath = *out
+	}
+	if prevPath != "" {
+		data, err := os.ReadFile(prevPath)
+		if err == nil {
+			var pf File
+			if jerr := json.Unmarshal(data, &pf); jerr == nil {
+				addDeltas(f, &pf)
+			} else if explicit {
+				fmt.Fprintf(os.Stderr, "benchjson: -prev %s: %v\n", prevPath, jerr)
+				os.Exit(1)
+			}
+		} else if explicit {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -60,3 +60,44 @@ func TestParseRejectsMalformed(t *testing.T) {
 		t.Error("bad metric value: want error")
 	}
 }
+
+func TestAddDeltas(t *testing.T) {
+	cur, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := &File{Benchmarks: []Benchmark{
+		{Name: "ClockThroughput", Procs: 1, Metrics: map[string]float64{
+			"ns/op": 2060, "events/sec": 1445086.5, "B/op": 128}},
+		{Name: "Fig6", Procs: 8, Metrics: map[string]float64{"ns/op": 9503327740}},
+	}}
+	addDeltas(cur, prev)
+
+	b0 := cur.Benchmarks[0]
+	if d := b0.Delta["ns/op"]; d != -0.5 {
+		t.Errorf("ns/op delta = %v, want -0.5", d)
+	}
+	if d := b0.Delta["events/sec"]; d != 1.0 {
+		t.Errorf("events/sec delta = %v, want 1.0", d)
+	}
+	// allocs/op is 0 in prev (absent) and B/op was 128→0: 0-valued old
+	// entries and units the old run lacked produce no delta.
+	if _, ok := b0.Delta["allocs/op"]; ok {
+		t.Errorf("allocs/op delta present: %v", b0.Delta)
+	}
+	if d, ok := b0.Delta["B/op"]; !ok || d != -1.0 {
+		t.Errorf("B/op delta = %v,%v, want -1", d, ok)
+	}
+	b1 := cur.Benchmarks[1]
+	if d := b1.Delta["ns/op"]; d != 0 {
+		t.Errorf("unchanged ns/op delta = %v, want 0", d)
+	}
+	// Metrics new in this run (goal%) have no previous value: no delta.
+	if _, ok := b1.Delta["class1-goal%"]; ok {
+		t.Errorf("new metric got a delta: %v", b1.Delta)
+	}
+	// SaturationSweep has no previous entry at all.
+	if cur.Benchmarks[2].Delta != nil {
+		t.Errorf("new benchmark got deltas: %v", cur.Benchmarks[2].Delta)
+	}
+}

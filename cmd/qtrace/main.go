@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,27 +35,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	tf, err := trace.ReadJSONL(bufio.NewReaderSize(f, 1<<20))
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
+	// Both views stream the trace — memory stays bounded by the answer
+	// (the summary tallies, or one class's events), not the trace size.
+	br := bufio.NewReaderSize(f, 1<<20)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	if *explain == "" {
-		trace.Summarize(out, tf)
+		err := trace.SummarizeJSONL(out, br)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
-	q, err := trace.ParseExplainQuery(*explain, tf.Meta)
+	ex, err := trace.ExplainJSONL(br, *explain)
+	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	ex, err := trace.Explain(tf, q)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		var spec *trace.SpecError
+		if errors.As(err, &spec) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 	ex.Render(out)

@@ -119,22 +119,16 @@ func (m *monitor) checkpointState() MonitorState {
 		SnapPolls:   m.snapPolls,
 		SnapDropped: m.snapDropped,
 	}
-	for class, w := range m.velWindow {
-		st.VelWindow = append(st.VelWindow, ClassSummary{Class: class, S: w.State()})
+	// trackedIDs is kept sorted, so every per-class list below is too.
+	for _, class := range m.trackedIDs {
+		s := int(class - m.base)
+		if m.hasVel[s] {
+			st.VelWindow = append(st.VelWindow, ClassSummary{Class: class, S: m.velWindow[s].State()})
+		}
+		st.Arrivals = append(st.Arrivals, ClassCount{Class: class, N: m.arrivals[s]})
+		st.ArrivalCost = append(st.ArrivalCost, ClassSummary{Class: class, S: m.arrivalCost[s].State()})
+		st.Inflight = append(st.Inflight, ClassCount{Class: class, N: m.inflight[s]})
 	}
-	sort.Slice(st.VelWindow, func(i, j int) bool { return st.VelWindow[i].Class < st.VelWindow[j].Class })
-	for class, n := range m.arrivals {
-		st.Arrivals = append(st.Arrivals, ClassCount{Class: class, N: n})
-	}
-	sort.Slice(st.Arrivals, func(i, j int) bool { return st.Arrivals[i].Class < st.Arrivals[j].Class })
-	for class, cs := range m.arrivalCost {
-		st.ArrivalCost = append(st.ArrivalCost, ClassSummary{Class: class, S: cs.State()})
-	}
-	sort.Slice(st.ArrivalCost, func(i, j int) bool { return st.ArrivalCost[i].Class < st.ArrivalCost[j].Class })
-	for class, n := range m.inflight {
-		st.Inflight = append(st.Inflight, ClassCount{Class: class, N: n})
-	}
-	sort.Slice(st.Inflight, func(i, j int) bool { return st.Inflight[i].Class < st.Inflight[j].Class })
 	if m.ticker != nil {
 		st.HasTicker = true
 		st.Ticker = m.ticker.State()
@@ -144,28 +138,23 @@ func (m *monitor) checkpointState() MonitorState {
 
 func (m *monitor) restoreCheckpoint(st MonitorState) {
 	for _, rec := range st.VelWindow {
-		w, ok := m.velWindow[rec.Class]
-		if !ok {
+		s := int(rec.Class - m.base)
+		if s < 0 || s >= len(m.hasVel) || !m.hasVel[s] {
 			panic(fmt.Sprintf("core: restore: velocity window for unknown class %d", rec.Class))
 		}
-		w.SetState(rec.S)
+		m.velWindow[s].SetState(rec.S)
 	}
 	m.oltpResp.SetState(st.OLTPResp)
 	m.lastOLTP = st.LastOLTP
 	m.snapPolls, m.snapDropped = st.SnapPolls, st.SnapDropped
 	for _, rec := range st.Arrivals {
-		m.arrivals[rec.Class] = rec.N
+		m.arrivals[m.slot(rec.Class)] = rec.N
 	}
 	for _, rec := range st.ArrivalCost {
-		cs, ok := m.arrivalCost[rec.Class]
-		if !ok {
-			cs = &stats.Summary{}
-			m.arrivalCost[rec.Class] = cs
-		}
-		cs.SetState(rec.S)
+		m.arrivalCost[m.slot(rec.Class)].SetState(rec.S)
 	}
 	for _, rec := range st.Inflight {
-		m.inflight[rec.Class] = rec.N
+		m.inflight[m.slot(rec.Class)] = rec.N
 	}
 	if st.HasTicker != (m.ticker != nil) {
 		panic("core: restore: snapshot ticker presence mismatch")

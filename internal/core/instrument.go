@@ -30,17 +30,23 @@ const (
 )
 
 // schedObs caches the scheduler's instruments per class so the dispatch
-// path does not re-render label sets on every decision.
+// path does not re-render label sets on every decision. The release/hold
+// counters — touched once per held-queue evaluation — live in dense
+// slices indexed by (class - base); classes outside the span (a custom
+// classifier inventing ids) fall back to lazy maps.
 type schedObs struct {
-	reg      *obs.Registry
-	oltpID   engine.ClassID // -1 when there is no OLTP class
-	releases map[engine.ClassID]*obs.Counter
-	holds    map[engine.ClassID]*obs.Counter
-	limits   map[engine.ClassID]*obs.Gauge
-	predErr  map[engine.ClassID]*obs.Histogram
-	ticks    *obs.Counter
-	utility  *obs.Gauge
-	held     *obs.Counter
+	reg         *obs.Registry
+	oltpID      engine.ClassID // -1 when there is no OLTP class
+	base        engine.ClassID
+	releases    []*obs.Counter
+	holds       []*obs.Counter
+	farReleases map[engine.ClassID]*obs.Counter
+	farHolds    map[engine.ClassID]*obs.Counter
+	limits      map[engine.ClassID]*obs.Gauge
+	predErr     map[engine.ClassID]*obs.Histogram
+	ticks       *obs.Counter
+	utility     *obs.Gauge
+	held        *obs.Counter
 }
 
 // Instrument registers the scheduler's observables in reg and begins
@@ -58,8 +64,9 @@ func (qs *QueryScheduler) Instrument(reg *obs.Registry) {
 	o := &schedObs{
 		reg:      reg,
 		oltpID:   -1,
-		releases: make(map[engine.ClassID]*obs.Counter),
-		holds:    make(map[engine.ClassID]*obs.Counter),
+		base:     qs.dispBase,
+		releases: make([]*obs.Counter, len(qs.dispCost)),
+		holds:    make([]*obs.Counter, len(qs.dispCost)),
 		limits:   make(map[engine.ClassID]*obs.Gauge),
 		predErr:  make(map[engine.ClassID]*obs.Histogram),
 	}
@@ -103,11 +110,24 @@ func (o *schedObs) noteRelease(class engine.ClassID) {
 	if o == nil {
 		return
 	}
-	c, ok := o.releases[class]
+	if s := int(class - o.base); s >= 0 && s < len(o.releases) {
+		c := o.releases[s]
+		if c == nil {
+			c = o.reg.Counter(MetricReleases,
+				"Held queries the dispatcher released, per class.", classLabel(class))
+			o.releases[s] = c
+		}
+		c.Inc()
+		return
+	}
+	c, ok := o.farReleases[class]
 	if !ok {
 		c = o.reg.Counter(MetricReleases,
 			"Held queries the dispatcher released, per class.", classLabel(class))
-		o.releases[class] = c
+		if o.farReleases == nil {
+			o.farReleases = make(map[engine.ClassID]*obs.Counter)
+		}
+		o.farReleases[class] = c
 	}
 	c.Inc()
 }
@@ -118,11 +138,24 @@ func (o *schedObs) noteHold(class engine.ClassID) {
 	if o == nil {
 		return
 	}
-	c, ok := o.holds[class]
+	if s := int(class - o.base); s >= 0 && s < len(o.holds) {
+		c := o.holds[s]
+		if c == nil {
+			c = o.reg.Counter(MetricHolds,
+				"Held queries the dispatcher evaluated and kept held, per class.", classLabel(class))
+			o.holds[s] = c
+		}
+		c.Inc()
+		return
+	}
+	c, ok := o.farHolds[class]
 	if !ok {
 		c = o.reg.Counter(MetricHolds,
 			"Held queries the dispatcher evaluated and kept held, per class.", classLabel(class))
-		o.holds[class] = c
+		if o.farHolds == nil {
+			o.farHolds = make(map[engine.ClassID]*obs.Counter)
+		}
+		o.farHolds[class] = c
 	}
 	c.Inc()
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/engine"
 	"repro/internal/patroller"
 	"repro/internal/simclock"
@@ -28,10 +31,9 @@ type monitor struct {
 	oltpClass   *workload.Class
 	oltpClients func() []engine.ClientID
 
-	velWindow map[engine.ClassID]*stats.Summary
-	oltpResp  stats.Summary
-	lastOLTP  float64 // sticky last measured OLTP mean RT
-	ticker    *simclock.Ticker
+	oltpResp stats.Summary
+	lastOLTP float64 // sticky last measured OLTP mean RT
+	ticker   *simclock.Ticker
 
 	// faults, when non-nil, can drop snapshot polls and whole harvests.
 	faults MonitorFaultInjector
@@ -40,10 +42,18 @@ type monitor struct {
 	snapPolls   int
 	snapDropped int
 
-	arrivals    map[engine.ClassID]int
-	arrivalCost map[engine.ClassID]*stats.Summary
-	inflight    map[engine.ClassID]int
-	tracked     map[engine.ClassID]bool
+	// Per-class interval state lives in dense slices indexed by
+	// (class - base): the submit/done hooks run once per query, so a map
+	// lookup there is the dominant monitor cost at scale. trackedIDs keeps
+	// the tracked classes in ascending id order for harvest iteration.
+	base        engine.ClassID
+	trackedIDs  []engine.ClassID
+	velWindow   []stats.Summary // olap classes only; untracked slots stay unused
+	hasVel      []bool
+	arrivals    []int
+	arrivalCost []stats.Summary
+	inflight    []int
+	tracked     []bool
 }
 
 func newMonitor(eng *engine.Engine, pat *patroller.Patroller, olap []*workload.Class,
@@ -56,19 +66,46 @@ func newMonitor(eng *engine.Engine, pat *patroller.Patroller, olap []*workload.C
 		olapClasses: olap,
 		oltpClass:   oltp,
 		oltpClients: oltpClients,
-		velWindow:   make(map[engine.ClassID]*stats.Summary),
-		arrivals:    make(map[engine.ClassID]int),
-		arrivalCost: make(map[engine.ClassID]*stats.Summary),
-		inflight:    make(map[engine.ClassID]int),
-		tracked:     make(map[engine.ClassID]bool),
+	}
+	lo, hi := engine.ClassID(0), engine.ClassID(0)
+	first := true
+	span := func(id engine.ClassID) {
+		if first {
+			lo, hi, first = id, id, false
+			return
+		}
+		if id < lo {
+			lo = id
+		}
+		if id > hi {
+			hi = id
+		}
 	}
 	for _, c := range olap {
-		m.velWindow[c.ID] = &stats.Summary{}
-		m.tracked[c.ID] = true
+		span(c.ID)
 	}
 	if oltp != nil {
-		m.tracked[oltp.ID] = true
+		span(oltp.ID)
 	}
+	n := 0
+	if !first {
+		n = int(hi-lo) + 1
+	}
+	m.base = lo
+	m.velWindow = make([]stats.Summary, n)
+	m.hasVel = make([]bool, n)
+	m.arrivals = make([]int, n)
+	m.arrivalCost = make([]stats.Summary, n)
+	m.inflight = make([]int, n)
+	m.tracked = make([]bool, n)
+	for _, c := range olap {
+		m.hasVel[c.ID-lo] = true
+		m.trackClass(c.ID)
+	}
+	if oltp != nil {
+		m.trackClass(oltp.ID)
+	}
+	sort.Slice(m.trackedIDs, func(i, j int) bool { return m.trackedIDs[i] < m.trackedIDs[j] })
 	// Arrivals are observed at the engine (not the patroller) so the
 	// unintercepted OLTP class is characterized too.
 	eng.OnSubmit(func(q *engine.Query) {
@@ -76,21 +113,17 @@ func newMonitor(eng *engine.Engine, pat *patroller.Patroller, olap []*workload.C
 		// new arrival; counting it would inflate the detector's demand
 		// estimate. In-flight balance still holds because the engine
 		// reports done/failed only for terminal outcomes.
-		if q.Attempt > 0 || !m.tracked[q.Class] {
+		s := int(q.Class - m.base)
+		if q.Attempt > 0 || s < 0 || s >= len(m.tracked) || !m.tracked[s] {
 			return
 		}
-		m.arrivals[q.Class]++
-		m.inflight[q.Class]++
-		cs, ok := m.arrivalCost[q.Class]
-		if !ok {
-			cs = &stats.Summary{}
-			m.arrivalCost[q.Class] = cs
-		}
-		cs.Add(q.Cost)
+		m.arrivals[s]++
+		m.inflight[s]++
+		m.arrivalCost[s].Add(q.Cost)
 	})
 	eng.OnDone(func(q *engine.Query) {
-		if m.tracked[q.Class] {
-			m.inflight[q.Class]--
+		if s := int(q.Class - m.base); s >= 0 && s < len(m.tracked) && m.tracked[s] {
+			m.inflight[s]--
 		}
 	})
 	if oltp != nil {
@@ -107,13 +140,34 @@ func newMonitor(eng *engine.Engine, pat *patroller.Patroller, olap []*workload.C
 	return m
 }
 
+// slot maps a tracked class to its dense index, panicking on a class the
+// monitor was not built for (checkpoint/monitor mismatch).
+func (m *monitor) slot(id engine.ClassID) int {
+	s := int(id - m.base)
+	if s < 0 || s >= len(m.tracked) || !m.tracked[s] {
+		panic(fmt.Sprintf("core: monitor does not track class %d", id))
+	}
+	return s
+}
+
+// trackClass marks a class tracked (dedup-safe).
+func (m *monitor) trackClass(id engine.ClassID) {
+	s := int(id - m.base)
+	if m.tracked[s] {
+		return
+	}
+	m.tracked[s] = true
+	m.trackedIDs = append(m.trackedIDs, id)
+}
+
 // onManagedDone folds a completed managed query's velocity into its
 // class's interval window.
 func (m *monitor) onManagedDone(qi *patroller.QueryInfo) {
-	w, ok := m.velWindow[qi.Class]
-	if !ok {
+	s := int(qi.Class - m.base)
+	if s < 0 || s >= len(m.hasVel) || !m.hasVel[s] {
 		return
 	}
+	w := &m.velWindow[s]
 	resp := qi.DoneTime - qi.SubmitTime
 	if resp <= 0 {
 		w.Add(1)
@@ -234,7 +288,7 @@ func (m *monitor) harvest() Measurement {
 	}
 	now := m.clock.Now()
 	for _, c := range m.olapClasses {
-		w := m.velWindow[c.ID]
+		w := &m.velWindow[c.ID-m.base]
 		switch {
 		case w.Count() > 0:
 			meas.Velocity[c.ID] = w.Mean()
@@ -278,17 +332,18 @@ func (m *monitor) harvest() Measurement {
 		m.oltpResp.Reset()
 	}
 	m.snapPolls, m.snapDropped = 0, 0
-	meas.Arrivals = make(map[engine.ClassID]int, len(m.arrivals))
-	meas.ArrivalMeanCost = make(map[engine.ClassID]float64, len(m.arrivals))
-	meas.Population = make(map[engine.ClassID]int, len(m.inflight))
-	for cls := range m.tracked {
-		meas.Arrivals[cls] = m.arrivals[cls]
-		meas.Population[cls] = m.inflight[cls]
-		if cs, ok := m.arrivalCost[cls]; ok && cs.Count() > 0 {
+	meas.Arrivals = make(map[engine.ClassID]int, len(m.trackedIDs))
+	meas.ArrivalMeanCost = make(map[engine.ClassID]float64, len(m.trackedIDs))
+	meas.Population = make(map[engine.ClassID]int, len(m.trackedIDs))
+	for _, cls := range m.trackedIDs {
+		s := int(cls - m.base)
+		meas.Arrivals[cls] = m.arrivals[s]
+		meas.Population[cls] = m.inflight[s]
+		if cs := &m.arrivalCost[s]; cs.Count() > 0 {
 			meas.ArrivalMeanCost[cls] = cs.Mean()
 			cs.Reset()
 		}
-		m.arrivals[cls] = 0
+		m.arrivals[s] = 0
 	}
 	return meas
 }
@@ -296,15 +351,14 @@ func (m *monitor) harvest() Measurement {
 // resetWindows discards the interval's accumulated samples — used when a
 // fault drops the whole harvest.
 func (m *monitor) resetWindows() {
-	for _, w := range m.velWindow {
-		w.Reset()
+	for i := range m.velWindow {
+		m.velWindow[i].Reset()
 	}
 	m.oltpResp.Reset()
-	for cls := range m.tracked {
-		m.arrivals[cls] = 0
-		if cs, ok := m.arrivalCost[cls]; ok {
-			cs.Reset()
-		}
+	for _, cls := range m.trackedIDs {
+		s := int(cls - m.base)
+		m.arrivals[s] = 0
+		m.arrivalCost[s].Reset()
 	}
 	m.snapPolls, m.snapDropped = 0, 0
 }

@@ -87,6 +87,16 @@ type QueryScheduler struct {
 	instr     *schedObs
 	running   bool
 	heldTicks int // consecutive degraded ticks holding the plan
+
+	// Dispatch scratch: per-class executing cost/count indexed by
+	// (class - dispBase), reset and refilled on every SelectReleases call
+	// so the per-poke hot path allocates nothing. Classes outside the span
+	// are never in qs.limits, so they skip accounting entirely (they are
+	// released unconditionally).
+	dispBase   engine.ClassID
+	dispCost   []float64
+	dispCount  []int
+	releaseOut []engine.QueryID
 }
 
 // New builds a Query Scheduler for the given classes. At most one class
@@ -136,6 +146,19 @@ func New(cfg Config, eng *engine.Engine, pat *patroller.Patroller,
 		return nil, fmt.Errorf("core: OLTP class present but no client source for snapshots")
 	}
 	sort.Slice(qs.olapClasses, func(i, j int) bool { return qs.olapClasses[i].ID < qs.olapClasses[j].ID })
+
+	lo, hi := classes[0].ID, classes[0].ID
+	for _, c := range classes {
+		if c.ID < lo {
+			lo = c.ID
+		}
+		if c.ID > hi {
+			hi = c.ID
+		}
+	}
+	qs.dispBase = lo
+	qs.dispCost = make([]float64, int(hi-lo)+1)
+	qs.dispCount = make([]int, int(hi-lo)+1)
 
 	qs.limits = qs.initialPlan()
 	qs.mon = newMonitor(eng, pat, qs.olapClasses, qs.oltpClass, oltpClients, cfg.SnapshotInterval)
@@ -257,12 +280,18 @@ func (qs *QueryScheduler) Detector() *detect.Detector { return qs.detector }
 // queries are released in arrival order while the class's executing cost
 // plus the candidate's cost stays within the class cost limit.
 func (qs *QueryScheduler) SelectReleases(v *patroller.View) []engine.QueryID {
-	activeCost := v.ActiveCostByClass()
-	activeCount := make(map[engine.ClassID]int)
-	for _, qi := range v.Active {
-		activeCount[qi.Class]++
+	cost, count := qs.dispCost, qs.dispCount
+	for i := range cost {
+		cost[i] = 0
+		count[i] = 0
 	}
-	var out []engine.QueryID
+	for _, qi := range v.Active {
+		if s := int(qi.Class - qs.dispBase); s >= 0 && s < len(cost) {
+			cost[s] += qi.Cost
+			count[s]++
+		}
+	}
+	out := qs.releaseOut[:0]
 	for _, qi := range v.Held {
 		class := qs.classifier.Classify(qi)
 		limit, ok := qs.limits[class]
@@ -272,17 +301,20 @@ func (qs *QueryScheduler) SelectReleases(v *patroller.View) []engine.QueryID {
 			out = append(out, qi.ID)
 			continue
 		}
-		fits := activeCost[class]+qi.Cost <= limit+1e-9
-		starving := qs.cfg.StarvationGuard && activeCount[class] == 0 && qi.Cost > limit
+		// Classes with a limit are always inside the dispatch span.
+		s := int(class - qs.dispBase)
+		fits := cost[s]+qi.Cost <= limit+1e-9
+		starving := qs.cfg.StarvationGuard && count[s] == 0 && qi.Cost > limit
 		if !fits && !starving {
 			qs.instr.noteHold(class)
 			continue // head-of-line blocks only its own class
 		}
-		activeCost[class] += qi.Cost
-		activeCount[class]++
+		cost[s] += qi.Cost
+		count[s]++
 		qs.instr.noteRelease(class)
 		out = append(out, qi.ID)
 	}
+	qs.releaseOut = out[:0]
 	return out
 }
 

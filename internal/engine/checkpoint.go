@@ -102,7 +102,12 @@ func (e *Engine) CheckpointState() CheckpointState {
 		Stats:      e.stats,
 		HasWeights: e.weights != nil,
 	}
-	for _, s := range e.snapshots {
+	for id, ok := range e.snapsSet {
+		if ok {
+			st.Snapshots = append(st.Snapshots, e.snaps[id])
+		}
+	}
+	for _, s := range e.snapsFar {
 		st.Snapshots = append(st.Snapshots, s)
 	}
 	sort.Slice(st.Snapshots, func(i, j int) bool { return st.Snapshots[i].Client < st.Snapshots[j].Client })
@@ -136,9 +141,9 @@ func (e *Engine) RestoreCheckpoint(st CheckpointState) {
 	e.lastUpdate = st.LastUpdate
 	e.speed = st.Speed
 	e.stats = st.Stats
-	e.snapshots = make(map[ClientID]Snapshot, len(st.Snapshots))
+	e.snaps, e.snapsSet, e.snapsFar = nil, nil, nil
 	for _, s := range st.Snapshots {
-		e.snapshots[s.Client] = s
+		e.recordSnapshot(s)
 	}
 	if st.HasWeights {
 		e.weights = make(map[ClassID]float64, len(st.Weights))

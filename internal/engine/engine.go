@@ -122,6 +122,7 @@ type Query struct {
 	remaining float64 // work not yet performed
 	rate      float64 // current progress rate
 	index     int     // position in the active slice, -1 when inactive
+	pooled    bool    // owned by an engine freelist (see AcquireQuery)
 }
 
 // ResponseTime returns end-to-end latency (queueing + execution). Valid
@@ -216,12 +217,31 @@ type Engine struct {
 	completionFn simclock.EventFunc // bound once; reschedule allocates no closure
 	speed        float64            // global progress multiplier (1 = nominal, 0 = stalled)
 
-	snapshots map[ClientID]Snapshot
-	stats     Stats
+	// Snapshot-monitor records live in a dense slice indexed by client id;
+	// clients with huge or negative ids (hand-built tests) spill to a map.
+	snaps    []Snapshot
+	snapsSet []bool
+	snapsFar map[ClientID]Snapshot
+
+	stats Stats
 
 	// weights, when non-nil, turns both stations into weighted fair
 	// sharing across service classes (see SetClassWeights).
 	weights map[ClassID]float64
+
+	// Hot-path scratch: reused across events so steady-state simulation
+	// performs no per-event allocation.
+	freelist    []*Query     // recycled pooled queries (AcquireQuery/Recycle)
+	doneScratch []*Query     // completions harvested by advanceTo
+	cpuScratch  []classScale // per-class station shares (stationScales)
+	ioScratch   []classScale
+
+	// deferResched is set while advanceTo runs completion listeners:
+	// reschedule then arms a placeholder (preserving clock sequence
+	// numbers) instead of recomputing rates, because the cascade's
+	// caller always reschedules once more before handing control back
+	// to the clock.
+	deferResched bool
 }
 
 // New returns an engine on the given clock. Config values must be positive
@@ -234,13 +254,43 @@ func New(cfg Config, clock *simclock.Clock) *Engine {
 		panic(fmt.Sprintf("engine: invalid config %+v", cfg))
 	}
 	e := &Engine{
-		cfg:       cfg,
-		clock:     clock,
-		speed:     1,
-		snapshots: make(map[ClientID]Snapshot),
+		cfg:   cfg,
+		clock: clock,
+		speed: 1,
 	}
 	e.completionFn = e.onCompletionEvent
 	return e
+}
+
+// AcquireQuery returns a zeroed query from the engine's freelist (or a
+// fresh one when the list is empty). Pooled queries are recycled by the
+// engine when they reach a terminal state and every completion listener
+// has run; callers must not retain them past their OnDone/OnAbort
+// callback. Queries built with a plain &Query{} are never recycled, so
+// existing callers keep their ownership semantics.
+func (e *Engine) AcquireQuery() *Query {
+	if n := len(e.freelist) - 1; n >= 0 {
+		q := e.freelist[n]
+		e.freelist[n] = nil
+		e.freelist = e.freelist[:n]
+		return q
+	}
+	return &Query{pooled: true}
+}
+
+// Recycle returns a terminal pooled query to the freelist, zeroing it.
+// Non-pooled queries are ignored, so it is always safe to call on a
+// query whose provenance is unknown. Recycling a live (queued or
+// executing) query panics: that would corrupt the active set.
+func (e *Engine) Recycle(q *Query) {
+	if q == nil || !q.pooled {
+		return
+	}
+	if q.State == StateQueued || q.State == StateExecuting {
+		panic(fmt.Sprintf("engine: recycle of live query %d in state %v", q.ID, q.State))
+	}
+	*q = Query{pooled: true, index: -1}
+	e.freelist = append(e.freelist, q)
 }
 
 // Clock returns the engine's simulation clock.
@@ -324,10 +374,13 @@ func (e *Engine) Abort(q *Query) bool {
 		l(q)
 	}
 	if e.abortHandler != nil && e.abortHandler(q) {
-		return true // claimed for retry; no terminal notification
+		return true // claimed for retry; the claimant recycles it later
 	}
 	for _, l := range e.listeners {
 		l(q)
+	}
+	if q.pooled {
+		e.Recycle(q)
 	}
 	return true
 }
@@ -415,10 +468,35 @@ func (e *Engine) ActiveCostByClass() map[ClassID]float64 {
 	return m
 }
 
+// snapDenseLimit bounds the dense snapshot table: pool-assigned client
+// ids are small and sequential, so virtually all records land here; ids
+// outside [0, snapDenseLimit) fall back to the spill map.
+const snapDenseLimit = 1 << 22
+
+func (e *Engine) recordSnapshot(s Snapshot) {
+	id := s.Client
+	if id >= 0 && id < snapDenseLimit {
+		for len(e.snaps) <= int(id) {
+			e.snaps = append(e.snaps, Snapshot{})
+			e.snapsSet = append(e.snapsSet, false)
+		}
+		e.snaps[id] = s
+		e.snapsSet[id] = true
+		return
+	}
+	if e.snapsFar == nil {
+		e.snapsFar = make(map[ClientID]Snapshot)
+	}
+	e.snapsFar[id] = s
+}
+
 // LastFinished returns the snapshot-monitor record for a client: execution
 // and response time of its most recently finished statement.
 func (e *Engine) LastFinished(c ClientID) (Snapshot, bool) {
-	s, ok := e.snapshots[c]
+	if c >= 0 && int(c) < len(e.snaps) {
+		return e.snaps[c], e.snapsSet[c]
+	}
+	s, ok := e.snapsFar[c]
 	return s, ok
 }
 
@@ -448,7 +526,10 @@ func (e *Engine) advanceTo(now simclock.Time) {
 		return
 	}
 	e.stats.BusyTime += dt
-	var done []*Query
+	// done reuses engine-owned scratch: nested advanceTo calls from
+	// completion listeners always see dt == 0 and return before this
+	// point, so the buffer is never aliased.
+	done := e.doneScratch[:0]
 	for _, q := range e.active {
 		progress := q.rate * dt
 		if progress > q.remaining {
@@ -467,23 +548,38 @@ func (e *Engine) advanceTo(now simclock.Time) {
 		q.DoneTime = now
 		q.remaining = 0
 		e.stats.Completed++
-		e.snapshots[q.Client] = Snapshot{
+		e.recordSnapshot(Snapshot{
 			Client:    q.Client,
 			Class:     q.Class,
 			ExecTime:  q.ExecutionTime(),
 			RespTime:  q.ResponseTime(),
 			DoneAt:    now,
 			QueryCost: q.Cost,
-		}
+		})
 	}
 	// Notify after all bookkeeping so listeners observe a consistent
 	// engine; listeners may start queries, which re-enters advanceTo with
-	// dt == 0 and then reschedules.
-	for _, q := range done {
+	// dt == 0 and then reschedules. Pooled queries return to the freelist
+	// once their listeners have run (explicit free on terminal state).
+	//
+	// Reschedules triggered from inside this loop (every listener-driven
+	// Submit/Start/Abort ends in one) are deferred to placeholders: only
+	// the caller's trailing reschedule recomputes rates, so a completion
+	// cascade costs one O(active) rate pass instead of one per query it
+	// starts. Every advanceTo caller reschedules before returning to the
+	// clock, so a placeholder never survives to fire.
+	e.deferResched = true
+	for i, q := range done {
 		for _, l := range e.listeners {
 			l(q)
 		}
+		done[i] = nil
+		if q.pooled {
+			e.Recycle(q)
+		}
 	}
+	e.deferResched = false
+	e.doneScratch = done[:0]
 }
 
 // completionEpsilon absorbs floating-point residue when a completion event
@@ -545,107 +641,200 @@ func (e *Engine) ClassWeight(c ClassID) float64 {
 // current mix: processor sharing per station (optionally weighted by
 // class) plus the MPL contention overhead. A query is limited by the more
 // congested of the stations it uses, and can never progress faster than 1
-// (its stand-alone speed).
-func (e *Engine) recomputeRates() {
+// (its stand-alone speed). It returns the shortest remaining/rate
+// horizon over the active set (+Inf when idle or stalled), computed in
+// the same pass, so reschedule can arm the next completion event without
+// walking the active set again.
+func (e *Engine) recomputeRates() float64 {
+	next := math.Inf(1)
 	n := len(e.active)
 	if n == 0 {
-		return
+		return next
 	}
-	cpuScale := e.stationScales(func(d Demand) float64 { return d.CPURate }, e.cfg.CPUCapacity)
-	ioScale := e.stationScales(func(d Demand) float64 { return d.IORate }, e.cfg.IOCapacity)
 	overhead := 1 + e.cfg.ContentionAlpha*float64(n-1)
+	if e.weights == nil {
+		// Plain processor sharing: both stations give every class the
+		// same scale, so the per-class water-filling machinery is
+		// bypassed. The totals accumulate in active-slice order —
+		// exactly the order stationScales sums them — so every float
+		// (and therefore every event time) matches the weighted path's
+		// bookkeeping bit for bit.
+		var cpuTotal, ioTotal float64
+		for _, q := range e.active {
+			cpuTotal += q.Demand.CPURate
+			ioTotal += q.Demand.IORate
+		}
+		cpuScale, ioScale := 1.0, 1.0
+		if cpuTotal > e.cfg.CPUCapacity {
+			cpuScale = e.cfg.CPUCapacity / cpuTotal
+		}
+		if ioTotal > e.cfg.IOCapacity {
+			ioScale = e.cfg.IOCapacity / ioTotal
+		}
+		for _, q := range e.active {
+			r := 1.0
+			if q.Demand.CPURate > 0 && cpuScale < r {
+				r = cpuScale
+			}
+			if q.Demand.IORate > 0 && ioScale < r {
+				r = ioScale
+			}
+			q.rate = r * e.speed / overhead
+			if q.rate <= 0 {
+				if e.speed > 0 {
+					panic(fmt.Sprintf("engine: query %d has non-positive rate", q.ID))
+				}
+				continue
+			}
+			if t := q.remaining / q.rate; t < next {
+				next = t
+			}
+		}
+		return next
+	}
+	e.cpuScratch = e.stationScales(e.cpuScratch[:0], func(d Demand) float64 { return d.CPURate }, e.cfg.CPUCapacity)
+	e.ioScratch = e.stationScales(e.ioScratch[:0], func(d Demand) float64 { return d.IORate }, e.cfg.IOCapacity)
 	for _, q := range e.active {
 		r := 1.0
 		if q.Demand.CPURate > 0 {
-			if s := cpuScale[q.Class]; s < r {
+			if s := scaleFor(e.cpuScratch, q.Class); s < r {
 				r = s
 			}
 		}
 		if q.Demand.IORate > 0 {
-			if s := ioScale[q.Class]; s < r {
+			if s := scaleFor(e.ioScratch, q.Class); s < r {
 				r = s
 			}
 		}
 		q.rate = r * e.speed / overhead
+		if q.rate <= 0 {
+			if e.speed > 0 {
+				panic(fmt.Sprintf("engine: query %d has non-positive rate", q.ID))
+			}
+			continue
+		}
+		if t := q.remaining / q.rate; t < next {
+			next = t
+		}
 	}
+	return next
+}
+
+// classScale is one per-class accumulator in the reusable station-share
+// scratch buffers. The class count is tiny (the paper runs three), so a
+// linear scan beats any map.
+type classScale struct {
+	id     ClassID
+	demand float64
+	scale  float64
+	done   bool
+	mark   bool
+}
+
+func scaleFor(buf []classScale, c ClassID) float64 {
+	for i := range buf {
+		if buf[i].id == c {
+			return buf[i].scale
+		}
+	}
+	return 1
 }
 
 // stationScales computes, per class, the fraction of its requested rate a
-// station can deliver. Without class weights every class sees the same
-// scale (plain processor sharing). With weights, capacity is divided by
-// weighted max-min fairness: satisfied classes keep their full demand and
-// the remainder is re-divided among the still-contending classes.
-func (e *Engine) stationScales(rate func(Demand) float64, capacity float64) map[ClassID]float64 {
-	demand := make(map[ClassID]float64)
+// station can deliver, accumulating into the caller-provided scratch
+// buffer (passed sliced to length 0, returned for reuse). Without class
+// weights every class sees the same scale (plain processor sharing). With
+// weights, capacity is divided by weighted max-min fairness: satisfied
+// classes keep their full demand and the remainder is re-divided among
+// the still-contending classes.
+//
+// Per-class demand accumulates in active-slice order and the water
+// filling iterates classes in sorted-id order — exactly the orders the
+// previous map-based implementation used — so every floating-point sum
+// (and therefore every event time) is bit-identical to the seed path.
+func (e *Engine) stationScales(buf []classScale, rate func(Demand) float64, capacity float64) []classScale {
 	var total float64
 	for _, q := range e.active {
 		r := rate(q.Demand)
-		demand[q.Class] += r
+		idx := -1
+		for i := range buf {
+			if buf[i].id == q.Class {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			buf = append(buf, classScale{id: q.Class})
+			idx = len(buf) - 1
+		}
+		buf[idx].demand += r
 		total += r
 	}
-	scales := make(map[ClassID]float64, len(demand))
 	if total <= capacity {
-		for c := range demand {
-			scales[c] = 1
+		for i := range buf {
+			buf[i].scale = 1
 		}
-		return scales
+		return buf
 	}
 	if e.weights == nil {
 		s := capacity / total
-		for c := range demand {
-			scales[c] = s
+		for i := range buf {
+			buf[i].scale = s
 		}
-		return scales
+		return buf
 	}
-	// Weighted water-filling over the contending classes. All iteration
-	// runs over a sorted class list: map order would perturb the
+	// Weighted water-filling over the contending classes, iterated in
+	// sorted class order: any other order would perturb the
 	// floating-point accumulation (and therefore event times) from run
 	// to run, breaking reproducibility.
+	sort.Slice(buf, func(i, j int) bool { return buf[i].id < buf[j].id })
 	remaining := capacity
-	classes := make([]ClassID, 0, len(demand))
-	pending := make(map[ClassID]float64, len(demand)) // class -> demand
-	for c, d := range demand {
-		if d > 0 {
-			classes = append(classes, c)
-			pending[c] = d
+	npending := 0
+	for i := range buf {
+		if buf[i].demand > 0 {
+			buf[i].done = false
+			npending++
 		} else {
-			scales[c] = 1
+			buf[i].scale = 1
+			buf[i].done = true
 		}
 	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
-	for len(pending) > 0 {
+	for npending > 0 {
 		var weightSum float64
-		for _, c := range classes {
-			if _, ok := pending[c]; ok {
-				weightSum += e.ClassWeight(c)
+		for i := range buf {
+			if !buf[i].done {
+				weightSum += e.ClassWeight(buf[i].id)
 			}
 		}
 		// Find classes whose fair share covers their whole demand. The
 		// pass is decided against a fixed remaining/weightSum and only
 		// then applied.
-		var done []ClassID
-		for _, c := range classes {
-			if d, ok := pending[c]; ok && remaining*e.ClassWeight(c)/weightSum >= d {
-				done = append(done, c)
-			}
+		anyDone := false
+		for i := range buf {
+			buf[i].mark = !buf[i].done && remaining*e.ClassWeight(buf[i].id)/weightSum >= buf[i].demand
+			anyDone = anyDone || buf[i].mark
 		}
-		if len(done) > 0 {
-			for _, c := range done {
-				scales[c] = 1
-				remaining -= pending[c]
-				delete(pending, c)
+		if anyDone {
+			for i := range buf {
+				if buf[i].mark {
+					buf[i].scale = 1
+					remaining -= buf[i].demand
+					buf[i].done = true
+					npending--
+				}
 			}
 			continue
 		}
 		// Everyone left is constrained: split the remainder by weight.
-		for _, c := range classes {
-			if d, ok := pending[c]; ok {
-				scales[c] = remaining * e.ClassWeight(c) / weightSum / d
-				delete(pending, c)
+		for i := range buf {
+			if !buf[i].done {
+				buf[i].scale = remaining * e.ClassWeight(buf[i].id) / weightSum / buf[i].demand
+				buf[i].done = true
+				npending--
 			}
 		}
 	}
-	return scales
+	return buf
 }
 
 // reschedule recomputes rates and re-arms the next-completion event.
@@ -654,22 +843,29 @@ func (e *Engine) reschedule() {
 		e.clock.Cancel(e.pendingEvt)
 		e.hasEvt = false
 	}
-	e.recomputeRates()
+	if e.deferResched {
+		// Mid-cascade (inside advanceTo's completion-listener loop): the
+		// caller that entered advanceTo always reschedules again before
+		// the clock pops another event, so recomputing rates here is
+		// wasted work and the armed time is irrelevant — the trailing
+		// reschedule cancels it. A placeholder is armed anyway, under
+		// exactly the eager path's conditions, because every
+		// AfterCancellable call consumes a clock sequence number and
+		// sequence numbers decide FIFO tie-breaking: skipping the call
+		// would shift every later event's tiebreak order.
+		if len(e.active) == 0 || e.speed <= 0 {
+			return
+		}
+		e.pendingEvt = e.clock.AfterCancellable(minEventStep, e.completionFn)
+		e.hasEvt = true
+		return
+	}
+	next := e.recomputeRates()
 	if len(e.active) == 0 {
 		return
 	}
 	if e.speed <= 0 {
 		return // stalled: no progress, so no completion event to arm
-	}
-	next := math.Inf(1)
-	for _, q := range e.active {
-		if q.rate <= 0 {
-			panic(fmt.Sprintf("engine: query %d has non-positive rate", q.ID))
-		}
-		t := q.remaining / q.rate
-		if t < next {
-			next = t
-		}
 	}
 	// Guard against a zero-length step looping forever on fp residue.
 	if next < minEventStep {

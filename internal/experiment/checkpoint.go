@@ -67,6 +67,9 @@ type RunSpec struct {
 	// must re-attach the same set or the outputs would diverge.
 	HasTrace   bool
 	HasMetrics bool
+	// Streaming records whether the pool used the streaming client
+	// generator; resume must rebuild it the same way.
+	Streaming bool
 }
 
 // runSnapshot is the gob payload of one checkpoint file.
@@ -132,6 +135,7 @@ func specFromConfig(cfg MixedConfig, classes []*workload.Class) RunSpec {
 		Experiment: cfg.Experiment,
 		HasTrace:   cfg.Trace != nil,
 		HasMetrics: cfg.Metrics != nil,
+		Streaming:  cfg.StreamingClients,
 	}
 	if cfg.QS != nil {
 		spec.HasQSCfg = true
@@ -171,6 +175,8 @@ func (s *RunSpec) config(tw, mw io.Writer) (MixedConfig, error) {
 		Experiment: s.Experiment,
 		Trace:      tw,
 		Metrics:    mw,
+
+		StreamingClients: s.Streaming,
 	}
 	if s.HasQSCfg {
 		qc := s.QS

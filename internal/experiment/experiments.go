@@ -287,6 +287,12 @@ type MixedConfig struct {
 	// CheckpointDir is where checkpoint files land; required when
 	// CheckpointEvery is set.
 	CheckpointDir string
+	// StreamingClients builds the run's client pool with the streaming
+	// generator: clients materialize lazily on first activation instead of
+	// up front. Behaviour is byte-identical to the eager pool; the point is
+	// memory — million-client schedules only pay for the clients a period
+	// actually activates.
+	StreamingClients bool
 }
 
 // DefaultMixedConfig runs the given mode over the paper's Figure 3
@@ -329,7 +335,7 @@ func buildMixedRig(cfg MixedConfig, resume bool) (*Rig, *runObs, error) {
 	if classes == nil {
 		classes = workload.PaperClasses()
 	}
-	rig := NewCustomRig(cfg.Seed, cfg.Sched, classes)
+	rig := newRig(cfg.Seed, cfg.Sched, classes, cfg.StreamingClients)
 	qsCfg := cfg.QS
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		inj := fault.NewInjector(*cfg.Faults, rig.Clock)

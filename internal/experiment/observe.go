@@ -57,7 +57,7 @@ func attachObs(rig *Rig, cfg MixedConfig, tw, mw io.Writer, resume bool) (*runOb
 	}
 	if mw != nil {
 		reg := obs.New(func() float64 { return rig.Clock.Now() })
-		instrumentEngine(reg, rig.Eng)
+		instrumentEngine(reg, rig.Eng, rig.Classes)
 		if rig.Faults != nil {
 			instrumentFaults(reg, rig.Faults)
 		}
@@ -115,55 +115,90 @@ func traceMeta(cfg MixedConfig, classes []*workload.Class) trace.Meta {
 	return m
 }
 
+// classDense caches a per-class instrument in a slice indexed by
+// (class - base), falling back to a lazy map for classes outside the
+// span the run was configured with. The engine's lifecycle hooks fire
+// once per query, so these caches are on the allocation-free hot path.
+type classDense[T any] struct {
+	base  engine.ClassID
+	dense []*T
+	far   map[engine.ClassID]*T
+}
+
+func newClassDense[T any](classes []*workload.Class) *classDense[T] {
+	d := &classDense[T]{}
+	if len(classes) > 0 {
+		lo, hi := classes[0].ID, classes[0].ID
+		for _, c := range classes {
+			if c.ID < lo {
+				lo = c.ID
+			}
+			if c.ID > hi {
+				hi = c.ID
+			}
+		}
+		d.base = lo
+		d.dense = make([]*T, int(hi-lo)+1)
+	}
+	return d
+}
+
+// get returns the cached instrument for id, or nil if make must be called.
+func (d *classDense[T]) get(id engine.ClassID, mk func() *T) *T {
+	if s := int(id - d.base); s >= 0 && s < len(d.dense) {
+		if d.dense[s] == nil {
+			d.dense[s] = mk()
+		}
+		return d.dense[s]
+	}
+	v, ok := d.far[id]
+	if !ok {
+		v = mk()
+		if d.far == nil {
+			d.far = make(map[engine.ClassID]*T)
+		}
+		d.far[id] = v
+	}
+	return v
+}
+
 // instrumentEngine registers run-level query counters and latency
 // histograms fed from the engine's lifecycle hooks, so every mode — not
 // just Query Scheduler runs — produces a metrics exposition.
-func instrumentEngine(reg *obs.Registry, eng *engine.Engine) {
-	submitted := make(map[engine.ClassID]*obs.Counter)
-	completed := make(map[engine.ClassID]*obs.Counter)
-	resp := make(map[engine.ClassID]*obs.Histogram)
+func instrumentEngine(reg *obs.Registry, eng *engine.Engine, classes []*workload.Class) {
+	submitted := newClassDense[obs.Counter](classes)
+	completed := newClassDense[obs.Counter](classes)
+	failed := newClassDense[obs.Counter](classes)
+	resp := newClassDense[obs.Histogram](classes)
 	classLabel := func(id engine.ClassID) obs.Label {
 		return obs.L("class", fmt.Sprintf("%d", int(id)))
 	}
 	eng.OnSubmit(func(q *engine.Query) {
-		c, ok := submitted[q.Class]
-		if !ok {
-			c = reg.Counter("queries_submitted_total",
+		submitted.get(q.Class, func() *obs.Counter {
+			return reg.Counter("queries_submitted_total",
 				"Queries submitted to the engine, per class.", classLabel(q.Class))
-			submitted[q.Class] = c
-		}
-		c.Inc()
+		}).Inc()
 	})
-	failed := make(map[engine.ClassID]*obs.Counter)
 	eng.OnDone(func(q *engine.Query) {
 		if q.State != engine.StateDone {
 			// Terminal failure: count separately, and keep the response
 			// histogram honest (an aborted query has no response time).
-			c, ok := failed[q.Class]
-			if !ok {
-				c = reg.Counter("queries_failed_total",
+			failed.get(q.Class, func() *obs.Counter {
+				return reg.Counter("queries_failed_total",
 					"Queries that ended in terminal failure (aborted, retries exhausted), per class.",
 					classLabel(q.Class))
-				failed[q.Class] = c
-			}
-			c.Inc()
+			}).Inc()
 			return
 		}
-		c, ok := completed[q.Class]
-		if !ok {
-			c = reg.Counter("queries_completed_total",
+		completed.get(q.Class, func() *obs.Counter {
+			return reg.Counter("queries_completed_total",
 				"Queries completed by the engine, per class.", classLabel(q.Class))
-			completed[q.Class] = c
-		}
-		c.Inc()
-		h, ok := resp[q.Class]
-		if !ok {
-			h = reg.Histogram("query_response_seconds",
+		}).Inc()
+		resp.get(q.Class, func() *obs.Histogram {
+			return reg.Histogram("query_response_seconds",
 				"End-to-end response time (submit to done), per class.",
 				obs.DefaultDurationBuckets(), classLabel(q.Class))
-			resp[q.Class] = h
-		}
-		h.Observe(q.ResponseTime())
+		}).Observe(q.ResponseTime())
 	})
 }
 

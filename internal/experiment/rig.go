@@ -106,6 +106,17 @@ func NewRig(seed uint64, sched workload.Schedule) *Rig {
 // class draws from the TPC-H-like set, every OLTP class from the
 // TPC-C-like set.
 func NewCustomRig(seed uint64, sched workload.Schedule, classes []*workload.Class) *Rig {
+	return newRig(seed, sched, classes, false)
+}
+
+// NewStreamingRig is NewCustomRig with the streaming client generator:
+// clients materialize lazily on first activation. Byte-identical to the
+// eager rig; use it when the schedule's client population is large.
+func NewStreamingRig(seed uint64, sched workload.Schedule, classes []*workload.Class) *Rig {
+	return newRig(seed, sched, classes, true)
+}
+
+func newRig(seed uint64, sched workload.Schedule, classes []*workload.Class, streaming bool) *Rig {
 	clock := simclock.New()
 	eng := engine.New(engine.DefaultConfig(), clock)
 
@@ -123,7 +134,11 @@ func NewCustomRig(seed uint64, sched workload.Schedule, classes []*workload.Clas
 		if c.Kind == workload.OLTP {
 			set = oltpSet
 		}
-		pool.AddClients(c, set, maxClients[c.ID], src)
+		if streaming {
+			pool.AddClientsStreaming(c, set, maxClients[c.ID], src)
+		} else {
+			pool.AddClients(c, set, maxClients[c.ID], src)
+		}
 	}
 
 	return &Rig{

@@ -333,10 +333,15 @@ func (in *Injector) maybeScheduleAbort(q *engine.Query) {
 
 // abortFn fires one scheduled abort against the query object the draw
 // doomed. A stale fire (the attempt already finished, timed out, or was
-// retried) is a no-op: Abort rejects a non-executing query.
+// retried) must be a no-op; the id/attempt guard decides it, because the
+// object itself may have been recycled into a different live query by
+// the engine's freelist after the doomed attempt ended.
 func (in *Injector) abortFn(pa *pendingAbort, q *engine.Query) simclock.EventFunc {
 	return func() {
 		delete(in.aborts, pa.ref.Seq)
+		if q.ID != pa.query || q.Attempt != pa.attempt {
+			return
+		}
 		if in.eng.Abort(q) {
 			in.stats.Aborts++
 			in.note(KindAbort, pa.class)

@@ -29,11 +29,11 @@ type CheckpointState struct {
 
 // CheckpointState captures every period/class aggregate.
 func (c *Collector) CheckpointState() CheckpointState {
-	st := CheckpointState{Periods: make([][]ClassAggState, len(c.periods))}
+	st := CheckpointState{Periods: make([][]ClassAggState, c.nperiods)}
 	ids := c.ClassIDs()
-	for p := range c.periods {
+	for p := 0; p < c.nperiods; p++ {
 		for _, id := range ids {
-			agg := c.periods[p][id]
+			agg := c.Agg(p, id)
 			st.Periods[p] = append(st.Periods[p], ClassAggState{
 				Class:      id,
 				Completed:  agg.Completed,
@@ -53,14 +53,14 @@ func (c *Collector) CheckpointState() CheckpointState {
 // RestoreCheckpoint overwrites a freshly constructed collector. The
 // collector must have been built for the same classes and schedule.
 func (c *Collector) RestoreCheckpoint(st CheckpointState) {
-	if len(st.Periods) != len(c.periods) {
+	if len(st.Periods) != c.nperiods {
 		panic(fmt.Sprintf("metrics: restore: %d checkpointed periods, collector has %d",
-			len(st.Periods), len(c.periods)))
+			len(st.Periods), c.nperiods))
 	}
 	for p, aggs := range st.Periods {
 		for _, rec := range aggs {
-			agg, ok := c.periods[p][rec.Class]
-			if !ok {
+			agg := c.agg(p, rec.Class)
+			if agg == nil {
 				panic(fmt.Sprintf("metrics: restore: class %d not tracked", rec.Class))
 			}
 			agg.Completed = rec.Completed

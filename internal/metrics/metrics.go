@@ -37,29 +37,54 @@ type ClassAgg struct {
 
 // Collector listens to engine completions and buckets them by schedule
 // period and class.
+//
+// Aggregates live in one flat slice, periods × classes, preallocated at
+// construction; the per-query hooks index it with a dense class table
+// (class id → slot) instead of a map lookup. Determinism is unaffected:
+// the layout only changes where an aggregate lives, never the order in
+// which values fold into it.
 type Collector struct {
-	classes map[engine.ClassID]*workload.Class
-	sched   workload.Schedule
-	periods []map[engine.ClassID]*ClassAgg
+	classes  map[engine.ClassID]*workload.Class
+	classIDs []engine.ClassID // ascending; defines the dense slot order
+	sched    workload.Schedule
+	nperiods int
+	base     engine.ClassID // smallest tracked id; index is offset by it
+	index    []int          // (id - base) → dense slot, -1 untracked
+	aggs     []ClassAgg     // period-major: period*len(classIDs) + slot
 }
 
 // NewCollector builds a collector for the given classes and schedule and
 // hooks it into the engine.
 func NewCollector(eng *engine.Engine, classes []*workload.Class, sched workload.Schedule) *Collector {
 	c := &Collector{
-		classes: make(map[engine.ClassID]*workload.Class),
-		sched:   sched,
-		periods: make([]map[engine.ClassID]*ClassAgg, sched.Periods()),
+		classes:  make(map[engine.ClassID]*workload.Class),
+		sched:    sched,
+		nperiods: sched.Periods(),
 	}
 	for _, cl := range classes {
 		c.classes[cl.ID] = cl
 	}
-	for p := range c.periods {
-		c.periods[p] = make(map[engine.ClassID]*ClassAgg)
-		for _, cl := range classes {
+	for id := range c.classes {
+		c.classIDs = append(c.classIDs, id)
+	}
+	sort.Slice(c.classIDs, func(i, j int) bool { return c.classIDs[i] < c.classIDs[j] })
+	if len(c.classIDs) > 0 {
+		c.base = c.classIDs[0]
+		span := int(c.classIDs[len(c.classIDs)-1]-c.base) + 1
+		c.index = make([]int, span)
+		for i := range c.index {
+			c.index[i] = -1
+		}
+		for slot, id := range c.classIDs {
+			c.index[id-c.base] = slot
+		}
+	}
+	c.aggs = make([]ClassAgg, c.nperiods*len(c.classIDs))
+	for p := 0; p < c.nperiods; p++ {
+		for slot, id := range c.classIDs {
 			// Seed per period and class so runs stay reproducible.
-			seed := uint64(p)*1000003 + uint64(cl.ID)
-			c.periods[p][cl.ID] = &ClassAgg{RespSample: stats.NewReservoir(512, seed)}
+			seed := uint64(p)*1000003 + uint64(id)
+			c.aggs[p*len(c.classIDs)+slot].RespSample = stats.NewReservoir(512, seed)
 		}
 	}
 	eng.OnSubmit(c.onSubmit)
@@ -67,20 +92,34 @@ func NewCollector(eng *engine.Engine, classes []*workload.Class, sched workload.
 	return c
 }
 
+// agg returns the aggregate for a period and class, or nil when the class
+// is untracked. The period must be in range.
+func (c *Collector) agg(period int, class engine.ClassID) *ClassAgg {
+	i := int(class - c.base)
+	if i < 0 || i >= len(c.index) {
+		return nil
+	}
+	slot := c.index[i]
+	if slot < 0 {
+		return nil
+	}
+	return &c.aggs[period*len(c.classIDs)+slot]
+}
+
 func (c *Collector) onSubmit(q *engine.Query) {
 	if q.Attempt > 0 {
 		return // a retry re-enters the engine but is not a new arrival
 	}
-	agg, ok := c.periods[c.sched.PeriodAt(q.SubmitTime)][q.Class]
-	if !ok {
+	agg := c.agg(c.sched.PeriodAt(q.SubmitTime), q.Class)
+	if agg == nil {
 		return // class not tracked (e.g. ad-hoc test query)
 	}
 	agg.Submitted++
 }
 
 func (c *Collector) onDone(q *engine.Query) {
-	agg, ok := c.periods[c.sched.PeriodAt(q.DoneTime)][q.Class]
-	if !ok {
+	agg := c.agg(c.sched.PeriodAt(q.DoneTime), q.Class)
+	if agg == nil {
 		return // class not tracked (e.g. ad-hoc test query)
 	}
 	if q.State != engine.StateDone {
@@ -102,8 +141,8 @@ func (c *Collector) onDone(q *engine.Query) {
 // internal map must never drive output directly: map iteration order is
 // randomized per process (enforced tree-wide by the maporder lint check).
 func (c *Collector) Classes() []*workload.Class {
-	out := make([]*workload.Class, 0, len(c.classes))
-	for _, id := range c.ClassIDs() {
+	out := make([]*workload.Class, 0, len(c.classIDs))
+	for _, id := range c.classIDs {
 		out = append(out, c.classes[id])
 	}
 	return out
@@ -111,11 +150,8 @@ func (c *Collector) Classes() []*workload.Class {
 
 // ClassIDs returns the tracked class IDs in ascending order.
 func (c *Collector) ClassIDs() []engine.ClassID {
-	ids := make([]engine.ClassID, 0, len(c.classes))
-	for id := range c.classes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := make([]engine.ClassID, len(c.classIDs))
+	copy(ids, c.classIDs)
 	return ids
 }
 
@@ -123,15 +159,15 @@ func (c *Collector) ClassIDs() []engine.ClassID {
 func (c *Collector) Class(id engine.ClassID) *workload.Class { return c.classes[id] }
 
 // Periods returns the number of schedule periods.
-func (c *Collector) Periods() int { return len(c.periods) }
+func (c *Collector) Periods() int { return c.nperiods }
 
 // Agg returns the aggregate for a period and class.
 func (c *Collector) Agg(period int, class engine.ClassID) *ClassAgg {
-	if period < 0 || period >= len(c.periods) {
+	if period < 0 || period >= c.nperiods {
 		panic(fmt.Sprintf("metrics: period %d out of range", period))
 	}
-	agg, ok := c.periods[period][class]
-	if !ok {
+	agg := c.agg(period, class)
+	if agg == nil {
 		panic(fmt.Sprintf("metrics: unknown class %d", class))
 	}
 	return agg
@@ -176,7 +212,7 @@ func (c *Collector) GoalMet(period int, class engine.ClassID) (met, ok bool) {
 // periods in which the goal was met.
 func (c *Collector) GoalSatisfaction(class engine.ClassID) float64 {
 	met, measurable := 0, 0
-	for p := 0; p < len(c.periods); p++ {
+	for p := 0; p < c.nperiods; p++ {
 		m, ok := c.GoalMet(p, class)
 		if !ok {
 			continue
@@ -196,9 +232,9 @@ func (c *Collector) GoalSatisfaction(class engine.ClassID) float64 {
 // without completions carry the previous period's value (matching how the
 // paper's line plots bridge sparse periods).
 func (c *Collector) Series(class engine.ClassID) []float64 {
-	out := make([]float64, len(c.periods))
+	out := make([]float64, c.nperiods)
 	last := 0.0
-	for p := range c.periods {
+	for p := 0; p < c.nperiods; p++ {
 		if v, ok := c.Metric(p, class); ok {
 			last = v
 		}
@@ -218,7 +254,7 @@ func (c *Collector) RespQuantile(period int, class engine.ClassID, q float64) fl
 // patroller or executing in the engine. Period tables that only count
 // completions undercount exactly this backlog.
 func (c *Collector) Pending(period int, class engine.ClassID) int {
-	if period < 0 || period >= len(c.periods) {
+	if period < 0 || period >= c.nperiods {
 		panic(fmt.Sprintf("metrics: period %d out of range", period))
 	}
 	submitted, resolved := 0, 0

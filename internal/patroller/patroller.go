@@ -179,6 +179,8 @@ type Patroller struct {
 	stats       Stats
 	pokePending bool
 	pokeFn      simclock.EventFunc // bound once; scheduling a poke allocates no closure
+	freeEntries []*entry           // recycled held/active wrappers
+	viewScratch View               // reused per poke; valid only during SelectReleases
 
 	retry       *RetryPolicy
 	timeouts    map[engine.QueryID]simclock.EventID
@@ -210,6 +212,28 @@ type Patroller struct {
 type entry struct {
 	info *QueryInfo
 	q    *engine.Query
+}
+
+// acquireEntry pops a recycled wrapper or allocates one. Entries pair a
+// control-table row with its live query only while the query is held or
+// active; the row itself stays in the table forever, so only the wrapper
+// is pooled.
+func (p *Patroller) acquireEntry(info *QueryInfo, q *engine.Query) *entry {
+	if n := len(p.freeEntries); n > 0 {
+		e := p.freeEntries[n-1]
+		p.freeEntries[n-1] = nil
+		p.freeEntries = p.freeEntries[:n-1]
+		e.info, e.q = info, q
+		return e
+	}
+	return &entry{info: info, q: q}
+}
+
+// releaseEntry returns a wrapper to the freelist once its query reached a
+// terminal state and it has been removed from held/active.
+func (p *Patroller) releaseEntry(e *entry) {
+	e.info, e.q = nil, nil
+	p.freeEntries = append(p.freeEntries, e)
 }
 
 // pendingRetry is one scheduled resubmission of a failed query.
@@ -283,7 +307,7 @@ func (p *Patroller) Intercept(q *engine.Query) bool {
 		State:      Held,
 		Attempt:    q.Attempt,
 	}
-	e := &entry{info: info, q: q}
+	e := p.acquireEntry(info, q)
 	p.held[q.ID] = e
 	if p.requeueHead {
 		// A retry re-queues at the head so the failed attempt's place in
@@ -326,6 +350,7 @@ func (p *Patroller) onDone(q *engine.Query) {
 		e.info.State = Failed
 		p.stats.Failed++
 		p.stats.Exhausted++
+		p.releaseEntry(e)
 		p.schedulePoke()
 		return
 	}
@@ -334,6 +359,7 @@ func (p *Patroller) onDone(q *engine.Query) {
 	if p.OnManagedDone != nil {
 		p.OnManagedDone(e.info)
 	}
+	p.releaseEntry(e)
 	p.schedulePoke()
 }
 
@@ -354,6 +380,7 @@ func (p *Patroller) onAbort(q *engine.Query) bool {
 	rp := p.retry
 	if rp == nil || q.Attempt+1 >= rp.MaxAttempts {
 		p.stats.Exhausted++
+		p.releaseEntry(e)
 		p.schedulePoke()
 		return false
 	}
@@ -363,6 +390,7 @@ func (p *Patroller) onAbort(q *engine.Query) bool {
 	}
 	delay := rp.Backoff * float64(q.Attempt+1)
 	p.scheduleRetry(q, delay)
+	p.releaseEntry(e)
 	p.schedulePoke()
 	return true
 }
@@ -396,14 +424,16 @@ func (p *Patroller) resubmit(old *engine.Query) {
 	if p.retry != nil && p.retry.RefreshCost != nil {
 		cost = p.retry.RefreshCost(old)
 	}
-	q := &engine.Query{
-		Client:   old.Client,
-		Class:    old.Class,
-		Template: old.Template,
-		Cost:     cost,
-		Demand:   old.Demand,
-		Attempt:  old.Attempt + 1,
-	}
+	q := p.eng.AcquireQuery()
+	q.Client = old.Client
+	q.Class = old.Class
+	q.Template = old.Template
+	q.Cost = cost
+	q.Demand = old.Demand
+	q.Attempt = old.Attempt + 1
+	// The failed attempt was claimed at abort time and is dead now that
+	// its fields are copied; hand it back to the engine's freelist.
+	p.eng.Recycle(old)
 	p.requeueHead = true
 	p.eng.Submit(q)
 	p.requeueHead = false
@@ -458,7 +488,11 @@ func (p *Patroller) timeoutFn(q *engine.Query) simclock.EventFunc {
 	id := q.ID
 	return func() {
 		delete(p.timeouts, id)
-		if q.State != engine.StateExecuting {
+		// The id guard keeps a stale fire harmless even if the engine
+		// recycled the object into a different query (completion and
+		// abort both cancel the timeout, but a same-instant race still
+		// dequeues the event).
+		if q.ID != id || q.State != engine.StateExecuting {
 			return
 		}
 		// Abort reports false when the query completes at this exact
@@ -507,9 +541,14 @@ func (p *Patroller) Poke() {
 
 const maxPokeRounds = 64
 
-// view assembles the policy's decision input.
+// view assembles the policy's decision input. The returned View (and its
+// slices) is scratch space reused across pokes — policies must not retain
+// it past SelectReleases.
 func (p *Patroller) view() *View {
-	v := &View{Now: p.clock.Now()}
+	v := &p.viewScratch
+	v.Now = p.clock.Now()
+	v.Held = v.Held[:0]
+	v.Active = v.Active[:0]
 	p.compactOrder()
 	for _, id := range p.order {
 		if e, ok := p.held[id]; ok {

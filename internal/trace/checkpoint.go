@@ -22,8 +22,10 @@ type CheckpointState struct {
 	Events    []Event     // retained ring, in emission order
 }
 
-// CheckpointState captures the tracer.
+// CheckpointState captures the tracer. Batched events are flushed first
+// so the recorded sink offset covers everything emitted so far.
 func (t *Tracer) CheckpointState() CheckpointState {
+	t.Flush()
 	st := CheckpointState{
 		Seq:       t.seq,
 		Dropped:   t.dropped,
@@ -33,6 +35,11 @@ func (t *Tracer) CheckpointState() CheckpointState {
 		Events:    t.Events(),
 	}
 	for k, n := range t.counts {
+		if n > 0 {
+			st.Counts = append(st.Counts, KindCount{Kind: Kind(k), N: n})
+		}
+	}
+	for k, n := range t.farCounts {
 		st.Counts = append(st.Counts, KindCount{Kind: k, N: n})
 	}
 	sort.Slice(st.Counts, func(i, j int) bool { return st.Counts[i].Kind < st.Counts[j].Kind })
@@ -52,7 +59,14 @@ func (t *Tracer) RestoreCheckpoint(st CheckpointState) {
 	t.lastPlan = st.LastPlan
 	t.sinkBytes = st.SinkBytes
 	for _, kc := range st.Counts {
-		t.counts[kc.Kind] = kc.N
+		if k := int(kc.Kind); k >= 0 && k < numKinds {
+			t.counts[k] = kc.N
+		} else {
+			if t.farCounts == nil {
+				t.farCounts = make(map[Kind]uint64)
+			}
+			t.farCounts[kc.Kind] = kc.N
+		}
 	}
 	t.events = append(t.events[:0], st.Events...)
 	t.start = 0

@@ -129,30 +129,86 @@ const QueueBins = 60
 
 // Explain analyzes one class/period cell of a parsed trace.
 func Explain(f *TraceFile, q ExplainQuery) (*Explanation, error) {
-	cm := f.ClassByID(int(q.Class))
+	var horizon simclock.Time
+	for _, e := range f.Events {
+		if e.Time > horizon {
+			horizon = e.Time
+		}
+	}
+	return explainCell(f.Meta, f.Events, horizon, q)
+}
+
+// SpecError marks a malformed or out-of-range -explain spec, so callers
+// can distinguish usage mistakes from trace problems.
+type SpecError struct{ Err error }
+
+func (e *SpecError) Error() string { return e.Err.Error() }
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// ExplainJSONL streams a JSONL export and explains one cell, holding
+// only the target class's events and the trace's plan changes in memory
+// rather than the whole event list. The output is identical to
+// ReadJSONL followed by Explain. Spec errors are wrapped in *SpecError.
+func ExplainJSONL(r io.Reader, spec string) (*Explanation, error) {
+	var (
+		meta    Meta
+		q       ExplainQuery
+		events  []Event
+		horizon simclock.Time
+	)
+	err := ScanJSONL(r,
+		func(m Meta) error {
+			meta = m
+			var perr error
+			if q, perr = ParseExplainQuery(spec, m); perr != nil {
+				return &SpecError{Err: perr}
+			}
+			return nil
+		},
+		func(e Event) error {
+			// The horizon is the last event time of the WHOLE trace, not
+			// of the kept subset — open spans accrue wait against it.
+			if e.Time > horizon {
+				horizon = e.Time
+			}
+			if e.Class == q.Class || e.Kind == PlanChanged {
+				events = append(events, e)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return explainCell(meta, events, horizon, q)
+}
+
+// explainCell analyzes a cell from the trace header, an event slice,
+// and the trace-wide horizon (max event time over all events). events
+// may be the full trace or any superset of the target class's events
+// plus every PlanChanged event — BuildSpans skips non-lifecycle kinds
+// and the analysis filters spans by class, so both give the same
+// answer.
+func explainCell(meta Meta, events []Event, horizon simclock.Time, q ExplainQuery) (*Explanation, error) {
+	cm := meta.ClassByID(int(q.Class))
 	if cm == nil {
 		return nil, fmt.Errorf("explain: class %d not in trace header", q.Class)
 	}
-	if f.Meta.PeriodSeconds <= 0 {
+	if meta.PeriodSeconds <= 0 {
 		return nil, fmt.Errorf("explain: trace header has no period length")
 	}
 	ex := &Explanation{
-		Meta:   f.Meta,
-		Class:  *cm,
-		Period: q.Period,
-		Start:  simclock.Time(q.Period-1) * f.Meta.PeriodSeconds,
-		End:    simclock.Time(q.Period) * f.Meta.PeriodSeconds,
-	}
-	for _, e := range f.Events {
-		if e.Time > ex.Horizon {
-			ex.Horizon = e.Time
-		}
+		Meta:    meta,
+		Class:   *cm,
+		Period:  q.Period,
+		Start:   simclock.Time(q.Period-1) * meta.PeriodSeconds,
+		End:     simclock.Time(q.Period) * meta.PeriodSeconds,
+		Horizon: horizon,
 	}
 	if ex.Horizon < ex.End {
 		ex.Horizon = ex.End
 	}
 
-	spans := BuildSpans(f.Events)
+	spans := BuildSpans(events)
 	for _, s := range spans {
 		if s.Class != q.Class {
 			continue
@@ -208,7 +264,7 @@ func Explain(f *TraceFile, q ExplainQuery) (*Explanation, error) {
 		}
 	}
 
-	for _, e := range f.Events {
+	for _, e := range events {
 		if e.Kind != PlanChanged {
 			continue
 		}
@@ -332,34 +388,70 @@ func (ex *Explanation) renderGantt(w io.Writer) {
 	}
 }
 
-// Summarize writes the trace's header and per-kind event counts — the
-// default qtrace view when no -explain spec is given.
-func Summarize(w io.Writer, f *TraceFile) {
-	fmt.Fprintf(w, "Trace: %s (seed %d), format v%d\n", f.Meta.Experiment, f.Meta.Seed, f.Meta.Version)
-	fmt.Fprintf(w, "Schedule: %d periods × %.0fs\n", f.Meta.Periods, f.Meta.PeriodSeconds)
-	for i, c := range f.Meta.Classes {
+// summaryAcc accumulates the per-kind and per-class tallies the trace
+// summary prints; it needs each event once, never the full list.
+type summaryAcc struct {
+	total   int
+	counts  map[Kind]int
+	byClass map[engine.ClassID]int
+}
+
+func newSummaryAcc() *summaryAcc {
+	return &summaryAcc{counts: make(map[Kind]int), byClass: make(map[engine.ClassID]int)}
+}
+
+func (a *summaryAcc) add(e Event) {
+	a.total++
+	a.counts[e.Kind]++
+	if e.Kind == QueryDone {
+		a.byClass[e.Class]++
+	}
+}
+
+func (a *summaryAcc) render(w io.Writer, meta Meta) {
+	fmt.Fprintf(w, "Trace: %s (seed %d), format v%d\n", meta.Experiment, meta.Seed, meta.Version)
+	fmt.Fprintf(w, "Schedule: %d periods × %.0fs\n", meta.Periods, meta.PeriodSeconds)
+	for i, c := range meta.Classes {
 		fmt.Fprintf(w, "  class %d %q (%s): %s  [letter %c]\n", c.ID, c.Name, c.Kind, c.Goal, 'A'+i)
 	}
-	counts := make(map[Kind]int)
-	byClass := make(map[engine.ClassID]int)
-	for _, e := range f.Events {
-		counts[e.Kind]++
-		if e.Kind == QueryDone {
-			byClass[e.Class]++
-		}
-	}
-	fmt.Fprintf(w, "Events: %d\n", len(f.Events))
+	fmt.Fprintf(w, "Events: %d\n", a.total)
 	for k := QuerySubmit; k <= WorkloadShift; k++ {
-		if counts[k] > 0 {
-			fmt.Fprintf(w, "  %-10s %d\n", k.String(), counts[k])
+		if a.counts[k] > 0 {
+			fmt.Fprintf(w, "  %-10s %d\n", k.String(), a.counts[k])
 		}
 	}
 	var ids []engine.ClassID
-	for id := range byClass {
+	for id := range a.byClass {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		fmt.Fprintf(w, "Completions class %d: %d\n", id, byClass[id])
+		fmt.Fprintf(w, "Completions class %d: %d\n", id, a.byClass[id])
 	}
+}
+
+// Summarize writes the trace's header and per-kind event counts — the
+// default qtrace view when no -explain spec is given.
+func Summarize(w io.Writer, f *TraceFile) {
+	acc := newSummaryAcc()
+	for _, e := range f.Events {
+		acc.add(e)
+	}
+	acc.render(w, f.Meta)
+}
+
+// SummarizeJSONL streams a JSONL export and writes the same summary as
+// Summarize, in constant memory. Nothing is written until the scan
+// succeeds, so a corrupt trace produces an error and no partial output.
+func SummarizeJSONL(w io.Writer, r io.Reader) error {
+	var meta Meta
+	acc := newSummaryAcc()
+	err := ScanJSONL(r,
+		func(m Meta) error { meta = m; return nil },
+		func(e Event) error { acc.add(e); return nil })
+	if err != nil {
+		return err
+	}
+	acc.render(w, meta)
+	return nil
 }

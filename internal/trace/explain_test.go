@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -209,5 +212,76 @@ func TestSummarize(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// encodeJSONL renders a (meta, events) pair exactly as a StreamJSONL
+// sink would, so streaming readers can be tested against in-memory ones.
+func encodeJSONL(t *testing.T, meta Meta, events []Event) []byte {
+	t.Helper()
+	line, err := json.Marshal(jsonMeta{Type: "meta", Meta: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append(line, '\n')
+	for i := range events {
+		buf = appendEventLine(buf, &events[i])
+	}
+	return buf
+}
+
+// TestExplainJSONLMatchesInMemory pins the streaming explain/summary
+// paths to the ReadJSONL-based ones: same bytes in, same bytes out.
+func TestExplainJSONLMatchesInMemory(t *testing.T) {
+	raw := encodeJSONL(t, explainMeta(), explainEvents())
+
+	tf, err := ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"class=2 period=1", "class=B period=2", "class=1 period=3"} {
+		q, err := ParseExplainQuery(spec, tf.Meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exMem, err := Explain(tf, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exStream, err := ExplainJSONL(bytes.NewReader(raw), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mem, stream strings.Builder
+		exMem.Render(&mem)
+		exStream.Render(&stream)
+		if mem.String() != stream.String() {
+			t.Errorf("%s: streamed explain diverges from in-memory:\n--- in-memory\n%s\n--- streamed\n%s",
+				spec, mem.String(), stream.String())
+		}
+	}
+
+	var mem, stream strings.Builder
+	Summarize(&mem, tf)
+	if err := SummarizeJSONL(&stream, bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if mem.String() != stream.String() {
+		t.Errorf("streamed summary diverges from in-memory:\n--- in-memory\n%s\n--- streamed\n%s",
+			mem.String(), stream.String())
+	}
+}
+
+func TestExplainJSONLSpecError(t *testing.T) {
+	raw := encodeJSONL(t, explainMeta(), explainEvents())
+	_, err := ExplainJSONL(bytes.NewReader(raw), "class=9 period=1")
+	var spec *SpecError
+	if !errors.As(err, &spec) {
+		t.Fatalf("bad spec: got %v, want *SpecError", err)
+	}
+	// A corrupt trace is NOT a spec error (qtrace exits 1, not 2).
+	_, err = ExplainJSONL(strings.NewReader("{\"type\":\"bogus\"}\n"), "class=2 period=1")
+	if err == nil || errors.As(err, &spec) {
+		t.Fatalf("corrupt trace: got %v, want non-spec error", err)
 	}
 }

@@ -48,6 +48,7 @@ func TestAbortAndRetryEventsRoundTripJSONL(t *testing.T) {
 	}
 	tr.Emit(Event{Time: 3, Kind: QueryAborted, Class: 1, Query: 9, Detail: "attempt=0"})
 	tr.Emit(Event{Time: 5, Kind: QueryRetried, Class: 1, Query: 10, Detail: "attempt=1"})
+	tr.Flush()
 	f, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)

@@ -13,7 +13,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
+	"unicode/utf8"
 
 	"repro/internal/engine"
 	"repro/internal/simclock"
@@ -100,33 +103,130 @@ func (t *Tracer) ResumeJSONL(w io.Writer) error {
 }
 
 // SinkBytes returns how many bytes the tracer has written to its sink —
-// the truncation offset a resumed run rewinds the trace file to.
-func (t *Tracer) SinkBytes() int64 { return t.sinkBytes }
+// the truncation offset a resumed run rewinds the trace file to. Reading
+// it flushes any batched events first, so the offset is always exact.
+func (t *Tracer) SinkBytes() int64 {
+	t.Flush()
+	return t.sinkBytes
+}
 
 // SinkErr returns the first error the JSONL sink hit, or nil. Emit never
-// fails loudly on the hot path; callers check this once after the run.
-func (t *Tracer) SinkErr() error { return t.sinkErr }
+// fails loudly on the hot path; callers check this once after the run
+// (the check flushes any still-batched events).
+func (t *Tracer) SinkErr() error {
+	t.Flush()
+	return t.sinkErr
+}
 
-// writeEventLine appends one event line to the sink, returning the bytes
-// written.
-func writeEventLine(w io.Writer, e Event) (int, error) {
-	line, err := json.Marshal(jsonEvent{
-		Type:   "event",
-		Seq:    e.Seq,
-		T:      float64(e.Time),
-		Kind:   e.Kind.String(),
-		Class:  int(e.Class),
-		Query:  uint64(e.Query),
-		Client: int(e.Client),
-		Period: e.Period,
-		Plan:   e.Plan,
-		Value:  e.Value,
-		Detail: e.Detail,
-	})
-	if err != nil {
-		return 0, fmt.Errorf("trace: encode event %d: %w", e.Seq, err)
+// appendEventLine encodes one event line into buf — a hand-rolled
+// encoder producing byte-for-byte what encoding/json produced for the
+// equivalent jsonEvent (field order, HTML escaping, float formatting,
+// detail omitted when empty), without the per-event reflection and
+// allocations. TestEventLineMatchesEncodingJSON pins the equivalence.
+func appendEventLine(buf []byte, e *Event) []byte {
+	buf = append(buf, `{"type":"event","seq":`...)
+	buf = strconv.AppendUint(buf, e.Seq, 10)
+	buf = append(buf, `,"t":`...)
+	buf = appendJSONFloat(buf, float64(e.Time))
+	buf = append(buf, `,"kind":`...)
+	buf = appendJSONString(buf, e.Kind.String())
+	buf = append(buf, `,"class":`...)
+	buf = strconv.AppendInt(buf, int64(e.Class), 10)
+	buf = append(buf, `,"query":`...)
+	buf = strconv.AppendUint(buf, uint64(e.Query), 10)
+	buf = append(buf, `,"client":`...)
+	buf = strconv.AppendInt(buf, int64(e.Client), 10)
+	buf = append(buf, `,"period":`...)
+	buf = strconv.AppendInt(buf, int64(e.Period), 10)
+	buf = append(buf, `,"plan":`...)
+	buf = strconv.AppendInt(buf, int64(e.Plan), 10)
+	buf = append(buf, `,"value":`...)
+	buf = appendJSONFloat(buf, e.Value)
+	if e.Detail != "" {
+		buf = append(buf, `,"detail":`...)
+		buf = appendJSONString(buf, e.Detail)
 	}
-	return w.Write(append(line, '\n'))
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+// appendJSONFloat mirrors encoding/json's float64 encoder: shortest
+// round-trip 'f' form, switching to 'e' form outside [1e-6, 1e21) with
+// the exponent's leading zero trimmed. Event times and values are always
+// finite; a non-finite value here is a bug, and json.Marshal would have
+// refused it too.
+func appendJSONFloat(buf []byte, f float64) []byte {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		panic(fmt.Sprintf("trace: non-finite float %v in event", f))
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(buf); n >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString mirrors encoding/json's string encoder with HTML
+// escaping on (the package default): quotes, backslashes and control
+// bytes escaped; '<', '>', '&' written as </>/&; invalid
+// UTF-8 replaced with the � escape; U+2028/U+2029 escaped.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				buf = append(buf, '\\', c)
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, `\u202`...)
+			buf = append(buf, jsonHex[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	buf = append(buf, '"')
+	return buf
 }
 
 // kindFromString inverts Kind.String for trace file parsing.
@@ -146,14 +246,17 @@ type TraceFile struct {
 }
 
 // ClassByID returns the class metadata for id, or nil.
-func (f *TraceFile) ClassByID(id int) *ClassMeta {
-	for i := range f.Meta.Classes {
-		if f.Meta.Classes[i].ID == id {
-			return &f.Meta.Classes[i]
+func (m Meta) ClassByID(id int) *ClassMeta {
+	for i := range m.Classes {
+		if m.Classes[i].ID == id {
+			return &m.Classes[i]
 		}
 	}
 	return nil
 }
+
+// ClassByID returns the class metadata for id, or nil.
+func (f *TraceFile) ClassByID(id int) *ClassMeta { return f.Meta.ClassByID(id) }
 
 // ReadJSONL parses a trace exported by StreamJSONL. Gzip-compressed
 // exports (written through a .jsonl.gz sink) are detected by their magic
@@ -162,22 +265,38 @@ func (f *TraceFile) ClassByID(id int) *ClassMeta {
 // open-ended). Corrupt or truncated input yields an error, never a
 // panic.
 func ReadJSONL(r io.Reader) (*TraceFile, error) {
+	var f TraceFile
+	err := ScanJSONL(r,
+		func(m Meta) error { f.Meta = m; return nil },
+		func(e Event) error { f.Events = append(f.Events, e); return nil })
+	if err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// ScanJSONL streams a trace exported by StreamJSONL without retaining
+// it: the meta line (which must come first) is passed to onMeta, then
+// every event is passed to onEvent in file order. Format handling
+// matches ReadJSONL — gzip is detected and decompressed, corrupt input
+// yields an error — but memory stays constant no matter how large the
+// trace is. A callback error aborts the scan and is returned verbatim.
+func ScanJSONL(r io.Reader, onMeta func(Meta) error, onEvent func(Event) error) error {
 	br := bufio.NewReader(r)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: gzip: %w", err)
+			return fmt.Errorf("trace: gzip: %w", err)
 		}
 		defer zr.Close()
-		return readJSONL(zr)
+		return scanJSONL(zr, onMeta, onEvent)
 	}
-	return readJSONL(br)
+	return scanJSONL(br, onMeta, onEvent)
 }
 
-func readJSONL(r io.Reader) (*TraceFile, error) {
+func scanJSONL(r io.Reader, onMeta func(Meta) error, onEvent func(Event) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var f TraceFile
 	sawMeta := false
 	lineNo := 0
 	for sc.Scan() {
@@ -190,32 +309,34 @@ func readJSONL(r io.Reader) (*TraceFile, error) {
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(line, &disc); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			return fmt.Errorf("trace: line %d: %w", lineNo, err)
 		}
 		switch disc.Type {
 		case "meta":
 			if sawMeta {
-				return nil, fmt.Errorf("trace: line %d: duplicate meta", lineNo)
+				return fmt.Errorf("trace: line %d: duplicate meta", lineNo)
 			}
 			var jm jsonMeta
 			if err := json.Unmarshal(line, &jm); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+				return fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
-			f.Meta = jm.Meta
 			sawMeta = true
+			if err := onMeta(jm.Meta); err != nil {
+				return err
+			}
 		case "event":
 			if !sawMeta {
-				return nil, fmt.Errorf("trace: line %d: event before meta", lineNo)
+				return fmt.Errorf("trace: line %d: event before meta", lineNo)
 			}
 			var je jsonEvent
 			if err := json.Unmarshal(line, &je); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+				return fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
 			kind, err := kindFromString(je.Kind)
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+				return fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
-			f.Events = append(f.Events, Event{
+			err = onEvent(Event{
 				Seq:    je.Seq,
 				Time:   simclock.Time(je.T),
 				Kind:   kind,
@@ -227,17 +348,20 @@ func readJSONL(r io.Reader) (*TraceFile, error) {
 				Value:  je.Value,
 				Detail: je.Detail,
 			})
+			if err != nil {
+				return err
+			}
 		default:
-			return nil, fmt.Errorf("trace: line %d: unknown type %q", lineNo, disc.Type)
+			return fmt.Errorf("trace: line %d: unknown type %q", lineNo, disc.Type)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read: %w", err)
+		return fmt.Errorf("trace: read: %w", err)
 	}
 	if !sawMeta {
-		return nil, fmt.Errorf("trace: no meta line (not a trace export?)")
+		return fmt.Errorf("trace: no meta line (not a trace export?)")
 	}
-	return &f, nil
+	return nil
 }
 
 // noTime marks a lifecycle edge a span never reached.

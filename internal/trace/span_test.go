@@ -79,6 +79,7 @@ func TestJSONLExportDeterministic(t *testing.T) {
 		}
 		tr.Emit(Event{Time: 1.0 / 3.0, Kind: QuerySubmit, Query: 1, Value: 0.1 + 0.2})
 		tr.Emit(Event{Time: 2, Kind: QueryDone, Query: 1})
+		tr.Flush()
 		return buf.String()
 	}
 	if a, b := run(), run(); a != b {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -89,15 +90,25 @@ func (e Event) String() string {
 		e.Time, e.Kind, e.Class, e.Query, e.Client, e.Value, e.Detail)
 }
 
+// numKinds sizes the dense per-kind counter array (kinds are small
+// consecutive constants; anything else spills to farCounts).
+const numKinds = int(QueryRetried) + 1
+
+// traceBatchSize bounds the batched-dispatch buffer: Emit appends events
+// here and the JSONL encoding happens in batches — when the buffer
+// fills, at clock boundaries, and before anything reads sink state.
+const traceBatchSize = 256
+
 // Tracer is a bounded in-memory event recorder. The zero value is not
 // usable; construct with New.
 type Tracer struct {
-	cap     int
-	events  []Event
-	start   int // ring start index
-	seq     uint64
-	dropped uint64
-	counts  map[Kind]uint64
+	cap       int
+	events    []Event
+	start     int // ring start index
+	seq       uint64
+	dropped   uint64
+	counts    [numKinds]uint64
+	farCounts map[Kind]uint64 // out-of-range kinds (never in normal runs)
 
 	periodOf  func(simclock.Time) int // stamps Event.Period; may be nil
 	plan      int                     // current plan version
@@ -105,6 +116,10 @@ type Tracer struct {
 	sink      io.Writer               // lossless JSONL sink; may be nil
 	sinkErr   error                   // first sink write error, latched
 	sinkBytes int64                   // bytes written to the sink so far
+
+	pending   []Event // events awaiting JSONL encoding (batched dispatch)
+	scratch   []byte  // reused JSONL line-encoding buffer
+	detailBuf []byte  // reused annotation-formatting buffer
 }
 
 // New returns a tracer retaining the most recent capacity events.
@@ -112,7 +127,7 @@ func New(capacity int) *Tracer {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("trace: non-positive capacity %d", capacity))
 	}
-	return &Tracer{cap: capacity, counts: make(map[Kind]uint64)}
+	return &Tracer{cap: capacity}
 }
 
 // SetPeriodMapper installs the schedule's time→period function; every
@@ -133,11 +148,19 @@ func (t *Tracer) Emit(e Event) {
 		t.plan++
 	}
 	e.Plan = t.plan
-	t.counts[e.Kind]++
+	if k := int(e.Kind); k >= 0 && k < numKinds {
+		t.counts[k]++
+	} else {
+		if t.farCounts == nil {
+			t.farCounts = make(map[Kind]uint64)
+		}
+		t.farCounts[e.Kind]++
+	}
 	if t.sink != nil && t.sinkErr == nil {
-		n, err := writeEventLine(t.sink, e)
-		t.sinkBytes += int64(n)
-		t.sinkErr = err
+		t.pending = append(t.pending, e)
+		if len(t.pending) >= traceBatchSize {
+			t.Flush()
+		}
 	}
 	if len(t.events) < t.cap {
 		t.events = append(t.events, e)
@@ -146,6 +169,33 @@ func (t *Tracer) Emit(e Event) {
 	t.events[t.start] = e
 	t.start = (t.start + 1) % t.cap
 	t.dropped++
+}
+
+// Flush drains the batched events to the JSONL sink, encoding each line
+// into a reused scratch buffer. Lines are written one Write call at a
+// time because the rotating sink relies on whole-line writes. Emit calls
+// it when the batch buffer fills; SinkBytes/SinkErr (and therefore every
+// checkpoint capture and end-of-run export) force it, so no reader ever
+// observes sink state with events still buffered.
+func (t *Tracer) Flush() {
+	if len(t.pending) == 0 {
+		return
+	}
+	if t.sink == nil || t.sinkErr != nil {
+		t.pending = t.pending[:0]
+		return
+	}
+	for i := range t.pending {
+		line := appendEventLine(t.scratch[:0], &t.pending[i])
+		t.scratch = line
+		n, err := t.sink.Write(line)
+		t.sinkBytes += int64(n)
+		if err != nil {
+			t.sinkErr = err
+			break
+		}
+	}
+	t.pending = t.pending[:0]
 }
 
 // Len returns the number of retained events.
@@ -159,8 +209,13 @@ func (t *Tracer) Total() uint64 { return t.seq }
 
 // CountByKind returns cumulative event counts (including evicted ones).
 func (t *Tracer) CountByKind() map[Kind]uint64 {
-	out := make(map[Kind]uint64, len(t.counts))
+	out := make(map[Kind]uint64, numKinds)
 	for k, v := range t.counts {
+		if v > 0 {
+			out[Kind(k)] = v
+		}
+	}
+	for k, v := range t.farCounts {
 		out[k] = v
 	}
 	return out
@@ -206,6 +261,37 @@ func (t *Tracer) WriteTo(w io.Writer, max int) {
 	}
 }
 
+// The detail* helpers format the per-event annotations through a reused
+// scratch buffer instead of fmt: strconv.AppendFloat with the same verb
+// precision produces byte-identical text, and only the final string
+// conversion allocates. They render exactly "rt=%.3fs exec=%.3fs",
+// "attempt=%d", and "waited=%.1fs".
+
+func (t *Tracer) detailRT(rt, exec float64) string {
+	b := append(t.detailBuf[:0], "rt="...)
+	b = strconv.AppendFloat(b, rt, 'f', 3, 64)
+	b = append(b, "s exec="...)
+	b = strconv.AppendFloat(b, exec, 'f', 3, 64)
+	b = append(b, 's')
+	t.detailBuf = b
+	return string(b)
+}
+
+func (t *Tracer) detailAttempt(attempt int) string {
+	b := append(t.detailBuf[:0], "attempt="...)
+	b = strconv.AppendInt(b, int64(attempt), 10)
+	t.detailBuf = b
+	return string(b)
+}
+
+func (t *Tracer) detailWaited(w float64) string {
+	b := append(t.detailBuf[:0], "waited="...)
+	b = strconv.AppendFloat(b, w, 'f', 1, 64)
+	b = append(b, 's')
+	t.detailBuf = b
+	return string(b)
+}
+
 // AttachEngine records submit/start/done events from an engine. Start
 // events fire when a query actually begins executing — immediately after
 // submit for unintercepted queries, after release for held ones.
@@ -228,12 +314,12 @@ func AttachEngine(t *Tracer, eng *engine.Engine) {
 		}
 		t.Emit(Event{Time: clock.Now(), Kind: QueryDone, Class: q.Class,
 			Query: q.ID, Client: q.Client, Value: q.Cost,
-			Detail: fmt.Sprintf("rt=%.3fs exec=%.3fs", q.ResponseTime(), q.ExecutionTime())})
+			Detail: t.detailRT(q.ResponseTime(), q.ExecutionTime())})
 	})
 	eng.OnAbort(func(q *engine.Query) {
 		t.Emit(Event{Time: clock.Now(), Kind: QueryAborted, Class: q.Class,
 			Query: q.ID, Client: q.Client, Value: q.Cost,
-			Detail: fmt.Sprintf("attempt=%d", q.Attempt)})
+			Detail: t.detailAttempt(q.Attempt)})
 	})
 }
 
@@ -255,7 +341,7 @@ func AttachPatroller(t *Tracer, pat *patroller.Patroller, clock *simclock.Clock)
 		}
 		t.Emit(Event{Time: clock.Now(), Kind: QueryReleased, Class: qi.Class,
 			Query: qi.ID, Client: qi.Client, Value: qi.Cost,
-			Detail: fmt.Sprintf("waited=%.1fs", qi.WaitTime(clock.Now()))})
+			Detail: t.detailWaited(qi.WaitTime(clock.Now()))})
 	}
 	prevRetry := pat.OnRetry
 	pat.OnRetry = func(qi *patroller.QueryInfo) {
@@ -264,7 +350,7 @@ func AttachPatroller(t *Tracer, pat *patroller.Patroller, clock *simclock.Clock)
 		}
 		t.Emit(Event{Time: clock.Now(), Kind: QueryRetried, Class: qi.Class,
 			Query: qi.ID, Client: qi.Client, Value: qi.Cost,
-			Detail: fmt.Sprintf("attempt=%d", qi.Attempt)})
+			Detail: t.detailAttempt(qi.Attempt)})
 	}
 }
 

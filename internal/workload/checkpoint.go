@@ -32,7 +32,10 @@ type PoolState struct {
 	Clients []ClientState // sorted by client id
 }
 
-// CheckpointState captures every client's dynamic state.
+// CheckpointState captures every client's dynamic state. Streaming and
+// eager pools serialize identically: a parked or never-materialized
+// streaming client records the same (inactive, idle) state and rng
+// cursor its eager twin would.
 func (p *Pool) CheckpointState() PoolState {
 	st := PoolState{NextID: p.nextID}
 	for _, c := range p.clients {
@@ -44,27 +47,89 @@ func (p *Pool) CheckpointState() PoolState {
 			RNG:       c.src.State(),
 		})
 	}
+	for _, g := range p.groups {
+		for i := range g.state {
+			if _, ok := g.live[i]; ok {
+				continue // already captured from p.clients
+			}
+			st.Clients = append(st.Clients, ClientState{
+				ID:        g.start + engine.ClientID(i),
+				Submitted: int(g.submitted[i]),
+				RNG:       g.state[i],
+			})
+		}
+	}
 	sort.Slice(st.Clients, func(i, j int) bool { return st.Clients[i].ID < st.Clients[j].ID })
 	return st
 }
 
+// totalClients counts every client the pool was built with, materialized
+// or not.
+func (p *Pool) totalClients() int {
+	n := len(p.clients)
+	for _, g := range p.groups {
+		n += len(g.state) - len(g.live)
+	}
+	return n
+}
+
+// groupFor returns the streaming group owning id, or nil.
+func (p *Pool) groupFor(id engine.ClientID) *lazyGroup {
+	for _, g := range p.groups {
+		if id >= g.start && int(id-g.start) < len(g.state) {
+			return g
+		}
+	}
+	return nil
+}
+
 // RestoreCheckpoint overwrites the dynamic state of a structurally
-// identical pool (same AddClients sequence as the checkpointed run).
+// identical pool (same AddClients/AddClientsStreaming sequence as the
+// checkpointed run). Streaming clients materialize only if the
+// checkpoint has them active or in flight; the rest stay parked.
 func (p *Pool) RestoreCheckpoint(st PoolState) {
-	if len(p.clients) != len(st.Clients) {
+	if p.totalClients() != len(st.Clients) {
 		panic(fmt.Sprintf("workload: pool restore with %d clients, checkpoint has %d",
-			len(p.clients), len(st.Clients)))
+			p.totalClients(), len(st.Clients)))
 	}
 	p.nextID = st.NextID
 	for _, cs := range st.Clients {
 		c, ok := p.clients[cs.ID]
 		if !ok {
-			panic(fmt.Sprintf("workload: pool restore: unknown client %d", cs.ID))
+			g := p.groupFor(cs.ID)
+			if g == nil {
+				panic(fmt.Sprintf("workload: pool restore: unknown client %d", cs.ID))
+			}
+			i := int(cs.ID - g.start)
+			if !cs.Active && !cs.InFlight {
+				g.state[i] = cs.RNG
+				g.submitted[i] = int32(cs.Submitted)
+				continue
+			}
+			c = g.materialize(p, i)
 		}
 		c.active = cs.Active
 		c.inFlight = cs.InFlight
 		c.Submitted = cs.Submitted
 		c.src.SetState(cs.RNG)
+	}
+	// Rebuild each group's active window from the restored flags (the
+	// window is always contiguous — it only ever moves via setWindow).
+	for _, g := range p.groups {
+		g.lo, g.hi = 0, 0
+		first := true
+		for i, c := range g.live {
+			if !c.active {
+				continue
+			}
+			if first || i < g.lo {
+				g.lo = i
+			}
+			if first || i+1 > g.hi {
+				g.hi = i + 1
+			}
+			first = false
+		}
 	}
 }
 

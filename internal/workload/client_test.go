@@ -124,22 +124,31 @@ func TestActiveClientsList(t *testing.T) {
 
 func TestClientQueriesCarryClassAndCost(t *testing.T) {
 	pool, eng, clock, class := newPoolRig(t)
-	var seen []*engine.Query
-	eng.OnDone(func(q *engine.Query) { seen = append(seen, q) })
+	// Pool queries are engine-pooled and recycled after OnDone returns,
+	// so the listener copies what it needs instead of keeping pointers.
+	type record struct {
+		class    engine.ClassID
+		cost     float64
+		template string
+	}
+	var seen []record
+	eng.OnDone(func(q *engine.Query) {
+		seen = append(seen, record{q.Class, q.Cost, q.Template})
+	})
 	pool.SetActive(class.ID, 1)
 	clock.RunUntil(0.01)
 	if len(seen) == 0 {
 		t.Fatal("no completions")
 	}
 	for _, q := range seen {
-		if q.Class != class.ID {
-			t.Fatalf("query class %d, want %d", q.Class, class.ID)
+		if q.class != class.ID {
+			t.Fatalf("query class %d, want %d", q.class, class.ID)
 		}
-		if q.Cost <= 0 {
+		if q.cost <= 0 {
 			t.Fatal("query without cost estimate")
 		}
-		if q.Template != "tiny" {
-			t.Fatalf("template %q", q.Template)
+		if q.template != "tiny" {
+			t.Fatalf("template %q", q.template)
 		}
 	}
 }
