@@ -9,9 +9,15 @@
 //	qlint ./...              # lint the whole module (default)
 //	qlint -list              # describe the registered checks
 //	qlint -checks floateq,maporder ./...
+//	qlint -json ./...        # machine-readable findings on stdout
+//	qlint -github ./...      # GitHub Actions workflow annotations
 //	qlint path/to/dir        # lint one directory as a package
 //
 // Findings print as file:line:col: check: message and make qlint exit 1.
+// -json emits them as a JSON array of {file,line,col,check,message}
+// objects (an empty array when clean), and -github emits one
+// ::error workflow command per finding so CI surfaces them inline on
+// the pull request diff.
 // A finding is silenced with a trailing (or directly preceding) comment
 //
 //	//lint:ignore <check> <reason>
@@ -22,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +42,8 @@ func main() {
 	list := flag.Bool("list", false, "list registered checks and exit")
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	chdir := flag.String("C", "", "change to this directory before loading")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array of {file,line,col,check,message}")
+	githubOut := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: qlint [flags] [./... | dir]\n")
 		flag.PrintDefaults()
@@ -95,14 +104,46 @@ func main() {
 
 	diags := lint.NewRunner(checks, lint.DefaultConfig()).Run(res)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		return name
+	}
+	switch {
+	case *jsonOut:
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := []finding{} // never null, even when clean
+		for _, d := range diags {
+			out = append(out, finding{relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fatalf("qlint: %v", err)
+		}
+	case *githubOut:
+		for _, d := range diags {
+			// Workflow-command grammar: property values escape , and %,
+			// the message escapes newlines too.
+			esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+			prop := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ",", "%2C", ":", "%3A")
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=qlint %s::%s\n",
+				prop.Replace(relName(d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
+				prop.Replace(d.Check), esc.Replace(d.Message))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "qlint: %d finding(s)\n", len(diags))

@@ -125,6 +125,7 @@ func (o *schedObs) noteRelease(class engine.ClassID) {
 		c = o.reg.Counter(MetricReleases,
 			"Held queries the dispatcher released, per class.", classLabel(class))
 		if o.farReleases == nil {
+			//lint:ignore hotalloc one-time lazy init of the far-class spill map
 			o.farReleases = make(map[engine.ClassID]*obs.Counter)
 		}
 		o.farReleases[class] = c
@@ -153,6 +154,7 @@ func (o *schedObs) noteHold(class engine.ClassID) {
 		c = o.reg.Counter(MetricHolds,
 			"Held queries the dispatcher evaluated and kept held, per class.", classLabel(class))
 		if o.farHolds == nil {
+			//lint:ignore hotalloc one-time lazy init of the far-class spill map
 			o.farHolds = make(map[engine.ClassID]*obs.Counter)
 		}
 		o.farHolds[class] = c

@@ -53,7 +53,8 @@ type monitor struct {
 	arrivals    []int
 	arrivalCost []stats.Summary
 	inflight    []int
-	tracked     []bool
+	//lint:ignore ckptcover class-tracking flags are construction wiring; a restored monitor is built over the same classes
+	tracked []bool
 }
 
 func newMonitor(eng *engine.Engine, pat *patroller.Patroller, olap []*workload.Class,
@@ -162,6 +163,8 @@ func (m *monitor) trackClass(id engine.ClassID) {
 
 // onManagedDone folds a completed managed query's velocity into its
 // class's interval window.
+//
+//qlint:hotpath
 func (m *monitor) onManagedDone(qi *patroller.QueryInfo) {
 	s := int(qi.Class - m.base)
 	if s < 0 || s >= len(m.hasVel) || !m.hasVel[s] {

@@ -21,7 +21,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/simclock"
 )
@@ -80,6 +79,8 @@ type Demand struct {
 }
 
 // Validate reports whether the demand is executable.
+//
+//qlint:coldpath allocates only on the invariant-violation error returns; valid demands never reach them
 func (d Demand) Validate() error {
 	if d.Work <= 0 || math.IsNaN(d.Work) || math.IsInf(d.Work, 0) {
 		return fmt.Errorf("engine: non-positive work %v", d.Work)
@@ -200,8 +201,9 @@ type Stats struct {
 
 // Engine is the simulated DBMS.
 type Engine struct {
-	cfg             Config
-	clock           *simclock.Clock
+	cfg   Config
+	clock *simclock.Clock
+	//lint:ignore ckptcover wiring backref installed by SetInterceptor during construction
 	interceptor     Interceptor
 	listeners       []Listener
 	submitListeners []Listener
@@ -231,16 +233,21 @@ type Engine struct {
 
 	// Hot-path scratch: reused across events so steady-state simulation
 	// performs no per-event allocation.
-	freelist    []*Query     // recycled pooled queries (AcquireQuery/Recycle)
-	doneScratch []*Query     // completions harvested by advanceTo
-	cpuScratch  []classScale // per-class station shares (stationScales)
-	ioScratch   []classScale
+	//lint:ignore ckptcover recycled Query objects; freelist warm-up state is never part of a snapshot
+	freelist []*Query // recycled pooled queries (AcquireQuery/Recycle)
+	//lint:ignore ckptcover per-tick scratch; dead between advanceTo calls
+	doneScratch []*Query // completions harvested by advanceTo
+	//lint:ignore ckptcover per-reschedule scratch; dead between recomputeRates calls
+	cpuScratch []classScale // per-class station shares (stationScales)
+	//lint:ignore ckptcover per-reschedule scratch; dead between recomputeRates calls
+	ioScratch []classScale
 
 	// deferResched is set while advanceTo runs completion listeners:
 	// reschedule then arms a placeholder (preserving clock sequence
 	// numbers) instead of recomputing rates, because the cascade's
 	// caller always reschedules once more before handing control back
 	// to the clock.
+	//lint:ignore ckptcover event-loop-internal flag; never set when the engine is quiescent at a checkpoint
 	deferResched bool
 }
 
@@ -268,6 +275,8 @@ func New(cfg Config, clock *simclock.Clock) *Engine {
 // has run; callers must not retain them past their OnDone/OnAbort
 // callback. Queries built with a plain &Query{} are never recycled, so
 // existing callers keep their ownership semantics.
+//
+//qlint:hotpath
 func (e *Engine) AcquireQuery() *Query {
 	if n := len(e.freelist) - 1; n >= 0 {
 		q := e.freelist[n]
@@ -275,6 +284,7 @@ func (e *Engine) AcquireQuery() *Query {
 		e.freelist = e.freelist[:n]
 		return q
 	}
+	//lint:ignore hotalloc freelist growth: allocates only while the query pool warms up to peak concurrency
 	return &Query{pooled: true}
 }
 
@@ -282,6 +292,8 @@ func (e *Engine) AcquireQuery() *Query {
 // Non-pooled queries are ignored, so it is always safe to call on a
 // query whose provenance is unknown. Recycling a live (queued or
 // executing) query panics: that would corrupt the active set.
+//
+//qlint:hotpath
 func (e *Engine) Recycle(q *Query) {
 	if q == nil || !q.pooled {
 		return
@@ -356,6 +368,8 @@ func (e *Engine) SetAbortHandler(h func(*Query) bool) { e.abortHandler = h }
 // listeners see the terminal failure. Aborting a query that is not
 // executing (already done, still queued, or aborted by a racing event)
 // returns false and does nothing.
+//
+//qlint:hotpath
 func (e *Engine) Abort(q *Query) bool {
 	if q == nil || q.State != StateExecuting {
 		return false
@@ -403,6 +417,8 @@ func (e *Engine) Speed() float64 { return e.speed }
 
 // Submit hands a query to the engine at the current virtual time. The
 // interceptor, if any, may hold it; otherwise execution starts immediately.
+//
+//qlint:hotpath
 func (e *Engine) Submit(q *Query) {
 	if q == nil {
 		panic("engine: nil query")
@@ -431,6 +447,8 @@ func (e *Engine) Submit(q *Query) {
 // Start begins executing a submitted query. Interceptors call this to
 // release a held query; Submit calls it directly when nothing holds the
 // query.
+//
+//qlint:hotpath
 func (e *Engine) Start(q *Query) {
 	if q.State != StateNew && q.State != StateQueued {
 		panic(fmt.Sprintf("engine: start of query %d in state %v", q.ID, q.State))
@@ -485,6 +503,7 @@ func (e *Engine) recordSnapshot(s Snapshot) {
 		return
 	}
 	if e.snapsFar == nil {
+		//lint:ignore hotalloc one-time lazy init of the far-client spill map
 		e.snapsFar = make(map[ClientID]Snapshot)
 	}
 	e.snapsFar[id] = s
@@ -692,8 +711,8 @@ func (e *Engine) recomputeRates() float64 {
 		}
 		return next
 	}
-	e.cpuScratch = e.stationScales(e.cpuScratch[:0], func(d Demand) float64 { return d.CPURate }, e.cfg.CPUCapacity)
-	e.ioScratch = e.stationScales(e.ioScratch[:0], func(d Demand) float64 { return d.IORate }, e.cfg.IOCapacity)
+	e.cpuScratch = e.stationScales(e.cpuScratch[:0], demandCPURate, e.cfg.CPUCapacity)
+	e.ioScratch = e.stationScales(e.ioScratch[:0], demandIORate, e.cfg.IOCapacity)
 	for _, q := range e.active {
 		r := 1.0
 		if q.Demand.CPURate > 0 {
@@ -739,6 +758,12 @@ func scaleFor(buf []classScale, c ClassID) float64 {
 	}
 	return 1
 }
+
+// demandCPURate and demandIORate are the station accessors passed to
+// stationScales. Package-level funcs rather than literals so the hot
+// reschedule path does not box a fresh closure per call.
+func demandCPURate(d Demand) float64 { return d.CPURate }
+func demandIORate(d Demand) float64  { return d.IORate }
 
 // stationScales computes, per class, the fraction of its requested rate a
 // station can deliver, accumulating into the caller-provided scratch
@@ -786,8 +811,14 @@ func (e *Engine) stationScales(buf []classScale, rate func(Demand) float64, capa
 	// Weighted water-filling over the contending classes, iterated in
 	// sorted class order: any other order would perturb the
 	// floating-point accumulation (and therefore event times) from run
-	// to run, breaking reproducibility.
-	sort.Slice(buf, func(i, j int) bool { return buf[i].id < buf[j].id })
+	// to run, breaking reproducibility. Class ids are unique, so this
+	// insertion sort orders buf exactly as sort.Slice would — without
+	// the per-call closure and interface boxing.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j].id < buf[j-1].id; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
 	remaining := capacity
 	npending := 0
 	for i := range buf {
@@ -877,6 +908,11 @@ func (e *Engine) reschedule() {
 
 const minEventStep = 1e-9
 
+// onCompletionEvent is the engine's event-loop tick: every completion,
+// rate recomputation, and reschedule in a steady-state run funnels
+// through here.
+//
+//qlint:hotpath
 func (e *Engine) onCompletionEvent() {
 	e.hasEvt = false
 	e.advanceTo(e.clock.Now())

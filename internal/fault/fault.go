@@ -183,6 +183,7 @@ func (s Stats) Total() uint64 {
 type Injector struct {
 	plan  Plan
 	clock *simclock.Clock
+	//lint:ignore ckptcover wiring backref installed by AttachEngine on both fresh and restored runs
 	eng   *engine.Engine
 	src   *rng.Source
 	stats Stats
@@ -193,7 +194,8 @@ type Injector struct {
 	// fault events on resume.
 	slowEvents []slowEvent
 	aborts     map[uint64]*pendingAbort
-	crashed    bool
+	//lint:ignore ckptcover restore itself clears the crash flag; a restored injector is by definition post-crash
+	crashed bool
 
 	// OnInject, when set, observes every injection as (kind, class);
 	// class is 0 for class-less kinds (slowdown, monitor drops). The obs

@@ -1,0 +1,334 @@
+// CkptCoverCheck guards crash-consistent resume: every subsystem with a
+// checkpoint/restore pair must snapshot all of its mutable runtime
+// state, or say out loud why a field is exempt. "Added a field, forgot
+// to checkpoint it" otherwise surfaces only as a silent divergence
+// after restore — the worst kind of determinism bug to bisect.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CkptCoverCheck finds, module-wide, every named struct type that has
+// both a CheckpointState (or checkpointState) and a RestoreCheckpoint
+// (or restoreCheckpoint) method. For each such type it computes the
+// runtime-mutable fields — fields assigned anywhere in the module
+// outside constructors (New*/new* functions) and the restore method
+// itself, where closure bodies count even inside constructors because
+// they run later — and requires each to be referenced by the checkpoint
+// method or something it transitively calls (the shared call graph,
+// closure edges included). An uncovered field is reported at its
+// declaration, where a //lint:ignore ckptcover <reason> names why it is
+// legitimately rebuilt rather than snapshotted. Fields of function type
+// (hooks, cached method values) are wiring, not state, and are exempt.
+var CkptCoverCheck = &Check{
+	Name: "ckptcover",
+	Doc:  "require every mutable field of a checkpointed type to be snapshotted or explicitly exempted",
+}
+
+func init() {
+	CkptCoverCheck.RunModule = func(mp *ModulePass) {
+		pairs := findCheckpointPairs(mp)
+		if len(pairs) == 0 {
+			return
+		}
+		graph := mp.Graph()
+		mutations := collectFieldMutations(mp, pairs)
+		for _, pair := range pairs {
+			checkCoverage(mp, graph, pair, mutations[pair.typ])
+		}
+	}
+}
+
+// ckptPair is one type with a checkpoint/restore method pair.
+type ckptPair struct {
+	typ      *types.Named
+	pkg      *Package
+	ckpt     *types.Func
+	ckptName string
+	restore  *types.Func
+}
+
+// fieldMutation records where (and by whom) a field was assigned.
+type fieldMutation struct {
+	fn  string
+	pos token.Pos
+}
+
+func isCheckpointName(name string) bool {
+	return name == "CheckpointState" || name == "checkpointState"
+}
+
+func isRestoreName(name string) bool {
+	return name == "RestoreCheckpoint" || name == "restoreCheckpoint"
+}
+
+// isConstructorName matches the repository's constructor convention;
+// assignments there are initialization, not runtime mutation.
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// recvNamed resolves a method's receiver to its named type, or nil.
+func recvNamed(obj *types.Func) *types.Named {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func findCheckpointPairs(mp *ModulePass) []*ckptPair {
+	byType := map[*types.Named]*ckptPair{}
+	var order []*types.Named
+	for _, pkg := range mp.Res.Pkgs {
+		if !mp.PackagePass(pkg).SimPackage() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil {
+					continue
+				}
+				if !isCheckpointName(fd.Name.Name) && !isRestoreName(fd.Name.Name) {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				named := recvNamed(obj)
+				if named == nil {
+					continue
+				}
+				if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+					continue
+				}
+				pair := byType[named]
+				if pair == nil {
+					pair = &ckptPair{typ: named, pkg: pkg}
+					byType[named] = pair
+					order = append(order, named)
+				}
+				if isCheckpointName(fd.Name.Name) {
+					pair.ckpt, pair.ckptName = obj, fd.Name.Name
+				} else {
+					pair.restore = obj
+				}
+			}
+		}
+	}
+	var out []*ckptPair
+	for _, named := range order {
+		if p := byType[named]; p.ckpt != nil && p.restore != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// receiverField returns the field of one of the paired types that sel
+// addresses directly (sel.X's type is T or *T), or nil.
+func receiverField(info *types.Info, pairTypes map[*types.Named]bool, sel *ast.SelectorExpr) *types.Var {
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !pairTypes[named] {
+		return nil
+	}
+	if s := info.Selections[sel]; s != nil {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// collectFieldMutations scans every non-test function in the module for
+// assignments to fields of the paired types, keyed by type then field.
+func collectFieldMutations(mp *ModulePass, pairs []*ckptPair) map[*types.Named]map[*types.Var]fieldMutation {
+	pairTypes := map[*types.Named]bool{}
+	restores := map[*types.Func]bool{}
+	ownerOf := map[*types.Named]*ckptPair{}
+	for _, p := range pairs {
+		pairTypes[p.typ] = true
+		restores[p.restore] = true
+		ownerOf[p.typ] = p
+	}
+	out := map[*types.Named]map[*types.Var]fieldMutation{}
+	record := func(info *types.Info, fnName string, lhs ast.Expr) {
+		ast.Inspect(lhs, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := receiverField(info, pairTypes, sel)
+			if field == nil {
+				return true
+			}
+			tv := info.Types[sel.X]
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named := t.(*types.Named)
+			if out[named] == nil {
+				out[named] = map[*types.Var]fieldMutation{}
+			}
+			if _, dup := out[named][field]; !dup {
+				out[named][field] = fieldMutation{fn: fnName, pos: sel.Pos()}
+			}
+			return true
+		})
+	}
+	for _, pkg := range mp.Res.Pkgs {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fnObj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				skipDirect := isConstructorName(fd.Name.Name) ||
+					(fnObj != nil && restores[fnObj])
+				walkMutations(fd.Body, false, func(inClosure bool, lhs ast.Expr) {
+					if skipDirect && !inClosure {
+						return
+					}
+					record(pkg.Info, fd.Name.Name, lhs)
+				})
+			}
+		}
+	}
+	return out
+}
+
+// walkMutations visits every assigned lvalue under n, tracking whether
+// the assignment sits inside a function literal (closures run after
+// construction, so their writes are runtime mutations even inside a
+// constructor).
+func walkMutations(n ast.Node, inClosure bool, visit func(inClosure bool, lhs ast.Expr)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			if !inClosure {
+				walkMutations(c.Body, true, visit)
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range c.Lhs {
+				visit(inClosure, lhs)
+			}
+		case *ast.IncDecStmt:
+			visit(inClosure, c.X)
+		}
+		return true
+	})
+}
+
+// checkCoverage reports each mutable field of pair.typ that neither the
+// checkpoint method nor anything it reaches ever touches.
+func checkCoverage(mp *ModulePass, graph *CallGraph, pair *ckptPair, mutated map[*types.Var]fieldMutation) {
+	if len(mutated) == 0 {
+		return
+	}
+	covered := map[*types.Var]bool{}
+	selfType := map[*types.Named]bool{pair.typ: true}
+	for _, node := range graph.Reachable([]*types.Func{pair.ckpt}, true, nil) {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if field := receiverField(node.Pkg.Info, selfType, sel); field != nil {
+					covered[field] = true
+				}
+			}
+			return true
+		})
+	}
+	st := pair.typ.Underlying().(*types.Struct)
+	fieldPos := structFieldPositions(pair)
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		mut, isMutated := mutated[field]
+		if !isMutated || covered[field] {
+			continue
+		}
+		if isFuncShaped(field.Type()) {
+			continue // hooks and cached method values: wiring, not state
+		}
+		pos := field.Pos()
+		if p, ok := fieldPos[field.Name()]; ok {
+			pos = p
+		}
+		mp.Reportf(CkptCoverCheck, pos,
+			"field %s.%s is mutated at runtime (e.g. in %s) but never read by %s or anything it calls; checkpoint/restore silently drops it — snapshot it or annotate //lint:ignore ckptcover <reason>",
+			pair.typ.Obj().Name(), field.Name(), mut.fn, pair.ckptName)
+	}
+}
+
+// isFuncShaped reports whether t is a function type or a slice/array of
+// functions — values that cannot be serialized and are re-wired by
+// construction, never snapshotted.
+func isFuncShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Signature:
+		return true
+	case *types.Slice:
+		return isFuncShaped(u.Elem())
+	case *types.Array:
+		return isFuncShaped(u.Elem())
+	}
+	return false
+}
+
+// structFieldPositions locates the declaration position of each field of
+// pair.typ in its package's AST, so findings land where a
+// //lint:ignore can suppress them.
+func structFieldPositions(pair *ckptPair) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	typeObj := pair.typ.Obj()
+	for _, f := range pair.pkg.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || pair.pkg.Info.Defs[ts.Name] != typeObj {
+					continue
+				}
+				stype, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range stype.Fields.List {
+					for _, name := range fld.Names {
+						out[name.Name] = name.Pos()
+					}
+				}
+			}
+		}
+	}
+	return out
+}

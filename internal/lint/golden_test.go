@@ -10,12 +10,14 @@ import (
 )
 
 // testConfig mirrors DefaultConfig for the testdata layout: the
-// goroutine testdata package approves its own pool file and the floateq
-// package approves its own epsilon helper.
+// goroutine testdata package approves its own pool file, the floateq
+// package approves its own epsilon helper, and the poolsafety package
+// declares its own acquire/release pair.
 func testConfig() *Config {
 	return &Config{
 		GoroutineAllow:    map[string][]string{"goroutine": {"allowed.go"}},
 		FloatEqAllowFuncs: map[string][]string{"floateq": {"approxEqual", "boundsEqual"}},
+		PoolAPIs:          []PoolAPI{{Pkg: "poolsafety", Acquire: "acquire", Release: "release"}},
 	}
 }
 
@@ -113,11 +115,14 @@ func TestGoldenMapOrder(t *testing.T)   { runGolden(t, "maporder") }
 func TestGoldenGoroutine(t *testing.T)  { runGolden(t, "goroutine") }
 func TestGoldenFloatEq(t *testing.T)    { runGolden(t, "floateq") }
 func TestGoldenSuppress(t *testing.T)   { runGolden(t, "suppress") }
+func TestGoldenPoolSafety(t *testing.T) { runGolden(t, "poolsafety") }
+func TestGoldenCkptCover(t *testing.T)  { runGolden(t, "ckptcover") }
+func TestGoldenHotAlloc(t *testing.T)   { runGolden(t, "hotalloc") }
 
 func TestCheckDocs(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range DefaultChecks() {
-		if c.Name == "" || c.Doc == "" || c.Run == nil {
+		if c.Name == "" || c.Doc == "" || (c.Run == nil && c.RunModule == nil) {
 			t.Errorf("check %+v missing name, doc, or run function", c)
 		}
 		if seen[c.Name] {
@@ -128,7 +133,10 @@ func TestCheckDocs(t *testing.T) {
 			t.Errorf("check name %q must be lower-case (used in //lint:ignore directives)", c.Name)
 		}
 	}
-	for _, name := range []string{"wallclock", "globalrand", "maporder", "goroutine", "floateq"} {
+	for _, name := range []string{
+		"wallclock", "globalrand", "maporder", "goroutine", "floateq",
+		"poolsafety", "ckptcover", "hotalloc",
+	} {
 		if !seen[name] {
 			t.Errorf("required check %q not registered", name)
 		}

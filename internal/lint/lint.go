@@ -24,12 +24,15 @@ func (d Diagnostic) String() string {
 }
 
 // Check is one analyzer: a name (used in diagnostics and //lint:ignore
-// directives), a one-line doc string, and a run function invoked once per
-// package.
+// directives), a one-line doc string, and at least one run function —
+// Run is invoked once per package, RunModule once per loaded module with
+// every package (and the shared call graph) in view. A check may have
+// both.
 type Check struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass hands a check one type-checked package plus reporting plumbing.
@@ -95,6 +98,18 @@ type Config struct {
 	// FloatEqAllowFuncs maps an import path to function names allowed to
 	// compare floats exactly (the approved epsilon helpers).
 	FloatEqAllowFuncs map[string][]string
+	// PoolAPIs lists the freelist lifecycles poolsafety tracks: an
+	// acquire function returning a pooled pointer and the release that
+	// returns it to the pool.
+	PoolAPIs []PoolAPI
+}
+
+// PoolAPI names one acquire/release pair of a freelist, scoped to the
+// package that defines it.
+type PoolAPI struct {
+	Pkg     string // import path defining the pair
+	Acquire string // function or method returning a pooled pointer
+	Release string // function or method returning the pointer to the pool
 }
 
 // DefaultConfig returns the configuration for this repository: everything
@@ -115,6 +130,10 @@ func DefaultConfig() *Config {
 			// noise required.
 			"repro/internal/obs": {"boundsEqual"},
 		},
+		PoolAPIs: []PoolAPI{
+			{Pkg: "repro/internal/engine", Acquire: "AcquireQuery", Release: "Recycle"},
+			{Pkg: "repro/internal/patroller", Acquire: "acquireEntry", Release: "releaseEntry"},
+		},
 	}
 }
 
@@ -126,6 +145,9 @@ func DefaultChecks() []*Check {
 		MapOrderCheck,
 		GoroutineCheck,
 		FloatEqCheck,
+		PoolSafetyCheck,
+		CkptCoverCheck,
+		HotAllocCheck,
 	}
 }
 
@@ -179,7 +201,20 @@ func (r *Runner) Run(res *Result) []Diagnostic {
 			report: func(d Diagnostic) { diags = append(diags, d) },
 		}
 		for _, c := range r.Checks {
-			c.Run(pass)
+			if c.Run != nil {
+				c.Run(pass)
+			}
+		}
+	}
+	mp := &ModulePass{
+		Fset:   res.Fset,
+		Res:    res,
+		Config: r.Config,
+		report: func(d Diagnostic) { diags = append(diags, d) },
+	}
+	for _, c := range r.Checks {
+		if c.RunModule != nil {
+			c.RunModule(mp)
 		}
 	}
 	diags = applySuppressions(res, r.Checks, diags)

@@ -1,0 +1,380 @@
+// PoolSafetyCheck guards the freelist lifecycles (engine query pool,
+// patroller entry pool) introduced for allocation-free steady state.
+// Pooled pointers have a strict protocol — acquire, use, release, never
+// touch again, never stash — and violating it corrupts a *later* query
+// silently when the pool hands the same object out again.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolSafetyCheck flags, per function: (1) uses of a pooled pointer
+// after the call that released it, (2) pooled pointers stored into
+// locations that outlive the function (fields, maps, globals — places a
+// recycled pointer could be read from after the pool reuses it), and
+// (3) releasing a value that was not acquired from the pool (locally
+// constructed with &T{} or new). The analysis is intra-procedural and
+// source-ordered: a use textually after a release on the same object is
+// a finding unless an assignment re-binds the variable in between.
+// Ownership transfers by call argument or return are allowed — the
+// callee or caller takes over the protocol.
+var PoolSafetyCheck = &Check{
+	Name: "poolsafety",
+	Doc:  "flag use-after-release, escaping stores, and unpooled releases of freelist-managed pointers",
+}
+
+func init() {
+	PoolSafetyCheck.Run = func(p *Pass) {
+		if !p.SimPackage() || len(p.Config.PoolAPIs) == 0 {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkPoolFunc(p, fd)
+				}
+			}
+		}
+	}
+}
+
+// poolFuncMatch reports whether obj is one of the configured acquire or
+// release functions.
+func poolFuncMatch(cfg *Config, obj *types.Func, release bool) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	for _, api := range cfg.PoolAPIs {
+		name := api.Acquire
+		if release {
+			name = api.Release
+		}
+		if obj.Name() == name && obj.Pkg().Path() == api.Pkg {
+			return true
+		}
+	}
+	return false
+}
+
+func checkPoolFunc(p *Pass, fd *ast.FuncDecl) {
+	type event struct {
+		end   token.Pos // release call end
+		spans []span    // positions poisoned by this release
+	}
+	released := map[types.Object][]event{} // object -> release events
+	cleared := map[types.Object][]token.Pos{}
+	pooled := map[types.Object]bool{}   // bound to an acquire result
+	unpooled := map[types.Object]bool{} // bound to &T{} or new(T)
+
+	// Pass 1: classify bindings, record releases (with the source spans
+	// each one poisons) and re-bindings. The stack tracks enclosing
+	// nodes so a release's effect respects block structure.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = p.Pkg.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				cleared[obj] = append(cleared[obj], n.Pos())
+				if i < len(n.Rhs) {
+					switch origin := poolOrigin(p, n.Rhs[i]); origin {
+					case originAcquire:
+						pooled[obj] = true
+					case originLocalNew:
+						unpooled[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			obj := calleeFunc(p.Pkg.Info, n)
+			if poolFuncMatch(p.Config, obj, true) && len(n.Args) > 0 {
+				if id, ok := n.Args[0].(*ast.Ident); ok {
+					if target := p.Pkg.Info.Uses[id]; target != nil {
+						released[target] = append(released[target],
+							event{n.End(), releaseSpans(stack, n)})
+					}
+				}
+				// Rule 3, direct form: Release(&T{...}) / Release(new(T)).
+				if poolOrigin(p, n.Args[0]) == originLocalNew {
+					p.Reportf(PoolSafetyCheck, n.Pos(),
+						"%s releases a locally constructed value to the pool; only acquire-d objects may be released", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 3, variable form.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeFunc(p.Pkg.Info, call)
+		if !poolFuncMatch(p.Config, obj, true) || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		target := p.Pkg.Info.Uses[id]
+		if target != nil && unpooled[target] && !pooled[target] {
+			p.Reportf(PoolSafetyCheck, call.Pos(),
+				"%s releases %s, which was constructed locally (not acquired from the pool)", obj.Name(), id.Name)
+		}
+		return true
+	})
+
+	// Rule 1: a use inside a span a release poisons — statements that
+	// execute after the release on its own control-flow path — with no
+	// re-binding in between, touches freed pool memory.
+	if len(released) > 0 {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			for _, rel := range released[obj] {
+				hit := false
+				for _, s := range rel.spans {
+					if id.Pos() >= s.lo && id.Pos() < s.hi {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					continue
+				}
+				saved := false
+				for _, c := range cleared[obj] {
+					if c > rel.end && c <= id.Pos() {
+						saved = true
+						break
+					}
+				}
+				if !saved {
+					p.Reportf(PoolSafetyCheck, id.Pos(),
+						"%s used after being released to the pool; the freelist may already have handed it to another owner", id.Name)
+					return true
+				}
+			}
+			return true
+		})
+	}
+
+	// Rule 2: pooled pointers stored where they outlive the function.
+	if len(pooled) > 0 {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				stored := storedPooledIdent(p, pooled, rhs)
+				if stored == nil {
+					continue
+				}
+				if lhsOutlivesFunc(p, fd, as.Lhs[i]) {
+					p.Reportf(PoolSafetyCheck, as.Pos(),
+						"pooled pointer %s stored into %s, which outlives this call; a recycled object would be visible there after the pool reuses it",
+						stored.Name, lhsDescription(as.Lhs[i]))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// span is a half-open source-position interval [lo, hi).
+type span struct{ lo, hi token.Pos }
+
+// releaseSpans computes the source positions a release call poisons:
+// the statements after it in its own statement list, ascending into
+// enclosing lists only while the inner list falls through (its last
+// statement is not a return, branch, or panic — so execution continues
+// past the enclosing statement). A release inside an early-return
+// branch therefore does not poison the other branch. Loop back-edges
+// are not modeled (a use earlier in a loop body is an accepted false
+// negative), and a release inside a closure poisons only the closure.
+func releaseSpans(stack []ast.Node, call *ast.CallExpr) []span {
+	var spans []span
+	child := ast.Node(call)
+	for i := len(stack) - 1; i >= 0; i-- {
+		n := stack[i]
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return spans
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			child = n
+			continue
+		}
+		if len(list) > 0 {
+			spans = append(spans, span{child.End(), list[len(list)-1].End()})
+			if terminalStmt(list[len(list)-1]) {
+				return spans
+			}
+		}
+		child = n
+	}
+	return spans
+}
+
+// terminalStmt reports whether execution cannot fall past s.
+func terminalStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+type poolOriginKind int
+
+const (
+	originOther poolOriginKind = iota
+	originAcquire
+	originLocalNew
+)
+
+// poolOrigin classifies an expression as an acquire-call result, a
+// locally constructed pointer (&T{...} / new(T)), or neither.
+func poolOrigin(p *Pass, e ast.Expr) poolOriginKind {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return originLocalNew
+			}
+		}
+		if poolFuncMatch(p.Config, calleeFunc(p.Pkg.Info, e), false) {
+			return originAcquire
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := e.X.(*ast.CompositeLit); ok {
+				return originLocalNew
+			}
+		}
+	case *ast.ParenExpr:
+		return poolOrigin(p, e.X)
+	}
+	return originOther
+}
+
+// storedPooledIdent returns the identifier when rhs is (or appends) a
+// tracked pooled pointer: a plain `q`, or `append(xs, q)`.
+func storedPooledIdent(p *Pass, pooled map[types.Object]bool, rhs ast.Expr) *ast.Ident {
+	if id, ok := rhs.(*ast.Ident); ok {
+		if pooled[p.Pkg.Info.Uses[id]] {
+			return id
+		}
+		return nil
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok && isAppendCall(call) {
+		for _, arg := range call.Args[1:] {
+			if id, ok := arg.(*ast.Ident); ok && pooled[p.Pkg.Info.Uses[id]] {
+				return id
+			}
+		}
+	}
+	return nil
+}
+
+// lhsOutlivesFunc reports whether storing into lhs makes the value
+// visible beyond the function: a package-level variable, or a field /
+// element reached from a receiver, parameter, captured variable, or
+// global (anything whose root is not declared in the body itself).
+func lhsOutlivesFunc(p *Pass, fd *ast.FuncDecl, lhs ast.Expr) bool {
+	switch lhs.(type) {
+	case *ast.Ident:
+		obj := rootObject(p, lhs)
+		return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		obj := rootObject(p, lhsRootExpr(lhs))
+		if obj == nil {
+			return true // unresolvable roots get the conservative answer
+		}
+		return !declaredWithin(obj, fd.Body)
+	}
+	return false
+}
+
+// lhsRootExpr strips selectors, indexes, and derefs down to the root
+// expression of an lvalue.
+func lhsRootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// lhsDescription renders an lvalue for a diagnostic ("p.table[...]").
+func lhsDescription(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return lhsDescription(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return lhsDescription(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + lhsDescription(v.X)
+	case *ast.ParenExpr:
+		return lhsDescription(v.X)
+	}
+	return "a long-lived location"
+}

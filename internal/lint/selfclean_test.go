@@ -3,6 +3,7 @@ package lint
 import (
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestRepoIsLintClean is the acceptance gate in test form: qlint over the
@@ -14,6 +15,7 @@ func TestRepoIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("module root: %v", err)
 	}
+	start := time.Now()
 	res, err := LoadModule(root)
 	if err != nil {
 		t.Fatalf("load module: %v", err)
@@ -22,6 +24,12 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Fatalf("loaded only %d packages — loader is missing parts of the tree", len(res.Pkgs))
 	}
 	diags := NewRunner(DefaultChecks(), DefaultConfig()).Run(res)
+	// qlint guards `make check`; if a whole-module run (load, type-check,
+	// every per-package and module check including the call graph) stops
+	// fitting in the budget, the analyzer regressed, not the tree.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("whole-module lint took %v, over the 10s budget — the analyzer has a performance regression", elapsed)
+	}
 	for _, d := range diags {
 		rel, relErr := filepath.Rel(root, d.Pos.Filename)
 		if relErr != nil {

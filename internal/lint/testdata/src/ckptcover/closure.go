@@ -1,0 +1,28 @@
+package ckptcover
+
+// Writes in a constructor's direct body are initialization, but a
+// closure built there runs later — its writes are runtime mutations.
+type lazy struct {
+	armed bool // want "ckptcover: field lazy.armed is mutated at runtime .e.g. in newLazy. but never read by CheckpointState"
+	n     int
+}
+
+func newLazy(schedule func(func())) *lazy {
+	l := &lazy{}
+	l.n = 1
+	schedule(func() { l.armed = true })
+	return l
+}
+
+func (l *lazy) CheckpointState() snapshot { return snapshot{count: l.n} }
+
+func (l *lazy) RestoreCheckpoint(s snapshot) { l.n = s.count }
+
+// A type without a restore method is not checked at all.
+type halfPair struct {
+	lost int
+}
+
+func (h *halfPair) bump() { h.lost++ }
+
+func (h *halfPair) CheckpointState() snapshot { return snapshot{} }

@@ -1,0 +1,22 @@
+package hotalloc
+
+// misdirected carries an unknown directive kind.
+//
+//qlint:fastpath speed please
+func misdirected() {} // want:-1 "hotalloc: unknown qlint directive \"fastpath\""
+
+// plain holds a directive outside any doc comment.
+func plain() {
+	//qlint:hotpath
+	_ = 0 // want:-1 "hotalloc: qlint:hotpath directive must sit in a function declaration's doc comment"
+}
+
+// noReason marks a coldpath without saying why.
+//
+//qlint:coldpath
+func noReason() {} // want:-1 "hotalloc: qlint:coldpath directive has no reason"
+
+// orphan is cold but nothing hot ever reaches it.
+//
+//qlint:coldpath nothing calls this from a hot chain
+func orphan() {} // want:-1 "hotalloc: unused qlint:coldpath directive"

@@ -1,0 +1,75 @@
+// Package hotalloc exercises the hot-path allocation check and the
+// //qlint: directive grammar.
+package hotalloc
+
+import "fmt"
+
+type table struct {
+	byName map[string]int
+	buf    []int
+}
+
+// step is the annotated steady-state entry point.
+//
+//qlint:hotpath
+func (t *table) step(k string) int {
+	if t.byName == nil {
+		t.slowInit()
+	}
+	total := 0
+	for _, v := range t.byName { // want "hotalloc: map iteration in table.step"
+		total += v
+	}
+	t.buf = append(t.buf[:0], total)
+	return t.helper(total)
+}
+
+// helper is hot transitively: step calls it.
+func (t *table) helper(n int) int {
+	tmp := make([]int, n) // want "hotalloc: make allocates in table.helper .hot via //qlint:hotpath on table.step."
+	tmp[0] = n
+	return len(tmp)
+}
+
+// slowInit is reachable from step but deliberately cold.
+//
+//qlint:coldpath one-time lazy construction of the name index
+func (t *table) slowInit() {
+	t.byName = make(map[string]int)
+}
+
+// render shows the remaining allocating constructs.
+//
+//qlint:hotpath
+func (t *table) render(name string) string {
+	s := "metric=" + name // want "hotalloc: string concatenation allocates in table.render"
+	cb := func() {}       // want "hotalloc: function literal allocates its closure in table.render"
+	cb()
+	extra := &table{} // want "hotalloc: &composite literal escapes to the heap in table.render"
+	_ = extra
+	xs := []int{1} // want "hotalloc: slice literal allocates its backing array in table.render"
+	_ = xs
+	return fmt.Sprintf("%s/%d", s, len(t.buf)) // want "hotalloc: fmt.Sprintf allocates in table.render"
+}
+
+func sink(v interface{}) int {
+	_ = v
+	return 0
+}
+
+// box passes a concrete value where the callee takes an interface.
+//
+//qlint:hotpath
+func box(n int) int {
+	return sink(n) // want "hotalloc: int boxed into interface argument allocates in box"
+}
+
+// crash path: panic arguments are exempt even on the hot path.
+//
+//qlint:hotpath
+func guard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n))
+	}
+	return n
+}

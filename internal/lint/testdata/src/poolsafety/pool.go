@@ -1,0 +1,27 @@
+// Package poolsafety exercises the freelist-protocol check: acquire,
+// use, release, never touch again, never stash.
+package poolsafety
+
+type buf struct {
+	n    int
+	data []byte
+}
+
+type pool struct {
+	free []*buf
+}
+
+func (p *pool) acquire() *buf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &buf{}
+}
+
+func (p *pool) release(b *buf) {
+	b.n = 0
+	b.data = b.data[:0]
+	p.free = append(p.free, b)
+}

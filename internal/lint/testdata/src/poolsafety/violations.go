@@ -1,0 +1,84 @@
+package poolsafety
+
+// Rule 1: touching a pooled pointer after releasing it reads memory the
+// freelist may already have handed to another owner.
+func useAfterRelease(p *pool) int {
+	b := p.acquire()
+	b.n = 1
+	p.release(b)
+	return b.n // want "poolsafety: b used after being released to the pool"
+}
+
+// Re-binding the variable to a fresh acquire clears the poison.
+func rebindIsFine(p *pool) int {
+	b := p.acquire()
+	p.release(b)
+	b = p.acquire()
+	return b.n
+}
+
+// A release on an early-return branch does not poison the other path.
+func branchRelease(p *pool, done bool) int {
+	b := p.acquire()
+	if done {
+		p.release(b)
+		return 0
+	}
+	return b.n
+}
+
+// Rule 2: stashing a pooled pointer somewhere that outlives the call.
+type cache struct {
+	last *buf
+}
+
+func (c *cache) stash(p *pool) {
+	b := p.acquire()
+	c.last = b // want "poolsafety: pooled pointer b stored into c.last"
+}
+
+var keep []*buf
+
+func stashGlobal(p *pool) {
+	b := p.acquire()
+	keep = append(keep, b) // want "poolsafety: pooled pointer b stored into keep"
+}
+
+// Storing into a local that dies with the function is fine.
+func localHolder(p *pool) int {
+	var held []*buf
+	b := p.acquire()
+	held = append(held, b)
+	n := held[0].n
+	p.release(b)
+	return n
+}
+
+// Rule 3: only acquired objects may go back to the pool.
+func releaseLocal(p *pool) {
+	b := &buf{}
+	p.release(b) // want "poolsafety: release releases b, which was constructed locally"
+}
+
+func releaseFresh(p *pool) {
+	p.release(&buf{}) // want "poolsafety: release releases a locally constructed value to the pool"
+}
+
+// Ownership transfer by return is allowed: the caller takes over the
+// protocol.
+func handOff(p *pool) *buf {
+	b := p.acquire()
+	b.n = 2
+	return b
+}
+
+// A reasoned //lint:ignore poolsafety suppresses an escape finding.
+type registry struct {
+	rows map[int]*buf
+}
+
+func (r *registry) adopt(p *pool) {
+	b := p.acquire()
+	//lint:ignore poolsafety the registry owns its rows; evict returns them to the pool
+	r.rows[b.n] = b
+}

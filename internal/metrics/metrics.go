@@ -106,6 +106,7 @@ func (c *Collector) agg(period int, class engine.ClassID) *ClassAgg {
 	return &c.aggs[period*len(c.classIDs)+slot]
 }
 
+//qlint:hotpath
 func (c *Collector) onSubmit(q *engine.Query) {
 	if q.Attempt > 0 {
 		return // a retry re-enters the engine but is not a new arrival
@@ -117,6 +118,7 @@ func (c *Collector) onSubmit(q *engine.Query) {
 	agg.Submitted++
 }
 
+//qlint:hotpath
 func (c *Collector) onDone(q *engine.Query) {
 	agg := c.agg(c.sched.PeriodAt(q.DoneTime), q.Class)
 	if agg == nil {

@@ -162,9 +162,13 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//qlint:hotpath
 func (c *Counter) Inc() { c.v++ }
 
 // Add increases the counter; negative deltas are a bug.
+//
+//qlint:hotpath
 func (c *Counter) Add(d float64) {
 	if d < 0 || math.IsNaN(d) {
 		panic(fmt.Sprintf("obs: counter add %v", d))
@@ -177,6 +181,8 @@ func (c *Counter) Value() float64 { return c.v }
 
 // Counter returns the counter with the given name and labels, creating
 // it on first use.
+//
+//qlint:coldpath metric registration is construction; steady-state code caches the returned handle
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	ch := r.familyFor(name, help, counterKind).childFor(labels)
 	if ch.ctr == nil {
@@ -191,9 +197,13 @@ type Gauge struct {
 }
 
 // Set assigns the gauge.
+//
+//qlint:hotpath
 func (g *Gauge) Set(v float64) { g.v = v }
 
 // Add shifts the gauge by d (negative allowed).
+//
+//qlint:hotpath
 func (g *Gauge) Add(d float64) { g.v += d }
 
 // Value returns the current value.
@@ -220,6 +230,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//qlint:hotpath
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		panic("obs: histogram observe NaN")

@@ -1,0 +1,32 @@
+//go:build !race
+
+package patroller
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestViewAllocFree pins the hotalloc fix that replaced view()'s
+// per-poke sort.Slice closure with an insertion sort: assembling the
+// policy view must not allocate once its scratch slices are warm.
+// (Skipped under -race: instrumentation adds its own allocations.)
+func TestViewAllocFree(t *testing.T) {
+	p, eng, _ := newRig(1)
+	for i := 0; i < 8; i++ {
+		eng.Submit(q(1, 100, 1000))
+	}
+	// Release half so the view carries both held and active entries.
+	ids := append([]engine.QueryID(nil), p.order[:4]...)
+	for _, id := range ids {
+		if err := p.Release(id); err != nil {
+			t.Fatalf("release %d: %v", id, err)
+		}
+	}
+	_ = p.view() // warm-up grows the scratch slices
+	allocs := testing.AllocsPerRun(100, func() { _ = p.view() })
+	if allocs != 0 {
+		t.Fatalf("view() allocates %v per poke; the dispatch path must be allocation-free", allocs)
+	}
+}

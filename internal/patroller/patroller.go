@@ -9,7 +9,6 @@ package patroller
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/simclock"
@@ -170,7 +169,8 @@ type Patroller struct {
 	eng     *engine.Engine
 	clock   *simclock.Clock
 	managed map[engine.ClassID]bool
-	policy  Policy
+	//lint:ignore ckptcover wiring: the policy is re-attached by construction on restore
+	policy Policy
 
 	held        map[engine.QueryID]*entry
 	order       []engine.QueryID // arrival order of held queries (may hold stale IDs)
@@ -179,18 +179,22 @@ type Patroller struct {
 	stats       Stats
 	pokePending bool
 	pokeFn      simclock.EventFunc // bound once; scheduling a poke allocates no closure
-	freeEntries []*entry           // recycled held/active wrappers
-	viewScratch View               // reused per poke; valid only during SelectReleases
+	//lint:ignore ckptcover recycled wrappers; freelist warm-up state is never part of a snapshot
+	freeEntries []*entry // recycled held/active wrappers
+	viewScratch View     // reused per poke; valid only during SelectReleases
 
-	retry       *RetryPolicy
-	timeouts    map[engine.QueryID]simclock.EventID
-	retries     map[uint64]*pendingRetry // pending resubmissions by event seq
-	requeueHead bool                     // next Intercept joins the queue head (retry re-queue)
+	//lint:ignore ckptcover retry policy is configuration re-applied by construction, not runtime state
+	retry    *RetryPolicy
+	timeouts map[engine.QueryID]simclock.EventID
+	retries  map[uint64]*pendingRetry // pending resubmissions by event seq
+	//lint:ignore ckptcover transient flag set and consumed within one resubmit call chain; never true at a checkpoint boundary
+	requeueHead bool // next Intercept joins the queue head (retry re-queue)
 
 	// InterceptOverheadCPU, when positive, adds this many CPU-seconds to
 	// every intercepted query — the per-query cost of interception and
 	// management the paper measured to be prohibitive for sub-second OLTP
 	// queries. Zero by default.
+	//lint:ignore ckptcover experiment configuration set before the run starts, not runtime state
 	InterceptOverheadCPU float64
 
 	// OnArrival, when set, is called for every newly intercepted query
@@ -226,6 +230,7 @@ func (p *Patroller) acquireEntry(info *QueryInfo, q *engine.Query) *entry {
 		e.info, e.q = info, q
 		return e
 	}
+	//lint:ignore hotalloc pool growth: allocates only until the entry freelist reaches peak depth
 	return &entry{info: info, q: q}
 }
 
@@ -290,6 +295,8 @@ func (p *Patroller) SetPolicy(pol Policy) {
 func (p *Patroller) Manages(c engine.ClassID) bool { return p.managed[c] }
 
 // Intercept implements engine.Interceptor.
+//
+//qlint:hotpath
 func (p *Patroller) Intercept(q *engine.Query) bool {
 	if !p.managed[q.Class] {
 		return false
@@ -297,6 +304,7 @@ func (p *Patroller) Intercept(q *engine.Query) bool {
 	if p.InterceptOverheadCPU > 0 {
 		q.Demand = addCPUOverhead(q.Demand, p.InterceptOverheadCPU)
 	}
+	//lint:ignore hotalloc control-table rows outlive their query by design; one allocation per managed arrival
 	info := &QueryInfo{
 		ID:         q.ID,
 		Client:     q.Client,
@@ -308,11 +316,13 @@ func (p *Patroller) Intercept(q *engine.Query) bool {
 		Attempt:    q.Attempt,
 	}
 	e := p.acquireEntry(info, q)
+	//lint:ignore poolsafety the held table is the entry's owner; rows are deleted from it before releaseEntry recycles them
 	p.held[q.ID] = e
 	if p.requeueHead {
 		// A retry re-queues at the head so the failed attempt's place in
 		// line is not lost (head-of-line is per class, so only its own
 		// class sees it first).
+		//lint:ignore hotalloc retry re-queue at the head is rare and inherently builds a fresh order prefix
 		p.order = append([]engine.QueryID{q.ID}, p.order...)
 	} else {
 		p.order = append(p.order, q.ID)
@@ -336,6 +346,9 @@ func addCPUOverhead(d engine.Demand, cpu float64) engine.Demand {
 	return engine.Demand{Work: work, CPURate: cpuSec / work, IORate: ioSec / work}
 }
 
+// onDone is the engine completion listener for managed queries.
+//
+//qlint:hotpath
 func (p *Patroller) onDone(q *engine.Query) {
 	e, ok := p.active[q.ID]
 	if !ok {
@@ -367,6 +380,8 @@ func (p *Patroller) onDone(q *engine.Query) {
 // control-table row and, while the retry budget lasts, claims the abort
 // and schedules a resubmission with deterministic backoff. Unmanaged
 // queries and spent budgets return false (the abort is terminal).
+//
+//qlint:hotpath
 func (p *Patroller) onAbort(q *engine.Query) bool {
 	e, ok := p.active[q.ID]
 	if !ok {
@@ -397,6 +412,8 @@ func (p *Patroller) onAbort(q *engine.Query) bool {
 
 // scheduleRetry arms the backoff-delayed resubmission of a failed query,
 // tracking the event so checkpoints can capture and restores re-arm it.
+//
+//qlint:coldpath per-retry bookkeeping that runs only after an abort, off the steady-state completion path
 func (p *Patroller) scheduleRetry(old *engine.Query, delay float64) {
 	pr := &pendingRetry{old: old}
 	pr.ref = p.clock.AfterRef(delay, p.retryFn(pr))
@@ -419,6 +436,8 @@ func (p *Patroller) retryFn(pr *pendingRetry) simclock.EventFunc {
 // attempt counter and a refreshed cost estimate. The engine assigns a new
 // query ID; monitors skip Attempt > 0 arrivals, so system-level
 // accounting sees one logical query.
+//
+//qlint:hotpath
 func (p *Patroller) resubmit(old *engine.Query) {
 	cost := old.Cost
 	if p.retry != nil && p.retry.RefreshCost != nil {
@@ -450,9 +469,12 @@ func (p *Patroller) cancelTimeout(id engine.QueryID) {
 // Release unblocks one held query — the explicit operator command of the
 // DB2 QP API. External controllers (the Query Scheduler's dispatcher) call
 // this; policies return IDs instead.
+//
+//qlint:hotpath
 func (p *Patroller) Release(id engine.QueryID) error {
 	e, ok := p.held[id]
 	if !ok {
+		//lint:ignore hotalloc error construction on the invalid-release path only
 		return fmt.Errorf("patroller: query %d is not held", id)
 	}
 	delete(p.held, id)
@@ -486,6 +508,7 @@ func (p *Patroller) armTimeout(e *entry) {
 // by the live arming path and checkpoint restore.
 func (p *Patroller) timeoutFn(q *engine.Query) simclock.EventFunc {
 	id := q.ID
+	//lint:ignore hotalloc the timeout callback must capture its query; armed once per release, cancelled on completion
 	return func() {
 		delete(p.timeouts, id)
 		// The id guard keeps a stale fire harmless even if the engine
@@ -510,6 +533,7 @@ func (p *Patroller) schedulePoke() {
 	}
 	p.pokePending = true
 	if p.pokeFn == nil {
+		//lint:ignore hotalloc bound once and cached in p.pokeFn; never reallocated afterwards
 		p.pokeFn = func() {
 			p.pokePending = false
 			p.Poke()
@@ -520,6 +544,8 @@ func (p *Patroller) schedulePoke() {
 
 // Poke synchronously evaluates the policy and applies its releases. It is
 // a no-op without a policy.
+//
+//qlint:hotpath
 func (p *Patroller) Poke() {
 	if p.policy == nil {
 		return
@@ -555,11 +581,18 @@ func (p *Patroller) view() *View {
 			v.Held = append(v.Held, e.info)
 		}
 	}
-	for _, e := range p.active {
+	for _, e := range p.active { //lint:ignore hotalloc,maporder active is a map by design; the view is insertion-sorted by ID below
 		v.Active = append(v.Active, e.info)
 	}
-	// Map iteration is random; keep the view deterministic.
-	sort.Slice(v.Active, func(i, j int) bool { return v.Active[i].ID < v.Active[j].ID })
+	// Map iteration is random; keep the view deterministic. Query IDs
+	// are unique, so this insertion sort yields exactly sort.Slice's
+	// order without boxing a comparator closure every poke.
+	a := v.Active
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].ID < a[j-1].ID; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 	return v
 }
 

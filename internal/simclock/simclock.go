@@ -122,6 +122,7 @@ func (c *Clock) AtCancellable(t Time, fn EventFunc) EventID {
 	c.seq++
 	c.nextID++
 	if c.byID == nil {
+		//lint:ignore hotalloc one-time lazy init of the cancellable-event index
 		c.byID = make(map[EventID]int, 8)
 	}
 	c.push(event{at: t, seq: c.seq, id: c.nextID, fn: fn})

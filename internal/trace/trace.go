@@ -57,6 +57,7 @@ func (k Kind) String() string {
 	case QueryRetried:
 		return "retry"
 	default:
+		//lint:ignore hotalloc unreachable for the known kinds emitted on the hot path
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
@@ -117,9 +118,10 @@ type Tracer struct {
 	sinkErr   error                   // first sink write error, latched
 	sinkBytes int64                   // bytes written to the sink so far
 
-	pending   []Event // events awaiting JSONL encoding (batched dispatch)
-	scratch   []byte  // reused JSONL line-encoding buffer
-	detailBuf []byte  // reused annotation-formatting buffer
+	pending []Event // events awaiting JSONL encoding (batched dispatch)
+	scratch []byte  // reused JSONL line-encoding buffer
+	//lint:ignore ckptcover reused formatting scratch; dead between Emit calls
+	detailBuf []byte // reused annotation-formatting buffer
 }
 
 // New returns a tracer retaining the most recent capacity events.
@@ -138,6 +140,8 @@ func (t *Tracer) SetPeriodMapper(f func(simclock.Time) int) { t.periodOf = f }
 // stamps Seq, Period (when a mapper is installed), and Plan; a
 // PlanChanged event bumps the plan version before being stamped, so it
 // carries the version it introduces.
+//
+//qlint:hotpath
 func (t *Tracer) Emit(e Event) {
 	t.seq++
 	e.Seq = t.seq
@@ -152,6 +156,7 @@ func (t *Tracer) Emit(e Event) {
 		t.counts[k]++
 	} else {
 		if t.farCounts == nil {
+			//lint:ignore hotalloc one-time lazy init of the far-class count map
 			t.farCounts = make(map[Kind]uint64)
 		}
 		t.farCounts[e.Kind]++
@@ -267,6 +272,7 @@ func (t *Tracer) WriteTo(w io.Writer, max int) {
 // conversion allocates. They render exactly "rt=%.3fs exec=%.3fs",
 // "attempt=%d", and "waited=%.1fs".
 
+//qlint:hotpath
 func (t *Tracer) detailRT(rt, exec float64) string {
 	b := append(t.detailBuf[:0], "rt="...)
 	b = strconv.AppendFloat(b, rt, 'f', 3, 64)
@@ -277,6 +283,7 @@ func (t *Tracer) detailRT(rt, exec float64) string {
 	return string(b)
 }
 
+//qlint:hotpath
 func (t *Tracer) detailAttempt(attempt int) string {
 	b := append(t.detailBuf[:0], "attempt="...)
 	b = strconv.AppendInt(b, int64(attempt), 10)
@@ -284,6 +291,7 @@ func (t *Tracer) detailAttempt(attempt int) string {
 	return string(b)
 }
 
+//qlint:hotpath
 func (t *Tracer) detailWaited(w float64) string {
 	b := append(t.detailBuf[:0], "waited="...)
 	b = strconv.AppendFloat(b, w, 'f', 1, 64)

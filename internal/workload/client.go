@@ -35,6 +35,9 @@ type Client struct {
 // Active reports whether the client is currently driving load.
 func (c *Client) Active() bool { return c.active }
 
+// submitNext issues the client's next query (zero think time).
+//
+//qlint:hotpath
 func (c *Client) submitNext() {
 	inst := c.set.Generate(c.src)
 	// Queries come from the engine's freelist: the engine recycles them
@@ -56,6 +59,7 @@ func (c *Client) submitNext() {
 type Pool struct {
 	eng     *engine.Engine
 	clients map[engine.ClientID]*Client // eager clients + live streaming clients
+	//lint:ignore ckptcover derived per-class index; rebuilt from the clients table by construction on restore
 	byClass map[engine.ClassID][]*Client
 	groups  map[engine.ClassID]*lazyGroup
 	nextID  engine.ClientID
@@ -305,6 +309,9 @@ func (p *Pool) setWindow(g *lazyGroup, lo, hi int) {
 	g.lo, g.hi = lo, hi
 }
 
+// onDone is the pool's engine completion listener.
+//
+//qlint:hotpath
 func (p *Pool) onDone(q *engine.Query) {
 	c, ok := p.clients[q.Client]
 	if !ok {

@@ -5,9 +5,11 @@
 # - gofmt -l fails the gate on any unformatted file.
 # - qlint (cmd/qlint) statically enforces the simulation invariants —
 #   no wall-clock time, no math/rand, no out-of-pool goroutines, no
-#   order-sensitive map iteration, no exact float equality — so a new
-#   time.Now or stray go statement in simulation code fails the gate
-#   before anything runs.
+#   order-sensitive map iteration, no exact float equality, no freelist
+#   protocol violations, no un-checkpointed mutable state, no
+#   allocations on //qlint:hotpath-annotated chains — so a new time.Now,
+#   stray go statement, or leaked pooled pointer in simulation code
+#   fails the gate before anything runs.
 # - The race pass guards the parallel experiment layer's isolation
 #   invariant (internal/experiment/parallel.go): every sweep fans seeded
 #   runs across goroutines, so any shared mutable state between runs
