@@ -149,6 +149,38 @@ func parseResult(fields []string) (Benchmark, error) {
 	return b, nil
 }
 
+// loadPrev reads a previous trajectory file, returning nil and a reason
+// when there is no usable baseline: the file is missing (first run),
+// empty (interrupted write), unparseable, or carries no benchmarks.
+func loadPrev(path string) (*File, string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Sprintf("no baseline at %s", path)
+	}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		return nil, fmt.Sprintf("baseline %s is empty", path)
+	}
+	var pf File
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return nil, fmt.Sprintf("baseline %s unparseable: %v", path, err)
+	}
+	if len(pf.Benchmarks) == 0 {
+		return nil, fmt.Sprintf("baseline %s has no benchmarks", path)
+	}
+	return &pf, ""
+}
+
+// notice reports a non-fatal condition: as a GitHub Actions annotation
+// when running in CI (so it surfaces on the workflow summary without
+// failing the job), as a plain stderr line otherwise.
+func notice(msg string) {
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		fmt.Printf("::notice title=benchjson::%s\n", msg)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "benchjson:", msg)
+}
+
 func main() {
 	date := flag.String("date", "", "RFC 3339 UTC timestamp to record (supplied by scripts/bench.sh)")
 	goVersion := flag.String("go", "", "`go version` line to record")
@@ -168,27 +200,21 @@ func main() {
 	f.Generated = *date
 	f.Go = *goVersion
 
-	// Diff against the previous trajectory before overwriting it. An
-	// explicit -prev must exist and parse; the implicit default (the
-	// file -o is about to replace) is best-effort — a first run has no
-	// history to diff against.
-	prevPath, explicit := *prev, *prev != ""
-	if !explicit {
+	// Diff against the previous trajectory before overwriting it. A
+	// missing, empty, or unparseable baseline is never fatal — a fresh
+	// checkout has no history, and a truncated file from an interrupted
+	// run must not block recording a new trajectory point. The deltas are
+	// simply skipped (the Delta sections only appear when a baseline
+	// exists) and the reason is reported as a non-fatal annotation.
+	prevPath := *prev
+	if prevPath == "" {
 		prevPath = *out
 	}
 	if prevPath != "" {
-		data, err := os.ReadFile(prevPath)
-		if err == nil {
-			var pf File
-			if jerr := json.Unmarshal(data, &pf); jerr == nil {
-				addDeltas(f, &pf)
-			} else if explicit {
-				fmt.Fprintf(os.Stderr, "benchjson: -prev %s: %v\n", prevPath, jerr)
-				os.Exit(1)
-			}
-		} else if explicit {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if pf, reason := loadPrev(prevPath); pf != nil {
+			addDeltas(f, pf)
+		} else {
+			notice(fmt.Sprintf("skipping deltas: %s", reason))
 		}
 	}
 

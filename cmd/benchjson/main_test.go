@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,43 @@ func TestAddDeltas(t *testing.T) {
 	// SaturationSweep has no previous entry at all.
 	if cur.Benchmarks[2].Delta != nil {
 		t.Errorf("new benchmark got deltas: %v", cur.Benchmarks[2].Delta)
+	}
+}
+
+func TestLoadPrevToleratesBadBaselines(t *testing.T) {
+	dir := t.TempDir()
+	if pf, reason := loadPrev(dir + "/absent.json"); pf != nil || reason == "" {
+		t.Errorf("missing file: %v %q", pf, reason)
+	}
+	empty := dir + "/empty.json"
+	if err := os.WriteFile(empty, []byte("  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if pf, reason := loadPrev(empty); pf != nil || !strings.Contains(reason, "empty") {
+		t.Errorf("empty file: %v %q", pf, reason)
+	}
+	corrupt := dir + "/corrupt.json"
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if pf, reason := loadPrev(corrupt); pf != nil || !strings.Contains(reason, "unparseable") {
+		t.Errorf("corrupt file: %v %q", pf, reason)
+	}
+	hollow := dir + "/hollow.json"
+	if err := os.WriteFile(hollow, []byte(`{"format":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if pf, reason := loadPrev(hollow); pf != nil || !strings.Contains(reason, "no benchmarks") {
+		t.Errorf("hollow file: %v %q", pf, reason)
+	}
+
+	good := dir + "/good.json"
+	body := `{"format":1,"benchmarks":[{"name":"X","procs":1,"iterations":1,"metrics":{"ns/op":5}}]}`
+	if err := os.WriteFile(good, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf, reason := loadPrev(good)
+	if pf == nil || reason != "" || len(pf.Benchmarks) != 1 {
+		t.Errorf("good file: %+v %q", pf, reason)
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -97,7 +98,7 @@ func (s *fileSink) close() {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|crashrecovery|all")
+	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|crashrecovery|infeasible|all")
 	replications := flag.Int("seeds", 5, "number of seeds for -exp replicated / detection-replicated")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs within an experiment (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
@@ -106,20 +107,52 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV files into this directory")
 	traceFile := flag.String("trace", "", "write the run's lossless JSONL event trace to this file (mixed runs only: fig4|fig5|fig6|fig7 or -scenario; inspect with qtrace)")
 	metricsFile := flag.String("metrics", "", "write the run's metrics as Prometheus text exposition to this file (mixed runs only, like -trace)")
+	decisionsFile := flag.String("decisions", "", "write the control plane's decision audit log as JSONL to this file (Query Scheduler runs only: -exp fig6|fig7|infeasible or a query-scheduler -scenario; inspect with qreport)")
 	faultsFile := flag.String("faults", "", "inject the deterministic fault plan from this JSON file (mixed runs and -exp faultmatrix; see internal/fault)")
 	mitigate := flag.Bool("mitigate", false, "with -faults on a mixed run: arm the mitigation stack (timeout+retry, plan hold, slope fallback)")
 	quick := flag.Bool("quick", false, "with -exp faultmatrix: run the CI-smoke-sized schedule instead of the 24-hour one")
 	traceRotate := flag.Int64("trace-rotate", 0, "rotate the -trace file once a segment exceeds this many bytes (0 = never); rotated segments move to <file>.1, .2, ... and each re-starts with the meta line")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a crash-consistent checkpoint every N control boundaries (single mixed runs only; requires -checkpoint-dir)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory checkpoint files are written to")
-	resumeDir := flag.String("resume", "", "resume an interrupted mixed run from this checkpoint directory; pass the interrupted run's -trace/-metrics paths and the finished outputs match an uninterrupted run byte for byte")
+	resumeDir := flag.String("resume", "", "resume an interrupted mixed run from this checkpoint directory; pass the interrupted run's -trace/-metrics/-decisions paths and the finished outputs match an uninterrupted run byte for byte")
+	pprofMode := flag.String("pprof", "", "collect a runtime profile of this invocation: cpu or heap")
+	pprofFile := flag.String("pprof-file", "", "profile output path (default qsim-cpu.pprof / qsim-heap.pprof)")
 	flag.Parse()
 
-	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true}
+	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true, "infeasible": true}
+	decCapable := map[string]bool{"fig6": true, "fig7": true, "infeasible": true}
 	if (*traceFile != "" || *metricsFile != "") && *scenario == "" && *resumeDir == "" && !obsCapable[*exp] {
-		fmt.Fprintln(os.Stderr, "-trace/-metrics apply to a single mixed run: -exp fig4|fig5|fig6|fig7 or -scenario")
+		fmt.Fprintln(os.Stderr, "-trace/-metrics apply to a single mixed run: -exp fig4|fig5|fig6|fig7|infeasible or -scenario")
 		os.Exit(2)
 	}
+	if *decisionsFile != "" && *scenario == "" && *resumeDir == "" && !decCapable[*exp] {
+		fmt.Fprintln(os.Stderr, "-decisions applies to a single Query Scheduler run: -exp fig6|fig7|infeasible or a query-scheduler -scenario")
+		os.Exit(2)
+	}
+	profFile := *pprofFile
+	if profFile == "" && *pprofMode != "" {
+		profFile = "qsim-" + *pprofMode + ".pprof"
+	}
+	profStop, err := prof.Start(*pprofMode, profFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	profDone := false
+	stopProfile := func() {
+		if profDone {
+			return
+		}
+		profDone = true
+		if err := profStop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *pprofMode != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", profFile)
+		}
+	}
+	defer stopProfile()
 	traceCompressed := strings.HasSuffix(*traceFile, ".gz")
 	if *checkpointEvery > 0 {
 		if *checkpointDir == "" && *resumeDir == "" {
@@ -157,6 +190,13 @@ func main() {
 		return traceSink
 	}
 	metricsSink := openSink(*metricsFile)
+	// Like the trace file, the decision log must NOT be truncated on
+	// -resume: ResumeMixed reopens it and rewinds to the checkpointed
+	// offset itself.
+	var decisionsSink *fileSink
+	if *decisionsFile != "" && *resumeDir == "" {
+		decisionsSink = openSink(*decisionsFile)
+	}
 	checkExport := func(res *experiment.MixedResult) {
 		if res.ExportErr != nil {
 			fmt.Fprintln(os.Stderr, res.ExportErr)
@@ -172,6 +212,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *traceFile)
 		}
 		metricsSink.close()
+		decisionsSink.close()
 	}
 	// A fault-plan crash ends the run mid-simulation: flush the partial
 	// artifacts (resume rewinds the trace) and exit distinctly.
@@ -180,6 +221,7 @@ func main() {
 			return
 		}
 		closeSinks()
+		stopProfile() // os.Exit skips the deferred stop
 		if *checkpointDir != "" {
 			fmt.Fprintf(os.Stderr, "simulation crashed mid-run; resume with -resume %s\n", *checkpointDir)
 		} else {
@@ -224,6 +266,7 @@ func main() {
 		res, err := experiment.ResumeMixed(experiment.ResumeOptions{
 			Dir:             *resumeDir,
 			TracePath:       *traceFile,
+			DecisionsPath:   *decisionsFile,
 			Metrics:         metricsSink.writer(),
 			CheckpointEvery: *checkpointEvery,
 			Warn:            os.Stderr,
@@ -259,6 +302,7 @@ func main() {
 		}
 		sc.Trace = traceWriter()
 		sc.Metrics = metricsSink.writer()
+		sc.Decisions = decisionsSink.writer()
 		sc.Faults = faults
 		sc.CheckpointEvery = *checkpointEvery
 		sc.CheckpointDir = *checkpointDir
@@ -324,6 +368,7 @@ func main() {
 		cfg.Experiment = *exp
 		cfg.Trace = traceWriter()
 		cfg.Metrics = metricsSink.writer()
+		cfg.Decisions = decisionsSink.writer()
 		cfg.Faults = faults
 		cfg.CheckpointEvery = *checkpointEvery
 		cfg.CheckpointDir = *checkpointDir
@@ -374,6 +419,33 @@ func main() {
 			writeCSV("fig7.csv", experiment.CostLimitsCSV(res))
 			fmt.Fprintln(out)
 		}
+	}
+	if *exp == "infeasible" { // not part of "all": deliberately unmeetable goals
+		any = true
+		cfg := experiment.InfeasibleMixedConfig()
+		cfg.Seed = *seed
+		cfg.Trace = traceWriter()
+		cfg.Metrics = metricsSink.writer()
+		cfg.Decisions = decisionsSink.writer()
+		cfg.Faults = faults
+		cfg.CheckpointEvery = *checkpointEvery
+		cfg.CheckpointDir = *checkpointDir
+		if *mitigate {
+			qc := experiment.MitigatedQSConfig()
+			cfg.QS = &qc
+			rp := experiment.DefaultRetryPolicy()
+			cfg.Retry = &rp
+		}
+		res := experiment.RunMixed(cfg)
+		exitIfCrashed(res)
+		checkExport(res)
+		if err := res.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeMixed("infeasible", res)
+		experiment.WriteInfeasibility(out, res)
+		fmt.Fprintln(out)
 	}
 	if run("overhead") {
 		any = true

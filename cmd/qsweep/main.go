@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/patroller"
+	"repro/internal/prof"
 	"repro/internal/workload"
 )
 
@@ -114,6 +115,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	tracePrefix := flag.String("trace", "", "write each run's JSONL event trace to <prefix><value>.jsonl (inspect with qtrace)")
 	metricsPrefix := flag.String("metrics", "", "write each run's metrics exposition to <prefix><value>.prom")
+	decisionsPrefix := flag.String("decisions", "", "write each run's decision audit log to <prefix><value>.jsonl (inspect with qreport)")
+	pprofMode := flag.String("pprof", "", "collect a runtime profile of this invocation: cpu or heap")
+	pprofFile := flag.String("pprof-file", "", "profile output path (default qsweep-cpu.pprof / qsweep-heap.pprof)")
 	faultsFile := flag.String("faults", "", "inject the deterministic fault plan from this JSON file into every swept run (see internal/fault)")
 	mitigate := flag.Bool("mitigate", false, "arm the mitigation stack (timeout+retry, plan hold, slope fallback) in every swept run")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a crash-consistent checkpoint every N control boundaries into a per-value subdirectory of -checkpoint-dir")
@@ -125,6 +129,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-checkpoint-every/-resume require -checkpoint-dir")
 		os.Exit(2)
 	}
+	profFile := *pprofFile
+	if profFile == "" && *pprofMode != "" {
+		profFile = "qsweep-" + *pprofMode + ".pprof"
+	}
+	profStop, err := prof.Start(*pprofMode, profFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	profDone := false
+	stopProfile := func() {
+		if profDone {
+			return
+		}
+		profDone = true
+		if err := profStop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *pprofMode != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", profFile)
+		}
+	}
+	defer stopProfile()
 
 	var faults *fault.Plan
 	if *faultsFile != "" {
@@ -203,7 +231,9 @@ func main() {
 	// after the run either way).
 	traceSinks := make([]*sink, len(sweep))
 	metricsSinks := make([]*sink, len(sweep))
+	decisionsSinks := make([]*sink, len(sweep))
 	tracePaths := make([]string, len(sweep))
+	decisionsPaths := make([]string, len(sweep))
 	ckptDirs := make([]string, len(sweep))
 	resuming := make([]bool, len(sweep))
 	for i, v := range sweep {
@@ -216,6 +246,13 @@ func main() {
 			tracePaths[i] = *tracePrefix + val + ".jsonl"
 			if !resuming[i] {
 				traceSinks[i] = newSink(tracePaths[i])
+			}
+		}
+		// The decision log rewinds on resume exactly like the trace.
+		if *decisionsPrefix != "" {
+			decisionsPaths[i] = *decisionsPrefix + val + ".jsonl"
+			if !resuming[i] {
+				decisionsSinks[i] = newSink(decisionsPaths[i])
 			}
 		}
 		if *metricsPrefix != "" {
@@ -235,6 +272,7 @@ func main() {
 			res, err := experiment.ResumeMixed(experiment.ResumeOptions{
 				Dir:             ckptDirs[i],
 				TracePath:       tracePaths[i],
+				DecisionsPath:   decisionsPaths[i],
 				Metrics:         metricsSinks[i].writer(),
 				CheckpointEvery: *checkpointEvery,
 				Warn:            os.Stderr,
@@ -250,6 +288,7 @@ func main() {
 			Experiment:      fmt.Sprintf("qsweep %s=%g", *param, v),
 			Trace:           traceSinks[i].writer(),
 			Metrics:         metricsSinks[i].writer(),
+			Decisions:       decisionsSinks[i].writer(),
 			Faults:          faults,
 			Retry:           retry,
 			CheckpointEvery: *checkpointEvery,
@@ -261,6 +300,7 @@ func main() {
 	// to reach disk for -resume to rewind.
 	for i := range sweep {
 		traceSinks[i].finish()
+		decisionsSinks[i].finish()
 		metricsSinks[i].finish()
 	}
 	for i, v := range sweep {
@@ -271,6 +311,7 @@ func main() {
 		res := results[i]
 		if res.Crashed {
 			fmt.Fprintf(os.Stderr, "%s=%g: run crashed mid-simulation; re-run with -resume to finish it\n", *param, v)
+			stopProfile() // os.Exit skips the deferred stop
 			os.Exit(3)
 		}
 		if res.ExportErr != nil {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/simclock"
 	"repro/internal/solver"
@@ -36,6 +37,12 @@ type ClassCount struct {
 type ClassSummary struct {
 	Class engine.ClassID
 	S     stats.SummaryState
+}
+
+// ClassWindow is a per-class SLO window in serialized (sorted) form.
+type ClassWindow struct {
+	Class  engine.ClassID
+	Window obs.SLOWindowState
 }
 
 // MonitorState is the monitor's serializable state.
@@ -63,6 +70,12 @@ type CheckpointState struct {
 	OLTPTput  perfmodel.OLTPThroughputState
 	Detector  detect.CheckpointState
 	Monitor   MonitorState
+	// SLO accounting (attainment counters and burn-rate windows), so a
+	// resumed run's qs_slo_* gauges and decision-log columns continue
+	// byte-identically.
+	SLOObserved []ClassCount  // sorted by class
+	SLOMet      []ClassCount  // sorted by class
+	SLOWindows  []ClassWindow // sorted by class
 }
 
 func planEntries(p solver.Plan) []PlanEntry {
@@ -89,7 +102,32 @@ func (qs *QueryScheduler) CheckpointState() CheckpointState {
 	if qs.ticker != nil {
 		st.Ticker = qs.ticker.State()
 	}
+	st.SLOObserved = classCounts(qs.sloObserved)
+	st.SLOMet = classCounts(qs.sloMet)
+	for _, id := range sortedSLOClasses(qs.sloWin) {
+		st.SLOWindows = append(st.SLOWindows, ClassWindow{Class: id, Window: qs.sloWin[id].State()})
+	}
 	return st
+}
+
+// classCounts serializes a per-class counter map sorted by class.
+func classCounts(m map[engine.ClassID]int) []ClassCount {
+	out := make([]ClassCount, 0, len(m))
+	for class, n := range m {
+		out = append(out, ClassCount{Class: class, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// sortedSLOClasses returns the window map's keys in ascending order.
+func sortedSLOClasses(m map[engine.ClassID]*obs.SLOWindow) []engine.ClassID {
+	ids := make([]engine.ClassID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // RestoreCheckpoint overwrites a freshly started scheduler with a
@@ -110,6 +148,27 @@ func (qs *QueryScheduler) RestoreCheckpoint(st CheckpointState) {
 	qs.oltpTput.RestoreCheckpoint(st.OLTPTput)
 	qs.detector.RestoreCheckpoint(st.Detector)
 	qs.mon.restoreCheckpoint(st.Monitor)
+	for _, rec := range st.SLOObserved {
+		qs.sloOwn(rec.Class)
+		qs.sloObserved[rec.Class] = rec.N
+	}
+	for _, rec := range st.SLOMet {
+		qs.sloOwn(rec.Class)
+		qs.sloMet[rec.Class] = rec.N
+	}
+	for _, rec := range st.SLOWindows {
+		qs.sloOwn(rec.Class)
+		qs.sloWin[rec.Class].SetState(rec.Window)
+	}
+}
+
+// sloOwn panics when a checkpoint names a class this scheduler was not
+// constructed with — the same construction-mismatch guard the monitor
+// applies.
+func (qs *QueryScheduler) sloOwn(class engine.ClassID) {
+	if _, ok := qs.sloWin[class]; !ok {
+		panic(fmt.Sprintf("core: restore: SLO state for unknown class %d", class))
+	}
 }
 
 func (m *monitor) checkpointState() MonitorState {

@@ -80,6 +80,14 @@ type Config struct {
 	// monitor's observations (see internal/fault). Nil in production
 	// runs.
 	MonitorFaults MonitorFaultInjector
+	// SLOWindow is the sliding-window length, in control ticks, of the
+	// per-class error-budget accounting (qs_slo_burn_rate and the
+	// decision audit log's burn column). 0 means the default.
+	SLOWindow int
+	// SLOBudget is the allowed miss fraction inside the window: a class
+	// missing its goal in more than SLOBudget of the window's ticks has
+	// a burn rate above 1. 0 means the default.
+	SLOBudget float64
 }
 
 // MonitorFaultInjector is the monitor-side fault contract: whether the
@@ -128,14 +136,31 @@ func DefaultConfig() Config {
 		Solver:           solver.Greedy{},
 		OLTP:             perfmodel.DefaultOLTPConfig(),
 		Detection:        detect.DefaultConfig(),
+		SLOWindow:        DefaultSLOWindow,
+		SLOBudget:        DefaultSLOBudget,
 	}
 }
+
+// SLO accounting defaults: a 10-tick window with 10% of ticks allowed
+// to miss. At the paper's 60 s control interval the window spans ten
+// minutes — long enough to smooth single-tick blips, short enough that
+// a burst's burn rate crosses 1 within a couple of ticks.
+const (
+	DefaultSLOWindow = 10
+	DefaultSLOBudget = 0.1
+)
 
 // withDefaults fills in zero-valued sub-configurations so hand-built
 // Configs keep working.
 func (c Config) withDefaults() Config {
 	if c.Detection == (detect.Config{}) {
 		c.Detection = detect.DefaultConfig()
+	}
+	if c.SLOWindow == 0 {
+		c.SLOWindow = DefaultSLOWindow
+	}
+	if c.SLOBudget == 0 {
+		c.SLOBudget = DefaultSLOBudget
 	}
 	return c
 }
@@ -155,6 +180,12 @@ func (c Config) validate() error {
 	}
 	if c.Solver == nil {
 		return fmt.Errorf("core: nil solver")
+	}
+	if c.SLOWindow < 0 {
+		return fmt.Errorf("core: SLO window %d must be positive", c.SLOWindow)
+	}
+	if c.SLOBudget < 0 || c.SLOBudget > 1 {
+		return fmt.Errorf("core: SLO budget %v out of (0, 1]", c.SLOBudget)
 	}
 	return nil
 }

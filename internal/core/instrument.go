@@ -27,6 +27,11 @@ const (
 	MetricPredErr   = "qs_prediction_abs_error"
 	MetricAdmitWait = "qs_admission_wait_seconds"
 	MetricPlanHeld  = "qs_plan_held_total"
+	// SLO attainment accounting and the solver's infeasibility signal.
+	MetricAttainment = "qs_slo_attainment_ratio"
+	MetricBurnRate   = "qs_slo_burn_rate"
+	MetricInfeasible = "qs_infeasible_ticks_total"
+	MetricBinding    = "qs_infeasible_binding_total"
 )
 
 // schedObs caches the scheduler's instruments per class so the dispatch
@@ -44,9 +49,13 @@ type schedObs struct {
 	farHolds    map[engine.ClassID]*obs.Counter
 	limits      map[engine.ClassID]*obs.Gauge
 	predErr     map[engine.ClassID]*obs.Histogram
+	attainment  map[engine.ClassID]*obs.Gauge
+	burnRate    map[engine.ClassID]*obs.Gauge
+	binding     map[engine.ClassID]*obs.Counter
 	ticks       *obs.Counter
 	utility     *obs.Gauge
 	held        *obs.Counter
+	infeasible  *obs.Counter
 }
 
 // Instrument registers the scheduler's observables in reg and begins
@@ -62,13 +71,16 @@ func (qs *QueryScheduler) Instrument(reg *obs.Registry) {
 		panic("core: scheduler already instrumented")
 	}
 	o := &schedObs{
-		reg:      reg,
-		oltpID:   -1,
-		base:     qs.dispBase,
-		releases: make([]*obs.Counter, len(qs.dispCost)),
-		holds:    make([]*obs.Counter, len(qs.dispCost)),
-		limits:   make(map[engine.ClassID]*obs.Gauge),
-		predErr:  make(map[engine.ClassID]*obs.Histogram),
+		reg:        reg,
+		oltpID:     -1,
+		base:       qs.dispBase,
+		releases:   make([]*obs.Counter, len(qs.dispCost)),
+		holds:      make([]*obs.Counter, len(qs.dispCost)),
+		limits:     make(map[engine.ClassID]*obs.Gauge),
+		predErr:    make(map[engine.ClassID]*obs.Histogram),
+		attainment: make(map[engine.ClassID]*obs.Gauge),
+		burnRate:   make(map[engine.ClassID]*obs.Gauge),
+		binding:    make(map[engine.ClassID]*obs.Counter),
 	}
 	if qs.oltpClass != nil {
 		o.oltpID = qs.oltpClass.ID
@@ -78,6 +90,10 @@ func (qs *QueryScheduler) Instrument(reg *obs.Registry) {
 	// Registered eagerly so a zero-fault run still exposes the series.
 	o.held = reg.Counter(MetricPlanHeld,
 		"Control ticks that held the previous plan because the harvest was fault-dropped.")
+	// Likewise eager: a run whose goals were always satisfiable must
+	// still expose the zero-valued infeasibility signal.
+	o.infeasible = reg.Counter(MetricInfeasible,
+		"Control ticks where the solver found no plan meeting all class goals.")
 	qs.instr = o
 
 	// Admission wait becomes observable at release time; chain the
@@ -195,6 +211,36 @@ func (o *schedObs) noteTick(rec PlanRecord, prevPredicted map[engine.ClassID]flo
 			o.predErr[id] = h
 		}
 		h.Observe(math.Abs(prevPredicted[id] - actual))
+	}
+	for _, id := range sortedClassIDs(rec.Attainment) {
+		g, ok := o.attainment[id]
+		if !ok {
+			g = o.reg.Gauge(MetricAttainment,
+				"Fraction of measured control ticks in which the class met its goal.", classLabel(id))
+			o.attainment[id] = g
+		}
+		g.Set(rec.Attainment[id])
+	}
+	for _, id := range sortedClassIDs(rec.BurnRate) {
+		g, ok := o.burnRate[id]
+		if !ok {
+			g = o.reg.Gauge(MetricBurnRate,
+				"Error-budget burn rate over the sliding SLO window (1 = missing exactly at budget).",
+				classLabel(id))
+			o.burnRate[id] = g
+		}
+		g.Set(rec.BurnRate[id])
+	}
+	if !rec.Held && rec.Search.Infeasible {
+		o.infeasible.Inc()
+		c, ok := o.binding[rec.Search.Binding]
+		if !ok {
+			c = o.reg.Counter(MetricBinding,
+				"Infeasible control ticks by binding class (the goal the solver could not satisfy).",
+				classLabel(rec.Search.Binding))
+			o.binding[rec.Search.Binding] = c
+		}
+		c.Inc()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/patroller"
 	"repro/internal/perfmodel"
 	"repro/internal/simclock"
@@ -49,7 +50,35 @@ type PlanRecord struct {
 	// was fault-dropped and the planner kept the previous plan instead of
 	// feeding zeros to the models. Workload and Predicted are nil.
 	Held bool
+	// Search summarizes the Performance Solver's run for this tick —
+	// candidates considered, improving moves, runner-up utility, and the
+	// goal-feasibility analysis (infeasible plan, binding class).
+	// Zero-valued on held ticks and under non-introspecting solvers.
+	Search solver.Search
+	// Provenance records, per class, which performance model produced
+	// the prediction and the anchor it extrapolated from. Nil on held
+	// ticks.
+	Provenance map[engine.ClassID]Provenance
+	// Attainment and BurnRate carry the scheduler's SLO accounting after
+	// this tick's measurement folded in: the cumulative goal-attainment
+	// ratio and the error-budget burn rate over the sliding window, per
+	// class. Nil on held ticks (the degraded measurement is not folded).
+	Attainment map[engine.ClassID]float64
+	BurnRate   map[engine.ClassID]float64
 }
+
+// Provenance identifies the performance model behind one class's
+// prediction: the model's name plus the anchor measurement and the cost
+// limit that anchor was measured under.
+type Provenance struct {
+	Model       string
+	Anchor      float64
+	AnchorLimit float64
+}
+
+// ProvenanceIdle marks an idle OLAP class: no model ran, the prediction
+// is the ideal velocity 1 at any limit.
+const ProvenanceIdle = "idle"
 
 // Clone returns a deep copy of the record; callers may hold or mutate it
 // without aliasing the scheduler's live maps.
@@ -58,6 +87,10 @@ func (r PlanRecord) Clone() PlanRecord {
 	r.Limits = r.Limits.Clone()
 	r.Workload = cloneMap(r.Workload)
 	r.Predicted = cloneMap(r.Predicted)
+	r.Search = r.Search.Clone()
+	r.Provenance = cloneMap(r.Provenance)
+	r.Attainment = cloneMap(r.Attainment)
+	r.BurnRate = cloneMap(r.BurnRate)
 	return r
 }
 
@@ -87,6 +120,14 @@ type QueryScheduler struct {
 	ticker    *simclock.Ticker
 	history   []PlanRecord
 	planHooks []func(PlanRecord)
+
+	// SLO accounting, fed one observation per measured (non-held,
+	// non-dropped) control tick and surfaced through PlanRecord and the
+	// qs_slo_* metrics. All three maps are fully populated at
+	// construction; only their values mutate.
+	sloObserved map[engine.ClassID]int
+	sloMet      map[engine.ClassID]int
+	sloWin      map[engine.ClassID]*obs.SLOWindow
 	//lint:ignore ckptcover observability wiring re-attached via Instrument, not runtime state
 	instr     *schedObs
 	running   bool
@@ -164,6 +205,15 @@ func New(cfg Config, eng *engine.Engine, pat *patroller.Patroller,
 	qs.dispBase = lo
 	qs.dispCost = make([]float64, int(hi-lo)+1)
 	qs.dispCount = make([]int, int(hi-lo)+1)
+
+	qs.sloObserved = make(map[engine.ClassID]int, len(classes))
+	qs.sloMet = make(map[engine.ClassID]int, len(classes))
+	qs.sloWin = make(map[engine.ClassID]*obs.SLOWindow, len(classes))
+	for _, c := range classes {
+		qs.sloObserved[c.ID] = 0
+		qs.sloMet[c.ID] = 0
+		qs.sloWin[c.ID] = obs.NewSLOWindow(cfg.SLOWindow)
+	}
 
 	qs.limits = qs.initialPlan()
 	qs.mon = newMonitor(eng, pat, qs.olapClasses, qs.oltpClass, oltpClients, cfg.SnapshotInterval)
@@ -275,6 +325,10 @@ func (qs *QueryScheduler) OnPlan(h func(PlanRecord)) {
 	qs.planHooks = append(qs.planHooks, h)
 }
 
+// Config returns the scheduler's effective configuration (defaults
+// filled in) — what the decision log's meta line records.
+func (qs *QueryScheduler) Config() Config { return qs.cfg }
+
 // OLTPModel exposes the fitted response-time model (for diagnostics).
 func (qs *QueryScheduler) OLTPModel() *perfmodel.OLTPResponse { return qs.oltpModel }
 
@@ -357,6 +411,7 @@ func (qs *QueryScheduler) controlTick() {
 		return
 	}
 	qs.heldTicks = 0
+	attainment, burnRate := qs.sloObserve(meas)
 
 	// Workload detection: characterize each class's interval and, when
 	// feed-forward is enabled, compute demand forecasts for the coming
@@ -383,6 +438,7 @@ func (qs *QueryScheduler) controlTick() {
 		Total: qs.cfg.SystemCostLimit,
 		Step:  qs.cfg.PlanStep,
 	}
+	provenance := make(map[engine.ClassID]Provenance, len(qs.classes))
 	for _, c := range qs.olapClasses {
 		c := c
 		vPrev := meas.Velocity[c.ID]
@@ -399,6 +455,11 @@ func (qs *QueryScheduler) controlTick() {
 		if qs.cfg.FeedForward && !idle {
 			vPrev = qs.feedForwardAnchor(c.ID, vPrev, chars[c.ID])
 		}
+		model := qs.velModel.Name()
+		if idle {
+			model = ProvenanceIdle
+		}
+		provenance[c.ID] = Provenance{Model: model, Anchor: vPrev, AnchorLimit: cPrev}
 		problem.Classes = append(problem.Classes, solver.ClassSpec{
 			ID:      c.ID,
 			Utility: utility.NewVelocity(c.Goal.Target, c.Importance),
@@ -410,6 +471,8 @@ func (qs *QueryScheduler) controlTick() {
 				}
 				return qs.velModel.Predict(vPrev, cPrev, limit)
 			},
+			GoalDir:    solver.GoalAtLeast,
+			GoalTarget: c.Goal.Target,
 		})
 	}
 	if qs.oltpClass != nil {
@@ -417,6 +480,11 @@ func (qs *QueryScheduler) controlTick() {
 		tPrev := meas.OLTPRespTime
 		cPrev := qs.limits[c.ID]
 		useTput := qs.cfg.OLTPModel == ThroughputOLTPModel && qs.oltpTput.Usable()
+		model := qs.oltpModel.Name()
+		if useTput {
+			model = qs.oltpTput.Name()
+		}
+		provenance[c.ID] = Provenance{Model: model, Anchor: tPrev, AnchorLimit: cPrev}
 		problem.Classes = append(problem.Classes, solver.ClassSpec{
 			ID:      c.ID,
 			Utility: utility.NewResponseTime(c.Goal.Target, c.Importance),
@@ -427,10 +495,18 @@ func (qs *QueryScheduler) controlTick() {
 				}
 				return qs.oltpModel.Predict(tPrev, cPrev, limit)
 			},
+			GoalDir:    solver.GoalAtMost,
+			GoalTarget: c.Goal.Target,
 		})
 	}
 
-	plan := qs.cfg.Solver.Solve(problem, qs.limits)
+	var plan solver.Plan
+	var search solver.Search
+	if in, ok := qs.cfg.Solver.(solver.Introspector); ok {
+		plan, search = in.SolveIntrospect(problem, qs.limits)
+	} else {
+		plan = qs.cfg.Solver.Solve(problem, qs.limits)
+	}
 	predicted := make(map[engine.ClassID]float64, len(problem.Classes))
 	for _, spec := range problem.Classes {
 		predicted[spec.ID] = spec.Predict(plan[spec.ID])
@@ -448,6 +524,10 @@ func (qs *QueryScheduler) controlTick() {
 		OLTPSlope:   qs.oltpModel.Slope(),
 		Workload:    chars,
 		Predicted:   predicted,
+		Search:      search,
+		Provenance:  provenance,
+		Attainment:  attainment,
+		BurnRate:    burnRate,
 	}
 	qs.history = append(qs.history, rec)
 	qs.instr.noteTick(rec, prevPredicted)

@@ -1,0 +1,61 @@
+// SLO attainment accounting for the Query Scheduler: one observation
+// per measured control tick per class — did the class's harvested metric
+// meet its goal — folded into a cumulative attainment ratio and a
+// sliding-window error-budget burn rate (obs.SLOWindow). The results
+// ride on every PlanRecord, feeding the qs_slo_* gauges, the decision
+// audit log, and qreport's attainment tables.
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// sloObserve folds one harvested measurement into the scheduler's SLO
+// accounting and returns the per-class attainment ratio and burn rate
+// after this tick. Classes without a trustworthy measurement this tick
+// — idle OLAP classes, an OLTP interval with no sampled responses, or
+// any fault-dropped view — keep their accumulated state and are simply
+// re-reported.
+func (qs *QueryScheduler) sloObserve(meas Measurement) (att, burn map[engine.ClassID]float64) {
+	att = make(map[engine.ClassID]float64, len(qs.classes))
+	burn = make(map[engine.ClassID]float64, len(qs.classes))
+	for _, c := range qs.classes {
+		var v float64
+		observed := false
+		if !meas.Dropped {
+			switch c.Kind {
+			case workload.OLAP:
+				if !meas.Idle[c.ID] {
+					v, observed = meas.Velocity[c.ID], true
+				}
+			case workload.OLTP:
+				if meas.OLTPSamples > 0 && !meas.OLTPDropout {
+					v, observed = meas.OLTPRespTime, true
+				}
+			}
+		}
+		if observed {
+			qs.sloObserved[c.ID]++
+			met := c.Goal.Met(v)
+			if met {
+				qs.sloMet[c.ID]++
+			}
+			qs.sloWin[c.ID].Observe(met)
+		}
+		att[c.ID] = qs.sloAttainment(c.ID)
+		burn[c.ID] = qs.sloWin[c.ID].BurnRate(qs.cfg.SLOBudget)
+	}
+	return att, burn
+}
+
+// sloAttainment returns the class's cumulative goal-attainment ratio —
+// the fraction of measured ticks that met the goal. With nothing
+// measured yet it reports 1: no evidence of violation.
+func (qs *QueryScheduler) sloAttainment(id engine.ClassID) float64 {
+	n := qs.sloObserved[id]
+	if n == 0 {
+		return 1
+	}
+	return float64(qs.sloMet[id]) / float64(n)
+}

@@ -1,0 +1,38 @@
+// Checkpoint state for the decision-log writer. The pending record is
+// deliberately NOT flushed at capture: the sink offset stays at a
+// written-record boundary, so crash recovery truncates the file to
+// SinkBytes and the resumed writer — restored with the same tick
+// counter and pending record — continues byte-identically.
+package decisionlog
+
+// CheckpointState is the writer's serializable state.
+type CheckpointState struct {
+	Tick       int
+	SinkBytes  int64
+	HasPending bool
+	Pending    Record
+}
+
+// CheckpointState captures the writer at a quiescent boundary.
+func (dw *Writer) CheckpointState() CheckpointState {
+	st := CheckpointState{Tick: dw.tick, SinkBytes: dw.bytes}
+	if dw.pending != nil {
+		st.HasPending = true
+		st.Pending = *dw.pending
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites a fresh (Resume)Writer with checkpointed
+// state. The caller must have truncated the sink to st.SinkBytes first.
+func (dw *Writer) RestoreCheckpoint(st CheckpointState) {
+	if dw.tick != 0 || dw.pending != nil {
+		panic("decisionlog: checkpoint restore onto a used writer")
+	}
+	dw.tick = st.Tick
+	dw.bytes = st.SinkBytes
+	if st.HasPending {
+		p := st.Pending
+		dw.pending = &p
+	}
+}

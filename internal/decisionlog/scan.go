@@ -1,0 +1,76 @@
+// Streaming decision-log reader: one meta callback, one record callback
+// per line, constant memory. The same shape as trace.ScanJSONL so
+// cmd/qreport can join the two streams without buffering either.
+package decisionlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Scanner buffer sizes: decision records carry a row per class and a
+// back-filled outcome list, so lines stay small; the max guards against
+// pathological rosters without buffering whole files.
+const (
+	scanInitBuf = 64 << 10
+	scanMaxBuf  = 4 << 20
+)
+
+// ScanJSONL streams a decision log: onMeta is invoked once with the
+// first line (which must be a meta line), then onRecord per decision
+// line in file order. Either callback may be nil to skip. A callback
+// returning an error aborts the scan with that error.
+func ScanJSONL(r io.Reader, onMeta func(Meta) error, onRecord func(Record) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, scanInitBuf), scanMaxBuf)
+	sawMeta := false
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if !sawMeta {
+			var m Meta
+			if err := json.Unmarshal(raw, &m); err != nil {
+				return fmt.Errorf("decisionlog: line %d: %w", line, err)
+			}
+			if m.Type != "meta" {
+				return fmt.Errorf("decisionlog: line %d: first line has type %q, want meta", line, m.Type)
+			}
+			if m.Version != Version {
+				return fmt.Errorf("decisionlog: version %d log, reader supports %d", m.Version, Version)
+			}
+			sawMeta = true
+			if onMeta != nil {
+				if err := onMeta(m); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("decisionlog: line %d: %w", line, err)
+		}
+		if rec.Type != "decision" {
+			return fmt.Errorf("decisionlog: line %d: unknown type %q", line, rec.Type)
+		}
+		if onRecord != nil {
+			if err := onRecord(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("decisionlog: scan: %w", err)
+	}
+	if !sawMeta {
+		return fmt.Errorf("decisionlog: empty log (no meta line)")
+	}
+	return nil
+}

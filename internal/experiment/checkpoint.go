@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/decisionlog"
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -63,10 +64,12 @@ type RunSpec struct {
 	Faults         fault.Plan
 	HasRetry       bool
 	Retry          RetrySpec
-	// HasTrace/HasMetrics record which exports were attached; resume
-	// must re-attach the same set or the outputs would diverge.
-	HasTrace   bool
-	HasMetrics bool
+	// HasTrace/HasMetrics/HasDecisions record which exports were
+	// attached; resume must re-attach the same set or the outputs would
+	// diverge.
+	HasTrace     bool
+	HasMetrics   bool
+	HasDecisions bool
 	// Streaming records whether the pool used the streaming client
 	// generator; resume must rebuild it the same way.
 	Streaming bool
@@ -91,6 +94,8 @@ type runSnapshot struct {
 	Trace      trace.CheckpointState
 	HasReg     bool
 	Reg        obs.CheckpointState
+	HasDlog    bool
+	Dlog       decisionlog.CheckpointState
 }
 
 // solverSpec names a solver for the run spec. Only the built-in
@@ -128,14 +133,15 @@ func solverFromSpec(name string, greedyMaxMoves int) (solver.Solver, error) {
 // checkpoint (custom solver or RefreshCost closures).
 func specFromConfig(cfg MixedConfig, classes []*workload.Class) RunSpec {
 	spec := RunSpec{
-		Mode:       cfg.Mode,
-		Seed:       cfg.Seed,
-		Sched:      cfg.Sched,
-		Classes:    classes,
-		Experiment: cfg.Experiment,
-		HasTrace:   cfg.Trace != nil,
-		HasMetrics: cfg.Metrics != nil,
-		Streaming:  cfg.StreamingClients,
+		Mode:         cfg.Mode,
+		Seed:         cfg.Seed,
+		Sched:        cfg.Sched,
+		Classes:      classes,
+		Experiment:   cfg.Experiment,
+		HasTrace:     cfg.Trace != nil,
+		HasMetrics:   cfg.Metrics != nil,
+		HasDecisions: cfg.Decisions != nil,
+		Streaming:    cfg.StreamingClients,
 	}
 	if cfg.QS != nil {
 		spec.HasQSCfg = true
@@ -166,7 +172,7 @@ func specFromConfig(cfg MixedConfig, classes []*workload.Class) RunSpec {
 
 // config rebuilds the MixedConfig a resumed run is constructed from. The
 // writers are the resuming caller's; everything else comes from the spec.
-func (s *RunSpec) config(tw, mw io.Writer) (MixedConfig, error) {
+func (s *RunSpec) config(tw, mw, dw io.Writer) (MixedConfig, error) {
 	cfg := MixedConfig{
 		Mode:       s.Mode,
 		Sched:      s.Sched,
@@ -175,6 +181,7 @@ func (s *RunSpec) config(tw, mw io.Writer) (MixedConfig, error) {
 		Experiment: s.Experiment,
 		Trace:      tw,
 		Metrics:    mw,
+		Decisions:  dw,
 
 		StreamingClients: s.Streaming,
 	}
@@ -255,6 +262,10 @@ func snapshotRun(rig *Rig, o *runObs, inst *workload.Installation, spec *RunSpec
 		snap.HasReg = true
 		snap.Reg = o.reg.CheckpointState()
 	}
+	if o != nil && o.dlog != nil {
+		snap.HasDlog = true
+		snap.Dlog = o.dlog.CheckpointState()
+	}
 	return snap
 }
 
@@ -307,6 +318,10 @@ type ResumeOptions struct {
 	// run exported a trace: the file is truncated to the checkpointed
 	// byte offset and appended to, reproducing the uninterrupted export.
 	TracePath string
+	// DecisionsPath is the interrupted run's decision-log file. Required
+	// when the run exported a decision log; rewound the same way the
+	// trace is.
+	DecisionsPath string
 	// Metrics receives the metrics exposition after the resumed run.
 	// Required when the checkpointed run had a metrics writer.
 	Metrics io.Writer
@@ -358,47 +373,51 @@ func ResumeMixed(opts ResumeOptions) (*MixedResult, error) {
 		}
 		return nil, fmt.Errorf("experiment: checkpointed run had no metrics export; Metrics must be nil")
 	}
-
-	// Rewind the trace file to the checkpointed offset: everything the
-	// interrupted run wrote after this boundary is discarded and will be
-	// re-emitted, byte for byte, by the resumed run.
-	var tw io.Writer
-	var tf *os.File
-	var bw *bufio.Writer
-	if snap.HasTrace {
-		f, err := os.OpenFile(opts.TracePath, os.O_RDWR, 0)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: resume trace: %w", err)
+	if snap.HasDlog != (opts.DecisionsPath != "") {
+		if snap.HasDlog {
+			return nil, fmt.Errorf("experiment: checkpointed run exported a decision log; DecisionsPath is required")
 		}
-		if err := f.Truncate(snap.Trace.SinkBytes); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("experiment: resume trace: %w", err)
-		}
-		if _, err := f.Seek(snap.Trace.SinkBytes, io.SeekStart); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("experiment: resume trace: %w", err)
-		}
-		tf = f
-		bw = bufio.NewWriterSize(f, 1<<20)
-		tw = bw
+		return nil, fmt.Errorf("experiment: checkpointed run had no decision log; DecisionsPath must be empty")
 	}
-	closeTrace := func() error {
-		if tf == nil {
-			return nil
+
+	// Rewind the trace and decision-log files to the checkpointed
+	// offsets: everything the interrupted run wrote after this boundary
+	// is discarded and will be re-emitted, byte for byte, by the
+	// resumed run.
+	var tw, dw io.Writer
+	var files []*rewoundFile
+	closeFiles := func() error {
+		var first error
+		for _, rf := range files {
+			if err := rf.close(); first == nil {
+				first = err
+			}
 		}
-		ferr := bw.Flush()
-		if cerr := tf.Close(); ferr == nil {
-			ferr = cerr
-		}
-		tf = nil
-		return ferr
+		files = nil
+		return first
 	}
 	fail := func(err error) (*MixedResult, error) {
-		closeTrace()
+		closeFiles()
 		return nil, err
 	}
+	if snap.HasTrace {
+		rf, err := rewindFile(opts.TracePath, snap.Trace.SinkBytes)
+		if err != nil {
+			return fail(fmt.Errorf("experiment: resume trace: %w", err))
+		}
+		files = append(files, rf)
+		tw = rf.bw
+	}
+	if snap.HasDlog {
+		rf, err := rewindFile(opts.DecisionsPath, snap.Dlog.SinkBytes)
+		if err != nil {
+			return fail(fmt.Errorf("experiment: resume decision log: %w", err))
+		}
+		files = append(files, rf)
+		dw = rf.bw
+	}
 
-	cfg, err := snap.Spec.config(tw, opts.Metrics)
+	cfg, err := snap.Spec.config(tw, opts.Metrics, dw)
 	if err != nil {
 		return fail(err)
 	}
@@ -438,6 +457,9 @@ func ResumeMixed(opts ResumeOptions) (*MixedResult, error) {
 	if o != nil && o.reg != nil && snap.HasReg {
 		o.reg.RestoreCheckpoint(snap.Reg)
 	}
+	if o != nil && o.dlog != nil {
+		o.dlog.RestoreCheckpoint(snap.Dlog)
+	}
 
 	spec := snap.Spec
 	crashed, runErr := runBoundaries(rig, o, inst, &spec, cfg, snap.Index)
@@ -445,10 +467,41 @@ func ResumeMixed(opts ResumeOptions) (*MixedResult, error) {
 	if obsErr == nil && !crashed {
 		obsErr = o.finish()
 	}
-	if cerr := closeTrace(); obsErr == nil {
+	if cerr := closeFiles(); obsErr == nil {
 		obsErr = cerr
 	}
 	res := collectMixed(cfg, rig, obsErr)
 	res.Crashed = crashed
 	return res, nil
+}
+
+// rewoundFile is a resume-reopened export file: truncated to the
+// checkpointed byte offset, positioned for append, buffered.
+type rewoundFile struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func rewindFile(path string, offset int64) (*rewoundFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &rewoundFile{f: f, bw: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+func (rf *rewoundFile) close() error {
+	ferr := rf.bw.Flush()
+	if cerr := rf.f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	return ferr
 }

@@ -271,6 +271,10 @@ type MixedConfig struct {
 	// Metrics, when non-nil, receives the run's metrics registry as
 	// Prometheus-style text exposition after the run.
 	Metrics io.Writer
+	// Decisions, when non-nil, receives the control plane's decision
+	// audit log as JSONL (readable by cmd/qreport). Query Scheduler
+	// mode only — the other controllers make no per-tick decisions.
+	Decisions io.Writer
 	// Faults, when non-nil and non-empty, injects the fault plan into
 	// the run's engine and (in Query Scheduler mode) monitor.
 	Faults *fault.Plan

@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"flag"
@@ -19,6 +20,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/decisionlog"
 )
 
 var updateGolden = flag.Bool("update-golden", false,
@@ -79,17 +82,42 @@ func goldenTraceDigest(trace []byte) []byte {
 }
 
 // mixedGoldenArtifacts runs one mixed experiment with trace and metrics
-// capture and renders the period tables.
-func mixedGoldenArtifacts(t *testing.T, cfg MixedConfig) (trace, metrics, tables []byte) {
+// capture and renders the period tables. Query-scheduler runs also
+// export the control plane's decision log (other modes have no control
+// ticks to record).
+func mixedGoldenArtifacts(t *testing.T, cfg MixedConfig) (trace, metrics, tables, decisions []byte) {
 	t.Helper()
-	var tb, mb bytes.Buffer
+	var tb, mb, db bytes.Buffer
 	cfg.Trace = &tb
 	cfg.Metrics = &mb
+	if cfg.Mode == QueryScheduler {
+		cfg.Decisions = &db
+	}
 	res := RunMixed(cfg)
 	if res.ExportErr != nil {
 		t.Fatal(res.ExportErr)
 	}
-	return tb.Bytes(), mb.Bytes(), []byte(mixedTables(res))
+	return tb.Bytes(), mb.Bytes(), []byte(mixedTables(res)), db.Bytes()
+}
+
+// qreportRender runs the qreport views (summary, timeline, one -why
+// query) over a decision log, so the operator-facing rendering is pinned
+// alongside the log bytes themselves.
+func qreportRender(t *testing.T, decisions []byte) []byte {
+	t.Helper()
+	var qb bytes.Buffer
+	if err := decisionlog.Summarize(&qb, bytes.NewReader(decisions)); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&qb)
+	if err := decisionlog.Timeline(&qb, bytes.NewReader(decisions), decisionlog.TickRange{}); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&qb)
+	if err := decisionlog.Why(&qb, bytes.NewReader(decisions), "class=A", decisionlog.TickRange{}); err != nil {
+		t.Fatal(err)
+	}
+	return qb.Bytes()
 }
 
 // TestGoldenMixedQuick pins the full observability surface of a mixed run
@@ -98,11 +126,15 @@ func mixedGoldenArtifacts(t *testing.T, cfg MixedConfig) (trace, metrics, tables
 func TestGoldenMixedQuick(t *testing.T) {
 	for _, mode := range []Mode{NoControl, QueryScheduler} {
 		cfg := MixedConfig{Mode: mode, Sched: shortSchedule(), Seed: 1, Experiment: "golden"}
-		trace, metrics, tables := mixedGoldenArtifacts(t, cfg)
+		trace, metrics, tables, decisions := mixedGoldenArtifacts(t, cfg)
 		prefix := strings.ReplaceAll(mode.String(), "-", "_")
 		goldenCompare(t, prefix+"_trace.digest", goldenTraceDigest(trace))
 		goldenCompare(t, prefix+"_metrics.txt", metrics)
 		goldenCompare(t, prefix+"_tables.txt", tables)
+		if mode == QueryScheduler {
+			goldenCompare(t, prefix+"_decisions.jsonl", decisions)
+			goldenCompare(t, prefix+"_qreport.txt", qreportRender(t, decisions))
+		}
 	}
 }
 
@@ -113,21 +145,28 @@ func TestGoldenMixedQuickParallel(t *testing.T) {
 		t.Skip("parallel golden sweep is slow under -race")
 	}
 	modes := []Mode{NoControl, QueryScheduler}
-	type artifacts struct{ trace, metrics, tables []byte }
+	type artifacts struct{ trace, metrics, tables, decisions []byte }
 	outs := Map(8, modes, func(mode Mode, _ int) artifacts {
-		var tb, mb bytes.Buffer
-		res := RunMixed(MixedConfig{Mode: mode, Sched: shortSchedule(), Seed: 1,
-			Experiment: "golden", Trace: &tb, Metrics: &mb})
+		var tb, mb, db bytes.Buffer
+		cfg := MixedConfig{Mode: mode, Sched: shortSchedule(), Seed: 1,
+			Experiment: "golden", Trace: &tb, Metrics: &mb}
+		if mode == QueryScheduler {
+			cfg.Decisions = &db
+		}
+		res := RunMixed(cfg)
 		if res.ExportErr != nil {
 			t.Error(res.ExportErr)
 		}
-		return artifacts{tb.Bytes(), mb.Bytes(), []byte(mixedTables(res))}
+		return artifacts{tb.Bytes(), mb.Bytes(), []byte(mixedTables(res)), db.Bytes()}
 	})
 	for i, mode := range modes {
 		prefix := strings.ReplaceAll(mode.String(), "-", "_")
 		goldenCompare(t, prefix+"_trace.digest", goldenTraceDigest(outs[i].trace))
 		goldenCompare(t, prefix+"_metrics.txt", outs[i].metrics)
 		goldenCompare(t, prefix+"_tables.txt", outs[i].tables)
+		if mode == QueryScheduler {
+			goldenCompare(t, prefix+"_decisions.jsonl", outs[i].decisions)
+		}
 	}
 }
 
@@ -182,9 +221,9 @@ func TestGoldenFaultMatrixQuick(t *testing.T) {
 func TestGoldenStreamingPoolMatchesEager(t *testing.T) {
 	for _, mode := range []Mode{NoControl, QueryScheduler} {
 		cfg := MixedConfig{Mode: mode, Sched: shortSchedule(), Seed: 1, Experiment: "golden"}
-		eagerTrace, eagerMetrics, eagerTables := mixedGoldenArtifacts(t, cfg)
+		eagerTrace, eagerMetrics, eagerTables, eagerDecisions := mixedGoldenArtifacts(t, cfg)
 		cfg.StreamingClients = true
-		lazyTrace, lazyMetrics, lazyTables := mixedGoldenArtifacts(t, cfg)
+		lazyTrace, lazyMetrics, lazyTables, lazyDecisions := mixedGoldenArtifacts(t, cfg)
 		if !bytes.Equal(eagerTrace, lazyTrace) {
 			t.Errorf("%v: streaming pool perturbs the JSONL trace", mode)
 		}
@@ -194,14 +233,41 @@ func TestGoldenStreamingPoolMatchesEager(t *testing.T) {
 		if !bytes.Equal(eagerTables, lazyTables) {
 			t.Errorf("%v: streaming pool perturbs the period tables", mode)
 		}
+		if !bytes.Equal(eagerDecisions, lazyDecisions) {
+			t.Errorf("%v: streaming pool perturbs the decision log", mode)
+		}
 	}
 }
 
+// refOutputsWithDecisions mirrors refOutputs with the decision log also
+// streamed (buffered) to its own file, returning its final bytes too.
+func refOutputsWithDecisions(t *testing.T, cfg MixedConfig, tracePath, decPath string) (tables string, metrics, trace, decisions []byte) {
+	t.Helper()
+	df, err := os.Create(decPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := bufio.NewWriterSize(df, 1<<20)
+	cfg.Decisions = dw
+	tables, metrics, trace = refOutputs(t, cfg, tracePath)
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Close(); err != nil {
+		t.Fatal(err)
+	}
+	decisions, err = os.ReadFile(decPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables, metrics, trace, decisions
+}
+
 // TestGoldenResumeSurvivesPooling proves checkpoint/restore still works
-// over pooled queries and generator cursors: checkpoint at every control
-// boundary, resume from each, and demand byte-identity with the
-// uninterrupted reference (which itself is pinned transitively through
-// the checkpoint-neutrality test against the golden mixed runs).
+// over pooled queries, generator cursors, and the decision log: checkpoint
+// at every control boundary, resume from each, and demand byte-identity
+// with the uninterrupted reference (which itself is pinned transitively
+// through the checkpoint-neutrality test against the golden mixed runs).
 func TestGoldenResumeSurvivesPooling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("every-boundary resume sweep is slow under -race")
@@ -209,15 +275,18 @@ func TestGoldenResumeSurvivesPooling(t *testing.T) {
 	dir := t.TempDir()
 	ckptDir := filepath.Join(dir, "ckpt")
 	refTrace := filepath.Join(dir, "ref.jsonl")
+	refDec := filepath.Join(dir, "ref-decisions.jsonl")
 	cfg := ckptTestConfig(ckptDir, 1)
 	cfg.StreamingClients = true
-	refTables, refMetrics, refTraceBytes := refOutputs(t, cfg, refTrace)
+	refTables, refMetrics, refTraceBytes, refDecBytes := refOutputsWithDecisions(t, cfg, refTrace, refDec)
 	for _, idx := range checkpointIndices(t, ckptDir) {
 		tmp := filepath.Join(dir, fmt.Sprintf("resume-%02d.jsonl", idx))
+		dmp := filepath.Join(dir, fmt.Sprintf("resume-%02d-decisions.jsonl", idx))
 		copyFile(t, refTrace, tmp)
+		copyFile(t, refDec, dmp)
 		var mb bytes.Buffer
 		res, err := ResumeMixed(ResumeOptions{
-			Dir: ckptDir, Index: idx, TracePath: tmp, Metrics: &mb,
+			Dir: ckptDir, Index: idx, TracePath: tmp, DecisionsPath: dmp, Metrics: &mb,
 		})
 		if err != nil {
 			t.Fatalf("boundary %d: %v", idx, err)
@@ -234,6 +303,13 @@ func TestGoldenResumeSurvivesPooling(t *testing.T) {
 		}
 		if !bytes.Equal(tb, refTraceBytes) {
 			t.Errorf("boundary %d: trace file diverged", idx)
+		}
+		db, err := os.ReadFile(dmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(db, refDecBytes) {
+			t.Errorf("boundary %d: decision log diverged", idx)
 		}
 	}
 }

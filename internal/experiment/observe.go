@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/decisionlog"
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -27,6 +28,7 @@ type runObs struct {
 	tracer *trace.Tracer
 	reg    *obs.Registry
 	mw     io.Writer
+	dlog   *decisionlog.Writer
 }
 
 // attachObs wires trace export and metrics onto a rig whose controller is
@@ -70,6 +72,23 @@ func attachObs(rig *Rig, cfg MixedConfig, tw, mw io.Writer, resume bool) (*runOb
 		o.reg = reg
 		o.mw = mw
 	}
+	if cfg.Decisions != nil {
+		if rig.QS == nil {
+			return nil, fmt.Errorf("experiment: decision log requires a query-scheduler run")
+		}
+		var dw *decisionlog.Writer
+		var err error
+		if resume {
+			dw, err = decisionlog.ResumeWriter(cfg.Decisions, decisionMeta(cfg, rig))
+		} else {
+			dw, err = decisionlog.NewWriter(cfg.Decisions, decisionMeta(cfg, rig))
+		}
+		if err != nil {
+			return nil, err
+		}
+		rig.QS.OnPlan(dw.Note)
+		o.dlog = dw
+	}
 	return o, nil
 }
 
@@ -84,12 +103,35 @@ func (o *runObs) finish() error {
 			return fmt.Errorf("experiment: trace export: %w", err)
 		}
 	}
+	if o.dlog != nil {
+		o.dlog.Flush()
+		if err := o.dlog.Err(); err != nil {
+			return fmt.Errorf("experiment: decision-log export: %w", err)
+		}
+	}
 	if o.reg != nil {
 		if err := o.reg.WriteText(o.mw); err != nil {
 			return fmt.Errorf("experiment: metrics export: %w", err)
 		}
 	}
 	return nil
+}
+
+// decisionMeta builds the decision log's meta line for a mixed run.
+func decisionMeta(cfg MixedConfig, rig *Rig) decisionlog.Meta {
+	qc := rig.QS.Config()
+	m := decisionlog.Meta{
+		Experiment:      cfg.Experiment,
+		Seed:            int64(cfg.Seed),
+		ControlInterval: qc.ControlInterval,
+		SLOWindow:       qc.SLOWindow,
+		SLOBudget:       qc.SLOBudget,
+		Classes:         decisionlog.ClassesMeta(rig.Classes),
+	}
+	if m.Experiment == "" {
+		m.Experiment = cfg.Mode.String()
+	}
+	return m
 }
 
 // traceMeta builds the trace header for a mixed run.

@@ -57,10 +57,12 @@ type Scenario struct {
 	Classes []*workload.Class
 	Sched   workload.Schedule
 	QS      *core.Config
-	// Trace/Metrics optionally receive the run's JSONL event stream and
-	// metrics exposition (set by the caller, not the JSON spec).
-	Trace   io.Writer
-	Metrics io.Writer
+	// Trace/Metrics/Decisions optionally receive the run's JSONL event
+	// stream, metrics exposition, and decision audit log (set by the
+	// caller, not the JSON spec).
+	Trace     io.Writer
+	Metrics   io.Writer
+	Decisions io.Writer
 	// Faults/Retry optionally inject a fault plan and arm the retry
 	// mitigation (set by the caller, not the JSON spec — fault plans have
 	// their own file format, see fault.ParseSpec).
@@ -196,6 +198,7 @@ func (s *Scenario) Run() *MixedResult {
 		Experiment:      name,
 		Trace:           s.Trace,
 		Metrics:         s.Metrics,
+		Decisions:       s.Decisions,
 		Faults:          s.Faults,
 		Retry:           s.Retry,
 		CheckpointEvery: s.CheckpointEvery,

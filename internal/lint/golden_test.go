@@ -119,6 +119,45 @@ func TestGoldenPoolSafety(t *testing.T) { runGolden(t, "poolsafety") }
 func TestGoldenCkptCover(t *testing.T)  { runGolden(t, "ckptcover") }
 func TestGoldenHotAlloc(t *testing.T)   { runGolden(t, "hotalloc") }
 
+// TestCheckSubsetKeepsSuppressionsValid pins the -checks subset
+// behaviour: directives naming real-but-disabled checks are neither
+// "unknown check" findings (names validate against the full registry)
+// nor "unused" findings (a disabled check generates nothing to match),
+// while directive hygiene for malformed or truly unknown names still
+// fires.
+func TestCheckSubsetKeepsSuppressionsValid(t *testing.T) {
+	res, err := LoadDir(filepath.Join("testdata", "src", "suppress"), "suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := NewRunner([]*Check{CkptCoverCheck}, testConfig()).Run(res)
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "unused lint:ignore"):
+			t.Errorf("subset run flagged a disabled check's suppression as unused: %s:%d: %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		case strings.Contains(d.Message, "unknown check") &&
+			!strings.Contains(d.Message, `"nosuchcheck"`) &&
+			!strings.Contains(d.Message, `"poolsafty"`):
+			t.Errorf("subset run rejected a registered check's suppression: %s:%d: %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	// The genuinely malformed directives must still surface.
+	var unknown, noReason int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unknown check") {
+			unknown++
+		}
+		if strings.Contains(d.Message, "has no reason") {
+			noReason++
+		}
+	}
+	if unknown == 0 || noReason == 0 {
+		t.Errorf("directive hygiene vanished under -checks subset: %d unknown, %d no-reason", unknown, noReason)
+	}
+}
+
 func TestCheckDocs(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range DefaultChecks() {

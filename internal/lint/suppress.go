@@ -18,21 +18,27 @@ import (
 
 // directive is one parsed //lint:ignore comment.
 type directive struct {
-	file   string
-	line   int
-	checks []string
-	reason string
-	raw    string
-	bad    string // non-empty: why the directive is invalid
-	used   bool
-	test   bool // directive lives in a _test.go file
+	file    string
+	line    int
+	checks  []string
+	reason  string
+	raw     string
+	bad     string // non-empty: why the directive is invalid
+	used    bool
+	test    bool // directive lives in a _test.go file
+	enabled bool // at least one named check runs in this invocation
 }
 
 const ignorePrefix = "lint:ignore"
 
 // parseDirectives extracts every //lint:ignore directive from the loaded
-// packages. knownChecks validates the named checks.
-func parseDirectives(res *Result, checks []*Check) []*directive {
+// packages. Named checks are validated against the full registry
+// (DefaultChecks), not just the checks enabled for this run — a `-checks
+// ckptcover` invocation must not flag every suppression for the other
+// checks as unknown. enabled records whether any named check is in this
+// run's set, which gates unused-directive reporting the same way.
+func parseDirectives(res *Result, enabled []*Check) []*directive {
+	registry := DefaultChecks()
 	var out []*directive
 	for _, pkg := range res.Pkgs {
 		for _, f := range pkg.Files {
@@ -61,9 +67,12 @@ func parseDirectives(res *Result, checks []*Check) []*directive {
 					default:
 						for _, n := range strings.Split(name, ",") {
 							n = strings.TrimSpace(n)
-							if CheckByName(checks, n) == nil {
+							if CheckByName(registry, n) == nil {
 								d.bad = fmt.Sprintf("lint:ignore names unknown check %q", n)
 								break
+							}
+							if CheckByName(enabled, n) != nil {
+								d.enabled = true
 							}
 							d.checks = append(d.checks, n)
 						}
@@ -117,9 +126,12 @@ func applySuppressions(res *Result, checks []*Check, diags []Diagnostic) []Diagn
 				Check:   "lint",
 				Message: d.bad,
 			})
-		case !d.used && !d.test:
-			// Unused directives only matter in non-test files: the checks
-			// skip test code, so a directive there can never match.
+		case !d.used && !d.test && d.enabled:
+			// Unused directives only matter in non-test files (the checks
+			// skip test code, so a directive there can never match) and
+			// only when a named check actually ran — under a -checks
+			// subset, suppressions for the disabled checks have no
+			// findings to match and are not stale.
 			out = append(out, Diagnostic{
 				Pos:     positionAt(d),
 				Check:   "lint",

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSLOWindowRolls(t *testing.T) {
+	w := NewSLOWindow(4)
+	if w.Len() != 0 || w.MissFraction() != 0 {
+		t.Fatalf("empty window: len %d miss %v", w.Len(), w.MissFraction())
+	}
+	w.Observe(true)
+	w.Observe(false)
+	w.Observe(false)
+	if w.Len() != 3 || math.Abs(w.MissFraction()-2.0/3) > 1e-12 {
+		t.Fatalf("len %d miss %v", w.Len(), w.MissFraction())
+	}
+	w.Observe(true)
+	w.Observe(true) // evicts the initial true: window = F F T T
+	if w.Len() != 4 || math.Abs(w.MissFraction()-0.5) > 1e-12 {
+		t.Fatalf("after roll: len %d miss %v", w.Len(), w.MissFraction())
+	}
+	w.Observe(true)
+	w.Observe(true) // evicts both misses: window = T T T T
+	if w.MissFraction() != 0 {
+		t.Fatalf("all-met window misses %v", w.MissFraction())
+	}
+	if got := w.BurnRate(0.1); got != 0 {
+		t.Fatalf("burn rate %v", got)
+	}
+}
+
+func TestSLOWindowBurnRate(t *testing.T) {
+	w := NewSLOWindow(10)
+	for i := 0; i < 8; i++ {
+		w.Observe(true)
+	}
+	w.Observe(false)
+	w.Observe(false)
+	// 2 misses / 10 ticks at a 10% budget: burning at exactly 2x.
+	if got := w.BurnRate(0.1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("burn rate %v, want 2", got)
+	}
+}
+
+func TestSLOWindowStateRoundTrip(t *testing.T) {
+	w := NewSLOWindow(5)
+	outcomes := []bool{true, false, true, true, false, false, true}
+	for _, met := range outcomes {
+		w.Observe(met)
+	}
+	st := w.State()
+	r := NewSLOWindow(5)
+	r.SetState(st)
+	if r.Len() != w.Len() || r.MissFraction() != w.MissFraction() {
+		t.Fatalf("restored len %d miss %v, want %d / %v",
+			r.Len(), r.MissFraction(), w.Len(), w.MissFraction())
+	}
+	// Continued observations must evolve identically.
+	w.Observe(true)
+	r.Observe(true)
+	if r.MissFraction() != w.MissFraction() {
+		t.Fatalf("post-restore divergence: %v vs %v", r.MissFraction(), w.MissFraction())
+	}
+}
+
+func TestSLOWindowPartialRestoreCountsLiveOutcomesOnly(t *testing.T) {
+	w := NewSLOWindow(6)
+	w.Observe(false)
+	w.Observe(true)
+	r := NewSLOWindow(6)
+	r.SetState(w.State())
+	if r.Len() != 2 || math.Abs(r.MissFraction()-0.5) > 1e-12 {
+		t.Fatalf("partial restore: len %d miss %v", r.Len(), r.MissFraction())
+	}
+}

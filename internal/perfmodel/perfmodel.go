@@ -42,6 +42,10 @@ type OLAPVelocity struct {
 // DefaultVelocityFloor is the anchor floor used by the Query Scheduler.
 const DefaultVelocityFloor = 0.05
 
+// Name identifies the model in prediction-provenance records (the
+// decision audit log's "which model produced this forecast" field).
+func (OLAPVelocity) Name() string { return "olap-velocity" }
+
 // Predict returns the predicted velocity at limit cNew given the measured
 // velocity vPrev at limit cPrev.
 func (m OLAPVelocity) Predict(vPrev, cPrev, cNew float64) float64 {
@@ -123,6 +127,9 @@ func NewOLTPResponse(cfg OLTPConfig) *OLTPResponse {
 	}
 	return &OLTPResponse{cfg: cfg, reg: stats.NewSlidingRegression(cfg.Window)}
 }
+
+// Name identifies the model in prediction-provenance records.
+func (m *OLTPResponse) Name() string { return "oltp-linear" }
 
 // Observe records the measured average response time t under cost limit c
 // for one control interval.

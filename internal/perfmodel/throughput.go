@@ -61,6 +61,9 @@ func NewOLTPThroughput(cfg ThroughputConfig) *OLTPThroughput {
 	return &OLTPThroughput{cfg: cfg, reg: stats.NewSlidingRegression(cfg.Window)}
 }
 
+// Name identifies the model in prediction-provenance records.
+func (m *OLTPThroughput) Name() string { return "oltp-throughput" }
+
 // ObserveLoad records one interval: virtual limit c, measured mean
 // response time t, and in-system population n. Intervals without
 // meaningful measurements are skipped.

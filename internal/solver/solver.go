@@ -30,6 +30,12 @@ type ClassSpec struct {
 	Predict func(limit float64) float64
 	// Min is the smallest allocation the class may receive.
 	Min float64
+	// GoalDir and GoalTarget optionally describe the class's SLO so the
+	// introspecting solvers (Introspector) can judge predicted goal
+	// attainment and unreachability. The search itself never reads them
+	// — plan choice depends only on Utility and Predict.
+	GoalDir    GoalDirection
+	GoalTarget float64
 }
 
 // Problem is a complete solver input.
@@ -158,16 +164,8 @@ type Greedy struct {
 // reachable with nearly the whole budget — where no sequence of
 // individually improving pairwise transfers crosses the valley.
 func (g Greedy) Solve(p Problem, start Plan) Plan {
-	validate(p)
-	best := g.solveFrom(p, normalize(p, start))
-	bestU := Utility(p, best)
-	for _, corner := range cornerPlans(p) {
-		plan := g.solveFrom(p, corner)
-		if u := Utility(p, plan); u > bestU+1e-12 {
-			best, bestU = plan, u
-		}
-	}
-	return best
+	plan, _ := g.SolveIntrospect(p, start)
+	return plan
 }
 
 // cornerPlans returns, per class, the allocation giving that class all
@@ -189,7 +187,9 @@ func cornerPlans(p Problem) []Plan {
 	return out
 }
 
-func (g Greedy) solveFrom(p Problem, plan Plan) Plan {
+// solveFrom runs the exchange from one starting plan, returning the
+// local optimum and how many improving transfers it took.
+func (g Greedy) solveFrom(p Problem, plan Plan) (Plan, int) {
 	classes := orderedClasses(p)
 
 	maxMoves := g.MaxMoves
@@ -202,6 +202,7 @@ func (g Greedy) solveFrom(p Problem, plan Plan) Plan {
 	}
 
 	const eps = 1e-12
+	moves := 0
 	for move := 0; move < maxMoves; move++ {
 		bestGain := eps
 		var bestFrom, bestTo = -1, -1
@@ -235,8 +236,9 @@ func (g Greedy) solveFrom(p Problem, plan Plan) Plan {
 		}
 		plan[classes[bestFrom].ID] -= bestAmount
 		plan[classes[bestTo].ID] += bestAmount
+		moves++
 	}
-	return plan
+	return plan, moves
 }
 
 // Grid is the exhaustive solver: it enumerates all plans on the Step grid
@@ -248,22 +250,33 @@ type Grid struct{}
 // enumeration would be infeasible, and the paper's experiments use three.
 func (Grid) Solve(p Problem, start Plan) Plan {
 	validate(p)
+	return gridSolve(p, nil)
+}
+
+// gridSolve dispatches on class count; s, when non-nil, accumulates the
+// search summary without influencing the chosen plan.
+func gridSolve(p Problem, s *Search) Plan {
 	classes := orderedClasses(p)
 	switch len(classes) {
 	case 1:
+		if s != nil {
+			s.Candidates = 1
+		}
 		return Plan{classes[0].ID: p.Total}
 	case 2:
-		return gridSearch(p, classes, 2)
+		return gridSearch(p, classes, 2, s)
 	case 3:
-		return gridSearch(p, classes, 3)
+		return gridSearch(p, classes, 3, s)
 	default:
 		panic(fmt.Sprintf("solver: grid solver supports <= 3 classes, got %d", len(classes)))
 	}
 }
 
-func gridSearch(p Problem, classes []ClassSpec, n int) Plan {
+func gridSearch(p Problem, classes []ClassSpec, n int, s *Search) Plan {
 	best := normalize(p, nil)
 	bestU := Utility(p, best)
+	runnerUp := math.Inf(-1)
+	candidates := 1
 	steps := int(p.Total / p.Step)
 
 	try := func(alloc []float64) {
@@ -274,9 +287,15 @@ func gridSearch(p Problem, classes []ClassSpec, n int) Plan {
 			}
 			plan[c.ID] = alloc[i]
 		}
+		candidates++
 		if u := Utility(p, plan); u > bestU+1e-12 {
+			if bestU > runnerUp {
+				runnerUp = bestU
+			}
 			bestU = u
 			best = plan
+		} else if u > runnerUp {
+			runnerUp = u
 		}
 	}
 
@@ -285,13 +304,19 @@ func gridSearch(p Problem, classes []ClassSpec, n int) Plan {
 			x := float64(a) * p.Step
 			try([]float64{x, p.Total - x})
 		}
-		return best
+	} else {
+		for a := 0; a <= steps; a++ {
+			x := float64(a) * p.Step
+			for b := 0; a+b <= steps; b++ {
+				y := float64(b) * p.Step
+				try([]float64{x, y, p.Total - x - y})
+			}
+		}
 	}
-	for a := 0; a <= steps; a++ {
-		x := float64(a) * p.Step
-		for b := 0; a+b <= steps; b++ {
-			y := float64(b) * p.Step
-			try([]float64{x, y, p.Total - x - y})
+	if s != nil {
+		s.Candidates = candidates
+		if candidates > 1 {
+			s.RunnerUp, s.HasRunnerUp = runnerUp, true
 		}
 	}
 	return best

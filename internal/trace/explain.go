@@ -17,16 +17,21 @@ import (
 	"repro/internal/simclock"
 )
 
-// ExplainQuery addresses one class/period cell of the report tables.
+// ExplainQuery addresses one class/period cell of the report tables, or
+// a contiguous run of periods ("period=3-5").
 type ExplainQuery struct {
 	Class  engine.ClassID
 	Period int // 1-based, as report tables print it
+	// PeriodEnd is the inclusive last period of a range selector; zero
+	// means the single period named by Period.
+	PeriodEnd int
 }
 
-// ParseExplainQuery parses an -explain spec like "class=B period=3".
-// Classes may be named by numeric ID, by letter (A = the first class in
-// the trace header, B the second, ...), or by class name; periods are
-// 1-based to match the period tables.
+// ParseExplainQuery parses an -explain spec like "class=B period=3" or
+// "class=B period=3-5". Classes may be named by numeric ID, by letter
+// (A = the first class in the trace header, B the second, ...), or by
+// class name; periods are 1-based to match the period tables, singly or
+// as an inclusive range.
 func ParseExplainQuery(spec string, meta Meta) (ExplainQuery, error) {
 	var q ExplainQuery
 	sawClass, sawPeriod := false, false
@@ -44,7 +49,8 @@ func ParseExplainQuery(spec string, meta Meta) (ExplainQuery, error) {
 			q.Class = id
 			sawClass = true
 		case "period":
-			p, err := strconv.Atoi(val)
+			lo, hi, ranged := strings.Cut(val, "-")
+			p, err := strconv.Atoi(lo)
 			if err != nil {
 				return q, fmt.Errorf("explain: bad period %q", val)
 			}
@@ -52,6 +58,16 @@ func ParseExplainQuery(spec string, meta Meta) (ExplainQuery, error) {
 				return q, fmt.Errorf("explain: period %d out of range 1..%d", p, meta.Periods)
 			}
 			q.Period = p
+			if ranged {
+				pe, err := strconv.Atoi(hi)
+				if err != nil {
+					return q, fmt.Errorf("explain: bad period range %q", val)
+				}
+				if pe < p || pe > meta.Periods {
+					return q, fmt.Errorf("explain: period range %q out of order or beyond 1..%d", val, meta.Periods)
+				}
+				q.PeriodEnd = pe
+			}
 			sawPeriod = true
 		default:
 			return q, fmt.Errorf("explain: unknown key %q (want class=, period=)", key)
@@ -93,8 +109,11 @@ type Explanation struct {
 	Meta   Meta
 	Class  ClassMeta
 	Period int // 1-based
-	Start  simclock.Time
-	End    simclock.Time
+	// PeriodEnd is the inclusive last period of the analyzed window;
+	// equal to Period for single-period queries.
+	PeriodEnd int
+	Start     simclock.Time
+	End       simclock.Time
 	// Horizon is the trace's last event time (spans still open accrue
 	// wait/execution against it).
 	Horizon simclock.Time
@@ -196,13 +215,21 @@ func explainCell(meta Meta, events []Event, horizon simclock.Time, q ExplainQuer
 	if meta.PeriodSeconds <= 0 {
 		return nil, fmt.Errorf("explain: trace header has no period length")
 	}
+	pe := q.PeriodEnd
+	if pe == 0 {
+		pe = q.Period
+	}
+	if pe < q.Period {
+		return nil, fmt.Errorf("explain: period range %d-%d out of order", q.Period, pe)
+	}
 	ex := &Explanation{
-		Meta:    meta,
-		Class:   *cm,
-		Period:  q.Period,
-		Start:   simclock.Time(q.Period-1) * meta.PeriodSeconds,
-		End:     simclock.Time(q.Period) * meta.PeriodSeconds,
-		Horizon: horizon,
+		Meta:      meta,
+		Class:     *cm,
+		Period:    q.Period,
+		PeriodEnd: pe,
+		Start:     simclock.Time(q.Period-1) * meta.PeriodSeconds,
+		End:       simclock.Time(pe) * meta.PeriodSeconds,
+		Horizon:   horizon,
 	}
 	if ex.Horizon < ex.End {
 		ex.Horizon = ex.End
@@ -283,15 +310,23 @@ const ganttRows = 12
 // ganttWidth is the Gantt's time-axis resolution in columns.
 const ganttWidth = 48
 
+// periodLabel names the analyzed window: "period 3" or "periods 3-5".
+func (ex *Explanation) periodLabel() string {
+	if ex.PeriodEnd > ex.Period {
+		return fmt.Sprintf("periods %d-%d", ex.Period, ex.PeriodEnd)
+	}
+	return fmt.Sprintf("period %d", ex.Period)
+}
+
 // Render writes the explanation as a terminal report.
 func (ex *Explanation) Render(w io.Writer) {
 	fmt.Fprintf(w, "Trace: %s (seed %d), %d × %.0fs periods\n",
 		ex.Meta.Experiment, ex.Meta.Seed, ex.Meta.Periods, ex.Meta.PeriodSeconds)
-	fmt.Fprintf(w, "Class %d %q (%s, %s), period %d [%.0fs, %.0fs)\n\n",
+	fmt.Fprintf(w, "Class %d %q (%s, %s), %s [%.0fs, %.0fs)\n\n",
 		ex.Class.ID, ex.Class.Name, ex.Class.Kind, ex.Class.Goal,
-		ex.Period, ex.Start, ex.End)
+		ex.periodLabel(), ex.Start, ex.End)
 
-	fmt.Fprintf(w, "Lifecycle breakdown (completions in period %d, done-time bucketing):\n", ex.Period)
+	fmt.Fprintf(w, "Lifecycle breakdown (completions in %s, done-time bucketing):\n", ex.periodLabel())
 	fmt.Fprintf(w, "  completed:             %d\n", len(ex.Completed))
 	if len(ex.Completed) > 0 {
 		resp := ex.WaitTotal + ex.ExecTotal
@@ -307,19 +342,19 @@ func (ex *Explanation) Render(w io.Writer) {
 			ex.ExecMean, ex.ExecMax, ex.ExecTotal, pct(ex.ExecTotal))
 		fmt.Fprintf(w, "  mean velocity:         %.2f\n", ex.VelocityMean)
 	}
-	fmt.Fprintf(w, "  submitted in period:   %d\n", ex.Submitted)
-	fmt.Fprintf(w, "  pending at period end: %d (still held or executing)\n\n", ex.PendingAtEnd)
+	fmt.Fprintf(w, "  submitted in window:   %d\n", ex.Submitted)
+	fmt.Fprintf(w, "  pending at window end: %d (still held or executing)\n\n", ex.PendingAtEnd)
 
 	depth := report.Chart{
-		Title:  fmt.Sprintf("Queue depth (class %d held at patroller), period %d", ex.Class.ID, ex.Period),
+		Title:  fmt.Sprintf("Queue depth (class %d held at patroller), %s", ex.Class.ID, ex.periodLabel()),
 		YLabel: "queries held",
-		XLabel: fmt.Sprintf("period sliced into %d bins", QueueBins),
+		XLabel: fmt.Sprintf("window sliced into %d bins", QueueBins),
 		Height: 8,
 		Series: []report.Series{{Name: fmt.Sprintf("class %d", ex.Class.ID), Values: ex.QueueDepth}},
 	}
 	fmt.Fprintln(w, depth.Render())
 
-	fmt.Fprintf(w, "Plan changes in period %d (plan v%d in force at period start):\n", ex.Period, ex.PlanAtStart)
+	fmt.Fprintf(w, "Plan changes in %s (plan v%d in force at window start):\n", ex.periodLabel(), ex.PlanAtStart)
 	if len(ex.PlanChanges) == 0 {
 		fmt.Fprintf(w, "  (none — limits stayed at plan v%d)\n", ex.PlanAtStart)
 	}
@@ -349,8 +384,8 @@ func (ex *Explanation) renderGantt(w io.Writer) {
 	if len(spans) > ganttRows {
 		spans = spans[:ganttRows]
 	}
-	fmt.Fprintf(w, "Query lifetimes (longest %d responses completing in period %d; '.' waiting, '#' executing):\n",
-		len(spans), ex.Period)
+	fmt.Fprintf(w, "Query lifetimes (longest %d responses completing in %s; '.' waiting, '#' executing):\n",
+		len(spans), ex.periodLabel())
 	if len(spans) == 0 {
 		fmt.Fprintln(w, "  (no completions)")
 		return

@@ -272,6 +272,205 @@ func TestExplainJSONLMatchesInMemory(t *testing.T) {
 	}
 }
 
+func TestParseExplainQueryRange(t *testing.T) {
+	meta := explainMeta()
+	cases := []struct {
+		spec     string
+		per, end int
+	}{
+		{"class=B period=1-3", 1, 3},
+		{"class=1 period=2-3", 2, 3},
+		{"class=A period=2-2", 2, 2}, // degenerate range is allowed
+	}
+	for _, c := range cases {
+		q, err := ParseExplainQuery(c.spec, meta)
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		if q.Period != c.per || q.PeriodEnd != c.end {
+			t.Errorf("%q: got period=%d end=%d, want %d-%d",
+				c.spec, q.Period, q.PeriodEnd, c.per, c.end)
+		}
+	}
+	for _, bad := range []string{
+		"class=1 period=3-1", // reversed
+		"class=1 period=1-4", // end beyond meta.Periods
+		"class=1 period=0-2", // start out of range
+		"class=1 period=1-x", // non-numeric end
+		"class=1 period=-2",  // missing start
+	} {
+		if _, err := ParseExplainQuery(bad, meta); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestExplainPeriodRange(t *testing.T) {
+	f := &TraceFile{Meta: explainMeta(), Events: explainEvents()}
+	ex, err := Explain(f, ExplainQuery{Class: 2, Period: 1, PeriodEnd: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The [0,200) window aggregates q1 (period 1) and q2 (period 2).
+	if ex.Start != 0 || ex.End != 200 {
+		t.Errorf("window = [%g,%g), want [0,200)", ex.Start, ex.End)
+	}
+	if len(ex.Completed) != 2 || ex.Completed[0].Query != 1 || ex.Completed[1].Query != 2 {
+		t.Fatalf("range completions = %+v, want q1+q2", ex.Completed)
+	}
+	if ex.WaitTotal != 100 || ex.ExecTotal != 110 {
+		t.Errorf("wait/exec totals = %g/%g, want 100/110", ex.WaitTotal, ex.ExecTotal)
+	}
+	// All three class-2 submissions land in [0,200); only q3 is pending at t=200.
+	if ex.Submitted != 3 || ex.PendingAtEnd != 1 {
+		t.Errorf("submitted=%d pending=%d, want 3/1", ex.Submitted, ex.PendingAtEnd)
+	}
+	// The t=110 plan change is inside the range window; none precede it.
+	if ex.PlanAtStart != 0 || len(ex.PlanChanges) != 1 || ex.PlanChanges[0].Plan != 1 {
+		t.Errorf("plan state: v%d with changes %+v, want v0 with the v1 change",
+			ex.PlanAtStart, ex.PlanChanges)
+	}
+
+	var sb strings.Builder
+	ex.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"periods 1-2 [0s, 200s)", "completions in periods 1-2",
+		"submitted in window:   3", "Plan changes in periods 1-2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("range render missing %q:\n%s", want, out)
+		}
+	}
+
+	// A reversed range handed directly to Explain (bypassing the parser)
+	// must still be rejected.
+	if _, err := Explain(f, ExplainQuery{Class: 2, Period: 3, PeriodEnd: 1}); err == nil {
+		t.Error("reversed range: want error")
+	}
+}
+
+// oltpMeta/oltpEvents model an unmanaged OLTP class: queries start the
+// instant they are submitted (no interception), so admission wait comes
+// only from engine queueing. Times are binary-exact so the breakdown
+// asserts equality without tolerances.
+func oltpMeta() Meta {
+	m := explainMeta()
+	m.Classes = append(m.Classes, ClassMeta{
+		ID: 3, Name: "orders", Kind: "OLTP",
+		Goal: "avg response <= 0.25", Target: 0.25,
+	})
+	return m
+}
+
+func oltpEvents() []Event {
+	return []Event{
+		// q11: zero wait, exec 0.25, completes in period 1.
+		{Time: 10, Kind: QuerySubmit, Class: 3, Query: 11, Value: 40},
+		{Time: 10, Kind: QueryStart, Class: 3, Query: 11},
+		{Time: 10.25, Kind: QueryDone, Class: 3, Query: 11, Period: 0},
+		// q12: wait 0.5 (engine queueing), exec 0.5, completes in period 2.
+		{Time: 150, Kind: QuerySubmit, Class: 3, Query: 12, Value: 40},
+		{Time: 150.5, Kind: QueryStart, Class: 3, Query: 12},
+		{Time: 151, Kind: QueryDone, Class: 3, Query: 12, Period: 1},
+		// An OLAP completion that must not leak into the OLTP cell.
+		{Time: 20, Kind: QuerySubmit, Class: 2, Query: 1, Value: 5000},
+		{Time: 20, Kind: QueryStart, Class: 2, Query: 1},
+		{Time: 90, Kind: QueryDone, Class: 2, Query: 1, Period: 0},
+	}
+}
+
+func TestExplainOLTPClass(t *testing.T) {
+	f := &TraceFile{Meta: oltpMeta(), Events: oltpEvents()}
+	q, err := ParseExplainQuery("class=C period=1-2", f.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Class != 3 || q.Period != 1 || q.PeriodEnd != 2 {
+		t.Fatalf("parsed %+v, want class 3 periods 1-2", q)
+	}
+	ex, err := Explain(f, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Completed) != 2 {
+		t.Fatalf("OLTP completions = %+v, want q11+q12", ex.Completed)
+	}
+	if ex.WaitTotal != 0.5 || ex.ExecTotal != 0.75 {
+		t.Errorf("wait/exec totals = %g/%g, want 0.5/0.75", ex.WaitTotal, ex.ExecTotal)
+	}
+	// Per-query velocities: q11 = 1 (no wait), q12 = 0.5.
+	if ex.VelocityMean != 0.75 {
+		t.Errorf("velocity mean = %g, want 0.75", ex.VelocityMean)
+	}
+	// OLTP queries are never held at the patroller: flat queue depth.
+	for i, d := range ex.QueueDepth {
+		if d != 0 {
+			t.Errorf("queue depth bin %d = %g, want 0 (unmanaged class)", i, d)
+		}
+	}
+	var sb strings.Builder
+	ex.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`Class 3 "orders" (OLTP, avg response <= 0.25)`, "periods 1-2",
+		"completed:             2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OLTP render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainJSONLRangeMatchesInMemory extends the streaming-equivalence
+// pin to range selectors and the OLTP class.
+func TestExplainJSONLRangeMatchesInMemory(t *testing.T) {
+	fixtures := []struct {
+		meta   Meta
+		events []Event
+		specs  []string
+	}{
+		{explainMeta(), explainEvents(), []string{"class=B period=1-2", "class=2 period=1-3", "class=1 period=2-3"}},
+		{oltpMeta(), oltpEvents(), []string{"class=C period=1-2", "class=orders period=1-3"}},
+	}
+	for _, fx := range fixtures {
+		raw := encodeJSONL(t, fx.meta, fx.events)
+		tf, err := ReadJSONL(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range fx.specs {
+			q, err := ParseExplainQuery(spec, tf.Meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exMem, err := Explain(tf, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exStream, err := ExplainJSONL(bytes.NewReader(raw), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mem, stream strings.Builder
+			exMem.Render(&mem)
+			exStream.Render(&stream)
+			if mem.String() != stream.String() {
+				t.Errorf("%s: streamed explain diverges from in-memory:\n--- in-memory\n%s\n--- streamed\n%s",
+					spec, mem.String(), stream.String())
+			}
+		}
+	}
+	// A bad range spec through the streaming path is a *SpecError.
+	raw := encodeJSONL(t, explainMeta(), explainEvents())
+	_, err := ExplainJSONL(bytes.NewReader(raw), "class=1 period=3-1")
+	var spec *SpecError
+	if !errors.As(err, &spec) {
+		t.Fatalf("reversed range: got %v, want *SpecError", err)
+	}
+}
+
 func TestExplainJSONLSpecError(t *testing.T) {
 	raw := encodeJSONL(t, explainMeta(), explainEvents())
 	_, err := ExplainJSONL(bytes.NewReader(raw), "class=9 period=1")
