@@ -18,12 +18,14 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/optimizer"
 	"repro/internal/patroller"
 	"repro/internal/rng"
+	"repro/internal/router"
 	"repro/internal/simclock"
 	"repro/internal/solver"
 	"repro/internal/utility"
@@ -528,6 +530,50 @@ func BenchmarkPatrollerChurn(b *testing.B) {
 		eng.Submit(&engine.Query{Class: 1, Cost: 100,
 			Demand: engine.Demand{Work: 0.001, CPURate: 1}})
 		clock.RunUntil(clock.Now() + 0.01)
+	}
+}
+
+// BenchmarkRouterRoute measures the routing tier's per-query decision:
+// score three heterogeneous backends with the default policy, pick the
+// argmax, and submit to the chosen engine, with engine churn underneath
+// so the queue/load signals stay live. allocs/op is the headline — one
+// alloc per op is the unpooled fleet query itself; the scoring and
+// argmax must add none.
+func BenchmarkRouterRoute(b *testing.B) {
+	clock := simclock.New()
+	specs := experiment.RoutingBackends()
+	roster := make([]backend.Backend, len(specs))
+	for i, spec := range specs {
+		roster[i] = backend.New(i+1, spec, clock)
+	}
+	rt := router.New(roster, router.DefaultScorers())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := rt.AcquireQuery()
+		q.Class = engine.ClassID(1 + i%3)
+		q.Cost = 100
+		q.Demand = engine.Demand{Work: 0.001, CPURate: 1, IORate: 0.2}
+		rt.Submit(q)
+		clock.RunUntil(clock.Now() + 0.01)
+	}
+}
+
+// BenchmarkRoutingFleet regenerates E14: the heterogeneous three-backend
+// fleet under the routing tier and the hierarchical budget split. The
+// reported share metrics are the router's verdict — the slow backend
+// should hold well under a fair third of the routed queries.
+func BenchmarkRoutingFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunFleet(experiment.RoutingMixedConfig())
+		var total int64
+		for _, n := range res.Routed {
+			total += n
+		}
+		if total > 0 {
+			b.ReportMetric(100*float64(res.Routed[0])/float64(total), "fast1-share%")
+			b.ReportMetric(100*float64(res.Routed[2])/float64(total), "slow-share%")
+		}
 	}
 }
 

@@ -58,12 +58,6 @@ func main() {
 		err = withLog(flag.Arg(0), func(r io.Reader) error {
 			return decisionlog.Why(out, r, *why, win)
 		})
-		var spec *decisionlog.SpecError
-		if errors.As(err, &spec) {
-			out.Flush()
-			fmt.Fprintln(os.Stderr, "qreport:", err)
-			os.Exit(2)
-		}
 	case *timeline:
 		err = withLog(flag.Arg(0), func(r io.Reader) error {
 			return decisionlog.Timeline(out, r, win)
@@ -74,6 +68,14 @@ func main() {
 		err = withLog(flag.Arg(0), func(r io.Reader) error {
 			return decisionlog.Summarize(out, r)
 		})
+	}
+	// Spec mistakes (bad class, tick window past the end of the log) are
+	// usage errors, not log problems: exit 2, like qtrace.
+	var spec *decisionlog.SpecError
+	if errors.As(err, &spec) {
+		out.Flush()
+		fmt.Fprintln(os.Stderr, "qreport:", err)
+		os.Exit(2)
 	}
 	if err == nil && *metricsPath != "" {
 		fmt.Fprintln(out)

@@ -4,6 +4,8 @@
 //
 //	qsim -exp fig4            # per-period performance, no class control
 //	qsim -exp fig6 -seed 7    # Query Scheduler run with another seed
+//	qsim -exp fig6 -backends 3  # same run on a 3-backend fleet
+//	qsim -exp routing         # E14: heterogeneous fleet + routing tier
 //	qsim -exp all             # everything, in paper order
 //	qsim -exp fig2 -parallel 8  # fan the sweep across 8 workers
 //
@@ -24,6 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/prof"
@@ -98,7 +101,8 @@ func (s *fileSink) close() {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|crashrecovery|infeasible|all")
+	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|crashrecovery|infeasible|routing|all")
+	backends := flag.Int("backends", 1, "number of identical backends behind the routing tier (Query Scheduler runs: -exp fig6|fig7); 1 = the classic single-engine rig, byte-identical to builds without a fleet")
 	replications := flag.Int("seeds", 5, "number of seeds for -exp replicated / detection-replicated")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs within an experiment (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
@@ -119,8 +123,16 @@ func main() {
 	pprofFile := flag.String("pprof-file", "", "profile output path (default qsim-cpu.pprof / qsim-heap.pprof)")
 	flag.Parse()
 
-	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true, "infeasible": true}
-	decCapable := map[string]bool{"fig6": true, "fig7": true, "infeasible": true}
+	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true, "infeasible": true, "routing": true}
+	decCapable := map[string]bool{"fig6": true, "fig7": true, "infeasible": true, "routing": true}
+	if *backends < 1 {
+		fmt.Fprintln(os.Stderr, "-backends must be at least 1")
+		os.Exit(2)
+	}
+	if *backends > 1 && *exp != "fig6" && *exp != "fig7" {
+		fmt.Fprintln(os.Stderr, "-backends applies to Query Scheduler runs: -exp fig6|fig7 (use -exp routing for the heterogeneous E14 fleet)")
+		os.Exit(2)
+	}
 	if (*traceFile != "" || *metricsFile != "") && *scenario == "" && *resumeDir == "" && !obsCapable[*exp] {
 		fmt.Fprintln(os.Stderr, "-trace/-metrics apply to a single mixed run: -exp fig4|fig5|fig6|fig7|infeasible or -scenario")
 		os.Exit(2)
@@ -372,6 +384,13 @@ func main() {
 		cfg.Faults = faults
 		cfg.CheckpointEvery = *checkpointEvery
 		cfg.CheckpointDir = *checkpointDir
+		if *backends > 1 {
+			if faults != nil || *mitigate {
+				fmt.Fprintln(os.Stderr, "-backends cannot be combined with -faults or -mitigate (fleet runs have no fault injector)")
+				os.Exit(2)
+			}
+			cfg.Backends = backend.DefaultSpecs(*backends)
+		}
 		if *mitigate {
 			if mode == experiment.QueryScheduler {
 				qc := experiment.MitigatedQSConfig()
@@ -445,6 +464,29 @@ func main() {
 		}
 		writeMixed("infeasible", res)
 		experiment.WriteInfeasibility(out, res)
+		fmt.Fprintln(out)
+	}
+	if *exp == "routing" { // not part of "all": the fleet is its own testbed
+		any = true
+		cfg := experiment.RoutingMixedConfig()
+		cfg.Seed = *seed
+		cfg.Trace = traceWriter()
+		cfg.Metrics = metricsSink.writer()
+		cfg.Decisions = decisionsSink.writer()
+		cfg.CheckpointEvery = *checkpointEvery
+		cfg.CheckpointDir = *checkpointDir
+		if faults != nil || *mitigate {
+			fmt.Fprintln(os.Stderr, "-exp routing cannot be combined with -faults or -mitigate (fleet runs have no fault injector)")
+			os.Exit(2)
+		}
+		res := experiment.RunFleet(cfg)
+		checkExport(res.MixedResult)
+		if err := res.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeMixed("routing", res.MixedResult)
+		experiment.WriteRouting(out, res)
 		fmt.Fprintln(out)
 	}
 	if run("overhead") {

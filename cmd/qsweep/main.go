@@ -7,9 +7,13 @@
 //	qsweep -param control-interval -values 30,60,120,300
 //	qsweep -param system-cost-limit -values 20000,30000,40000 -seed 2
 //	qsweep -param plan-step -values 250,500,1000,2000 -parallel 4
+//	qsweep -param system-cost-limit -values 20000,40000 -backends 3
 //
 // Parameters: control-interval, snapshot-interval, plan-step,
 // min-olap-limit, system-cost-limit, oltp-window.
+//
+// -backends N runs every swept value on a fleet of N identical
+// backends behind the routing tier instead of a single engine.
 //
 // Each swept value is an independent simulation run; -parallel fans them
 // across a worker pool (0 = GOMAXPROCS, 1 = serial). Rows print in value
@@ -28,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/fault"
@@ -123,10 +128,15 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a crash-consistent checkpoint every N control boundaries into a per-value subdirectory of -checkpoint-dir")
 	checkpointDir := flag.String("checkpoint-dir", "", "root directory for per-value checkpoint subdirectories")
 	resume := flag.Bool("resume", false, "resume swept values that left a checkpoint under -checkpoint-dir (values without one run fresh); pass the same -param/-values/-trace/-metrics as the interrupted sweep")
+	backends := flag.Int("backends", 1, "run every swept value on a fleet of N identical backends behind the routing tier (1 = classic single engine)")
 	flag.Parse()
 
 	if (*checkpointEvery > 0 || *resume) && *checkpointDir == "" {
 		fmt.Fprintln(os.Stderr, "-checkpoint-every/-resume require -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *backends < 1 {
+		fmt.Fprintln(os.Stderr, "-backends must be at least 1")
 		os.Exit(2)
 	}
 	profFile := *pprofFile
@@ -153,6 +163,15 @@ func main() {
 		}
 	}
 	defer stopProfile()
+
+	if *backends > 1 && (*faultsFile != "" || *mitigate) {
+		fmt.Fprintln(os.Stderr, "-faults/-mitigate are not supported on fleet runs (-backends > 1)")
+		os.Exit(2)
+	}
+	var fleetSpecs []backend.Spec
+	if *backends > 1 {
+		fleetSpecs = backend.DefaultSpecs(*backends)
+	}
 
 	var faults *fault.Plan
 	if *faultsFile != "" {
@@ -293,6 +312,7 @@ func main() {
 			Retry:           retry,
 			CheckpointEvery: *checkpointEvery,
 			CheckpointDir:   ckptDirs[i],
+			Backends:        fleetSpecs,
 		})
 	})
 	// Flush every sink before reporting: a crashed value must not cost the

@@ -1,0 +1,170 @@
+// Package backend bundles one simulated engine with its admission-
+// control stack — patroller, Query Scheduler, per-backend metrics
+// collector — behind a single handle the routing tier composes into a
+// fleet. The classic single-engine rig is exactly one backend; a fleet
+// run stands up N of them on one shared clock, each with its own
+// capacity profile, and routes every query to one of them.
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/patroller"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// Spec is one backend's capacity profile and routing bias — the
+// heterogeneous part of a fleet configuration.
+type Spec struct {
+	// Name labels the backend in traces, decision logs, and metrics.
+	Name string
+	// CPUCapacity / IOCapacity / ContentionAlpha override the engine's
+	// defaults (zero = paper default), so a fleet can mix fast and slow
+	// boxes.
+	CPUCapacity     float64
+	IOCapacity      float64
+	ContentionAlpha float64
+	// Affinity biases the router's class-affinity scorer toward this
+	// backend for the listed classes. Unlisted classes score 1 (no
+	// preference); values must be positive.
+	Affinity map[engine.ClassID]float64
+}
+
+// EngineConfig resolves the spec into a full engine configuration,
+// filling unset fields from the paper defaults.
+func (s Spec) EngineConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	if s.CPUCapacity > 0 {
+		cfg.CPUCapacity = s.CPUCapacity
+	}
+	if s.IOCapacity > 0 {
+		cfg.IOCapacity = s.IOCapacity
+	}
+	if s.ContentionAlpha > 0 {
+		cfg.ContentionAlpha = s.ContentionAlpha
+	}
+	return cfg
+}
+
+// DefaultSpecs returns n identical paper-default backends named b1..bn —
+// the -backends N fleet. A single default spec reproduces the classic
+// single-engine rig exactly.
+func DefaultSpecs(n int) []Spec {
+	out := make([]Spec, n)
+	for i := range out {
+		out[i].Name = fmt.Sprintf("b%d", i+1)
+	}
+	return out
+}
+
+// Backend is what the routing tier sees: identity, the engine queries
+// execute on, and the queue/load signals the scorers read. Instance is
+// the one concrete implementation; the interface keeps the router
+// testable with stubs.
+type Backend interface {
+	// ID is the backend's 1-based fleet index.
+	ID() int
+	// Name is the spec's label.
+	Name() string
+	// Engine returns the backend's execution engine.
+	Engine() *engine.Engine
+	// QueueDepth is the number of queries held at the backend's
+	// admission gate (0 when no patroller is attached).
+	QueueDepth() int
+	// Load is the backend's current demand relative to capacity: the
+	// busier station's utilization (may exceed 1 when oversubscribed).
+	Load() float64
+	// Affinity is the spec's routing bias for a class (1 = neutral).
+	Affinity(class engine.ClassID) float64
+}
+
+// Instance is one concrete backend: an engine plus (once attached) its
+// patroller, per-backend Query Scheduler, and per-backend collector.
+type Instance struct {
+	id   int
+	spec Spec
+
+	Eng *engine.Engine
+	Pat *patroller.Patroller
+	QS  *core.QueryScheduler
+	// Collector is the backend-local period × class view — what landed
+	// here, as opposed to the fleet-global collector that sees all
+	// backends at once.
+	Collector *metrics.Collector
+}
+
+// New builds a backend's engine on the shared clock. Control
+// (patroller + scheduler) and metrics attach separately, mirroring the
+// construction order of the single-engine rig.
+func New(id int, spec Spec, clock *simclock.Clock) *Instance {
+	if id <= 0 {
+		panic(fmt.Sprintf("backend: non-positive backend ID %d", id))
+	}
+	for class, w := range spec.Affinity {
+		if w <= 0 {
+			panic(fmt.Sprintf("backend: %s: non-positive affinity %v for class %d", spec.Name, w, class))
+		}
+	}
+	return &Instance{id: id, spec: spec, Eng: engine.New(spec.EngineConfig(), clock)}
+}
+
+// ID returns the backend's 1-based fleet index.
+func (b *Instance) ID() int { return b.id }
+
+// Name returns the spec's label.
+func (b *Instance) Name() string { return b.spec.Name }
+
+// Spec returns the backend's configuration.
+func (b *Instance) Spec() Spec { return b.spec }
+
+// Engine returns the backend's execution engine.
+func (b *Instance) Engine() *engine.Engine { return b.Eng }
+
+// QueueDepth returns the patroller's held-queue length.
+func (b *Instance) QueueDepth() int {
+	if b.Pat == nil {
+		return 0
+	}
+	return b.Pat.HeldCount()
+}
+
+// Load returns the busier station's demand relative to capacity.
+func (b *Instance) Load() float64 {
+	cpu, io := b.Eng.Utilization()
+	if io > cpu {
+		return io
+	}
+	return cpu
+}
+
+// Affinity returns the spec's routing bias for a class (1 = neutral).
+func (b *Instance) Affinity(class engine.ClassID) float64 {
+	if w, ok := b.spec.Affinity[class]; ok {
+		return w
+	}
+	return 1
+}
+
+// AttachControl wires the backend's admission stack: a patroller over
+// the OLAP classes and a started per-backend Query Scheduler. The
+// scheduler's monitor polls only this backend's engine, so each member
+// of a fleet plans against what actually landed on it.
+func (b *Instance) AttachControl(qsCfg core.Config, classes []*workload.Class,
+	olap []engine.ClassID, oltpClients func() []engine.ClientID) {
+	b.Pat = patroller.New(b.Eng, olap...)
+	qs, err := core.New(qsCfg, b.Eng, b.Pat, classes, oltpClients)
+	if err != nil {
+		panic(err)
+	}
+	b.QS = qs
+	qs.Start()
+}
+
+// AttachCollector builds the backend-local metrics collector.
+func (b *Instance) AttachCollector(classes []*workload.Class, sched workload.Schedule) {
+	b.Collector = metrics.NewCollector(b.Eng, classes, sched)
+}

@@ -133,6 +133,37 @@ func TestLatestSkipsCorruptAndFallsBack(t *testing.T) {
 	}
 }
 
+// TestLatestSkipsTruncatedMidPayload pins the crash shape a torn write
+// leaves behind: the newest file cut off partway through its payload
+// (header intact, length field promising more bytes than exist). Latest
+// must warn, skip it, and hand back the older valid snapshot.
+func TestLatestSkipsTruncatedMidPayload(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 2; i++ {
+		if err := Write(dir, i, samplePayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, FileName(2))
+	corruptAt(t, path, func(d []byte) []byte {
+		cut := len(magic) + 16 + (len(d)-len(magic)-16)/2
+		return d[:cut]
+	})
+
+	var got payload
+	var warn bytes.Buffer
+	idx, ok, err := Latest(dir, &got, &warn)
+	if err != nil || !ok {
+		t.Fatalf("Latest: ok=%v err=%v", ok, err)
+	}
+	if idx != 1 || got.Index != 1 {
+		t.Fatalf("resumed from %d (payload %d), want 1", idx, got.Index)
+	}
+	if !strings.Contains(warn.String(), "skipping") || !strings.Contains(warn.String(), FileName(2)) {
+		t.Errorf("warning should name the truncated file: %q", warn.String())
+	}
+}
+
 func TestLatestEmptyDir(t *testing.T) {
 	var got payload
 	if _, ok, err := Latest(t.TempDir(), &got, nil); ok || err != nil {

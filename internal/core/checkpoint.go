@@ -76,6 +76,10 @@ type CheckpointState struct {
 	SLOObserved []ClassCount  // sorted by class
 	SLOMet      []ClassCount  // sorted by class
 	SLOWindows  []ClassWindow // sorted by class
+	// SystemCostLimit is the budget in force at the boundary: a fleet
+	// controller may have re-targeted it via SetSystemCostLimit since
+	// construction, so the config value alone is not authoritative.
+	SystemCostLimit float64
 }
 
 func planEntries(p solver.Plan) []PlanEntry {
@@ -98,6 +102,8 @@ func (qs *QueryScheduler) CheckpointState() CheckpointState {
 		OLTPTput:  qs.oltpTput.CheckpointState(),
 		Detector:  qs.detector.CheckpointState(),
 		Monitor:   qs.mon.checkpointState(),
+
+		SystemCostLimit: qs.cfg.SystemCostLimit,
 	}
 	if qs.ticker != nil {
 		st.Ticker = qs.ticker.State()
@@ -143,6 +149,9 @@ func (qs *QueryScheduler) RestoreCheckpoint(st CheckpointState) {
 	qs.history = st.History
 	qs.heldTicks = st.HeldTicks
 	qs.running = st.Running
+	if st.SystemCostLimit > 0 {
+		qs.cfg.SystemCostLimit = st.SystemCostLimit
+	}
 	qs.ticker.Restore(st.Ticker.Ref, st.Ticker.Active)
 	qs.oltpModel.RestoreCheckpoint(st.OLTPModel)
 	qs.oltpTput.RestoreCheckpoint(st.OLTPTput)

@@ -305,6 +305,19 @@ func (qs *QueryScheduler) StopWith(mode StopMode) {
 // including the OLTP class's virtual limit). The returned plan is a copy.
 func (qs *QueryScheduler) CostLimits() solver.Plan { return qs.limits.Clone() }
 
+// SetSystemCostLimit re-targets the total budget the per-class solver
+// splits. A fleet-level controller calls this each interval to hand
+// every backend its share of the global budget; the next control tick
+// plans against the new total. Single-backend runs never call it, so
+// their byte-identical goldens are untouched. The current plan is left
+// as is — the solver rescales at the next tick.
+func (qs *QueryScheduler) SetSystemCostLimit(limit float64) {
+	if limit <= 0 {
+		panic(fmt.Sprintf("core: system cost limit %v must be positive", limit))
+	}
+	qs.cfg.SystemCostLimit = limit
+}
+
 // History returns all control-interval records so far, deep-copied:
 // mutating the result never corrupts the scheduler's live state.
 func (qs *QueryScheduler) History() []PlanRecord {

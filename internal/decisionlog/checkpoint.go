@@ -5,12 +5,26 @@
 // counter and pending record — continues byte-identically.
 package decisionlog
 
-// CheckpointState is the writer's serializable state.
+import "sort"
+
+// StreamState is one fleet backend's tick counter and pending record in
+// serialized (sorted-by-backend) form.
+type StreamState struct {
+	Backend    int
+	Tick       int
+	HasPending bool
+	Pending    Record
+}
+
+// CheckpointState is the writer's serializable state. The legacy single
+// stream lives in Tick/HasPending/Pending; fleet backends (1..N) in
+// Streams, sorted by backend ID.
 type CheckpointState struct {
 	Tick       int
 	SinkBytes  int64
 	HasPending bool
 	Pending    Record
+	Streams    []StreamState
 }
 
 // CheckpointState captures the writer at a quiescent boundary.
@@ -20,13 +34,22 @@ func (dw *Writer) CheckpointState() CheckpointState {
 		st.HasPending = true
 		st.Pending = *dw.pending
 	}
+	for b, tick := range dw.bticks {
+		ss := StreamState{Backend: b, Tick: tick}
+		if p := dw.bpending[b]; p != nil {
+			ss.HasPending = true
+			ss.Pending = *p
+		}
+		st.Streams = append(st.Streams, ss)
+	}
+	sort.Slice(st.Streams, func(i, j int) bool { return st.Streams[i].Backend < st.Streams[j].Backend })
 	return st
 }
 
 // RestoreCheckpoint overwrites a fresh (Resume)Writer with checkpointed
 // state. The caller must have truncated the sink to st.SinkBytes first.
 func (dw *Writer) RestoreCheckpoint(st CheckpointState) {
-	if dw.tick != 0 || dw.pending != nil {
+	if dw.tick != 0 || dw.pending != nil || dw.bticks != nil {
 		panic("decisionlog: checkpoint restore onto a used writer")
 	}
 	dw.tick = st.Tick
@@ -34,5 +57,16 @@ func (dw *Writer) RestoreCheckpoint(st CheckpointState) {
 	if st.HasPending {
 		p := st.Pending
 		dw.pending = &p
+	}
+	if len(st.Streams) > 0 {
+		dw.bticks = make(map[int]int, len(st.Streams))
+		dw.bpending = make(map[int]*Record, len(st.Streams))
+		for _, ss := range st.Streams {
+			dw.bticks[ss.Backend] = ss.Tick
+			if ss.HasPending {
+				p := ss.Pending
+				dw.bpending[ss.Backend] = &p
+			}
+		}
 	}
 }

@@ -42,6 +42,14 @@ type ClassMeta struct {
 	Importance int     `json:"importance"`
 }
 
+// BackendMeta describes one fleet backend in the meta line.
+type BackendMeta struct {
+	ID   int     `json:"id"` // 1-based, matches Record.Backend
+	Name string  `json:"name"`
+	CPU  float64 `json:"cpu"`
+	IO   float64 `json:"io"`
+}
+
 // Meta is the log's first line: format version, run identity, and the
 // class roster with goals.
 type Meta struct {
@@ -53,6 +61,9 @@ type Meta struct {
 	SLOWindow       int         `json:"slo_window"`
 	SLOBudget       float64     `json:"slo_budget"`
 	Classes         []ClassMeta `json:"classes"`
+	// Backends is the fleet roster; empty (and omitted) for
+	// single-backend runs, keeping legacy logs byte-identical.
+	Backends []BackendMeta `json:"backends,omitempty"`
 }
 
 // ClassDecision is one class's row in a decision record: the measured
@@ -93,10 +104,14 @@ type Outcome struct {
 // Record is one control tick's decision, in audit order: inputs,
 // predictions, search, actuation, and (back-filled) outcome.
 type Record struct {
-	Type string  `json:"type"` // always "decision"
-	Tick int     `json:"tick"` // 1-based control tick index
-	T    float64 `json:"t"`    // sim time of the tick
-	Held bool    `json:"held,omitempty"`
+	Type string `json:"type"` // always "decision"
+	// Backend is the 1-based fleet backend this tick belongs to; 0 (and
+	// omitted) in single-backend logs. Each backend's ticks form an
+	// independent stream with its own tick counter.
+	Backend int     `json:"backend,omitempty"`
+	Tick    int     `json:"tick"` // 1-based control tick index per stream
+	T       float64 `json:"t"`    // sim time of the tick
+	Held    bool    `json:"held,omitempty"`
 	// Dropped / OLTPDropout flag fault-degraded harvests feeding the tick.
 	Dropped     bool `json:"dropped,omitempty"`
 	OLTPDropout bool `json:"oltp_dropout,omitempty"`
@@ -147,6 +162,12 @@ type Writer struct {
 	tick    int
 	bytes   int64
 	pending *Record
+	// bticks/bpending are the per-backend tick counters and one-tick
+	// buffers of a fleet log (streams 1..N); the legacy single stream
+	// stays in tick/pending so its hot path and checkpoints are
+	// untouched. Nil until NoteBackend is first called.
+	bticks   map[int]int
+	bpending map[int]*Record
 	//lint:ignore ckptcover latched export error; a resumed run reopens the sink and starts clean
 	err error
 }
@@ -214,20 +235,61 @@ func (dw *Writer) Note(rec core.PlanRecord) {
 		dw.pending.Actual = dw.outcomes(dw.pending, rec.Measurement)
 		dw.writeRecord(dw.pending)
 	}
-	r := dw.buildRecord(rec)
+	r := dw.buildRecord(0, dw.tick, dw.pending, rec)
 	dw.pending = &r
 }
 
-// Flush writes the trailing pending record (without Actual — no later
-// harvest closed its window). Call once at end of run; checkpoint
-// capture deliberately does NOT flush, so the byte offset stays at a
-// record boundary the resumed writer reproduces.
-func (dw *Writer) Flush() {
-	if dw.pending == nil {
+// NoteBackend is Note for one backend's stream of a fleet log: each
+// backend's scheduler gets its own tick counter and one-tick buffer, so
+// N interleaved control loops share a single sink without clobbering
+// each other's prediction windows. Install per backend with
+// qs.OnPlan(func(rec core.PlanRecord) { dw.NoteBackend(b, rec) }).
+// Backend 0 is the legacy single stream (identical to Note).
+func (dw *Writer) NoteBackend(b int, rec core.PlanRecord) {
+	if b == 0 {
+		dw.Note(rec)
 		return
 	}
-	dw.writeRecord(dw.pending)
-	dw.pending = nil
+	if dw.bticks == nil {
+		dw.bticks = make(map[int]int)
+		dw.bpending = make(map[int]*Record)
+	}
+	dw.bticks[b]++
+	prev := dw.bpending[b]
+	if prev != nil {
+		prev.Actual = dw.outcomes(prev, rec.Measurement)
+		dw.writeRecord(prev)
+	}
+	r := dw.buildRecord(b, dw.bticks[b], prev, rec)
+	dw.bpending[b] = &r
+}
+
+// Flush writes the trailing pending records (without Actual — no later
+// harvest closed their windows), backend streams in ascending order.
+// Call once at end of run; checkpoint capture deliberately does NOT
+// flush, so the byte offset stays at a record boundary the resumed
+// writer reproduces.
+func (dw *Writer) Flush() {
+	if dw.pending != nil {
+		dw.writeRecord(dw.pending)
+		dw.pending = nil
+	}
+	for _, b := range sortedStreamIDs(dw.bpending) {
+		if p := dw.bpending[b]; p != nil {
+			dw.writeRecord(p)
+			delete(dw.bpending, b)
+		}
+	}
+}
+
+// sortedStreamIDs returns the map's backend IDs in ascending order.
+func sortedStreamIDs(m map[int]*Record) []int {
+	ids := make([]int, 0, len(m))
+	for b := range m {
+		ids = append(ids, b)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // SinkBytes returns the bytes written to the sink so far (the pending
@@ -254,13 +316,15 @@ func (dw *Writer) writeRecord(r *Record) {
 	}
 }
 
-// buildRecord renders a PlanRecord into its serialized form. Rows are
-// emitted for every roster class in ID order; held ticks carry only the
-// measured/limit columns.
-func (dw *Writer) buildRecord(rec core.PlanRecord) Record {
+// buildRecord renders a PlanRecord into its serialized form for one
+// stream. Rows are emitted for every roster class in ID order; held
+// ticks carry only the measured/limit columns. prev is the stream's
+// previous record (the source of PrevLimit), tick its 1-based counter.
+func (dw *Writer) buildRecord(backend, tick int, prev *Record, rec core.PlanRecord) Record {
 	r := Record{
 		Type:        "decision",
-		Tick:        dw.tick,
+		Backend:     backend,
+		Tick:        tick,
 		T:           float64(rec.Time),
 		Held:        rec.Held,
 		Dropped:     rec.Measurement.Dropped,
@@ -283,9 +347,9 @@ func (dw *Writer) buildRecord(rec core.PlanRecord) Record {
 			Limit: rec.Limits[id],
 			Goal:  cm.Target,
 		}
-		if dw.pending != nil {
-			if prev := dw.pending.classRow(int(id)); prev != nil {
-				cd.PrevLimit = prev.Limit
+		if prev != nil {
+			if row := prev.classRow(int(id)); row != nil {
+				cd.PrevLimit = row.Limit
 			}
 		}
 		cd.Measured, cd.Samples, cd.Idle = measuredValue(cm, rec.Measurement)

@@ -56,6 +56,24 @@ func ParseTickRange(spec string) (TickRange, error) {
 	return tr, nil
 }
 
+// Validate rejects a window whose explicit bounds lie beyond the log's
+// last tick. A request like tick=3-99 against a 57-tick log is a spec
+// mistake; rendering a silently empty (or silently truncated) breakdown
+// would hide it, so report it as an error instead.
+func (tr TickRange) Validate(lastTick int) error {
+	hi := tr.To
+	if hi == 0 {
+		hi = tr.From
+	}
+	if hi == 0 || hi <= lastTick {
+		return nil
+	}
+	if tr.From == tr.To {
+		return fmt.Errorf("report: tick %d out of range 1..%d", hi, lastTick)
+	}
+	return fmt.Errorf("report: tick range %d-%d extends past last tick %d", tr.From, tr.To, lastTick)
+}
+
 // Contains reports whether tick falls in the window.
 func (tr TickRange) Contains(tick int) bool {
 	if tr.From > 0 && tick < tr.From {
@@ -251,16 +269,47 @@ func (a *summaryAcc) className(id int) string {
 
 // Summarize streams a decision log and writes the run summary: header,
 // solver/feasibility tallies, and the SLO attainment table. Nothing is
-// written until the scan succeeds.
+// written until the scan succeeds. Fleet logs (meta carrying a backend
+// roster) get one summary section per backend stream, plus the roster.
 func Summarize(w io.Writer, r io.Reader) error {
-	var acc *summaryAcc
+	var meta Meta
+	accs := make(map[int]*summaryAcc)
 	err := ScanJSONL(r,
-		func(m Meta) error { acc = newSummaryAcc(m); return nil },
-		func(rec Record) error { acc.add(rec); return nil })
+		func(m Meta) error { meta = m; return nil },
+		func(rec Record) error {
+			a := accs[rec.Backend]
+			if a == nil {
+				a = newSummaryAcc(meta)
+				accs[rec.Backend] = a
+			}
+			a.add(rec)
+			return nil
+		})
 	if err != nil {
 		return err
 	}
-	acc.render(w)
+	if len(meta.Backends) == 0 {
+		a := accs[0]
+		if a == nil {
+			a = newSummaryAcc(meta)
+		}
+		a.render(w)
+		return nil
+	}
+	fmt.Fprintf(w, "Fleet decision log: %s (seed %d), format v%d — %d backends\n",
+		meta.Experiment, meta.Seed, meta.Version, len(meta.Backends))
+	for _, b := range meta.Backends {
+		fmt.Fprintf(w, "  backend %d %q: cpu %g, io %g\n", b.ID, b.Name, b.CPU, b.IO)
+	}
+	for _, b := range meta.Backends {
+		fmt.Fprintf(w, "\n=== backend %d: %s ===\n", b.ID, b.Name)
+		a := accs[b.ID]
+		if a == nil {
+			fmt.Fprintf(w, "(no decision records)\n")
+			continue
+		}
+		a.render(w)
+	}
 	return nil
 }
 
@@ -271,19 +320,30 @@ func Summarize(w io.Writer, r io.Reader) error {
 // the returned error.
 func Timeline(w io.Writer, r io.Reader, window TickRange) error {
 	var meta Meta
-	return ScanJSONL(r,
+	lastTick := 0
+	err := ScanJSONL(r,
 		func(m Meta) error {
 			meta = m
 			fmt.Fprintf(w, "Decision timeline: %s (seed %d)\n", m.Experiment, m.Seed)
 			return nil
 		},
 		func(rec Record) error {
+			if rec.Tick > lastTick {
+				lastTick = rec.Tick
+			}
 			if !window.Contains(rec.Tick) {
 				return nil
 			}
 			writeTimelineLine(w, meta, rec)
 			return nil
 		})
+	if err != nil {
+		return err
+	}
+	if verr := window.Validate(lastTick); verr != nil {
+		return &SpecError{Err: verr}
+	}
+	return nil
 }
 
 func writeTimelineLine(w io.Writer, meta Meta, rec Record) {
@@ -383,7 +443,8 @@ func ParseWhyQuery(spec string, meta Meta) (WhyQuery, error) {
 // actual outcome. Spec errors are wrapped in *SpecError.
 func Why(w io.Writer, r io.Reader, spec string, window TickRange) error {
 	var q WhyQuery
-	return ScanJSONL(r,
+	lastTick := 0
+	err := ScanJSONL(r,
 		func(m Meta) error {
 			var err error
 			if q, err = ParseWhyQuery(spec, m); err != nil {
@@ -399,12 +460,24 @@ func Why(w io.Writer, r io.Reader, spec string, window TickRange) error {
 			return nil
 		},
 		func(rec Record) error {
+			if rec.Tick > lastTick {
+				lastTick = rec.Tick
+			}
 			if !window.Contains(rec.Tick) || !q.Window.Contains(rec.Tick) {
 				return nil
 			}
 			writeWhyLine(w, q.Class, rec)
 			return nil
 		})
+	if err != nil {
+		return err
+	}
+	for _, tr := range []TickRange{window, q.Window} {
+		if verr := tr.Validate(lastTick); verr != nil {
+			return &SpecError{Err: verr}
+		}
+	}
+	return nil
 }
 
 // writeWhyLine renders one tick's decision for one class.
@@ -485,6 +558,11 @@ func writeWhyLine(w io.Writer, cm ClassMeta, rec Record) {
 type Attribution struct {
 	Class     ClassMeta
 	Completed int // logical queries completing inside the trace
+	// Submitted counts logical queries first submitted inside the trace
+	// and Aborted counts abort events; together they let a class whose
+	// every query was lost to faults (zero completions) still carry its
+	// miss instead of silently reporting 0.
+	Submitted, Aborted int
 
 	// Per-logical-query time totals from the trace: fault time (failed
 	// attempts and retry backoff, first submit to last submit), admission
@@ -539,8 +617,14 @@ func (a *attrAcc) add(e trace.Event) {
 		if first, ok := a.carry[e.Client]; ok {
 			st.firstSubmit = first
 			delete(a.carry, e.Client)
+		} else if at := a.class[int(e.Class)]; at != nil {
+			at.Submitted++ // a carry-claiming submit is a retry, not a new logical query
 		}
 		a.inflight[e.Query] = st
+	case trace.QueryAborted:
+		if at := a.class[int(e.Class)]; at != nil {
+			at.Aborted++
+		}
 	case trace.QueryStart:
 		if st := a.inflight[e.Query]; st != nil {
 			st.start = float64(e.Time)
@@ -658,6 +742,7 @@ func metaClass(meta Meta, id int) (ClassMeta, bool) {
 func (at *Attribution) attribute() {
 	resp := at.FaultTime + at.WaitTime + at.ExecTime
 	if at.Completed == 0 || resp <= 0 {
+		at.attributeLost()
 		return
 	}
 	target := at.Class.Target
@@ -691,6 +776,27 @@ func (at *Attribution) attribute() {
 	rem -= at.FaultShare
 	at.WaitShare = clamp(waitRecovery, 0, rem)
 	at.ExecShare = rem - at.WaitShare
+}
+
+// attributeLost handles the all-lost window: a class that submitted
+// queries but completed none because every attempt aborted under fault
+// injection. A velocity goal counts lost queries as velocity-0
+// deliveries (mirroring metrics.Collector), so the whole target is
+// missed; the miss is peeled into the infeasible share and the
+// remainder charged to faults, keeping the sum-to-miss invariant with
+// no division by the zero completion count. Response-time classes have
+// no honest number for a lost query and stay unmeasured, exactly like
+// the collector.
+func (at *Attribution) attributeLost() {
+	if at.Submitted == 0 || at.Aborted == 0 || !velocityGoal(at.Class) {
+		return
+	}
+	at.Observed = 0
+	at.Miss = at.Class.Target
+	if at.HasCeiling {
+		at.InfeasibleShare = clamp(at.Class.Target-at.BestCeiling, 0, at.Miss)
+	}
+	at.FaultShare = at.Miss - at.InfeasibleShare
 }
 
 func clamp(v, lo, hi float64) float64 {

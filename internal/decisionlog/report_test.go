@@ -349,6 +349,145 @@ func TestAttributeSameInstantHandoff(t *testing.T) {
 	}
 }
 
+func TestTickRangeValidate(t *testing.T) {
+	for _, tc := range []struct {
+		tr       TickRange
+		lastTick int
+		bad      bool
+	}{
+		{tr: TickRange{}, lastTick: 3},               // open window always fits
+		{tr: TickRange{From: 3, To: 3}, lastTick: 3}, // last tick inclusive
+		{tr: TickRange{From: 1, To: 3}, lastTick: 3}, // full range
+		{tr: TickRange{From: 4, To: 4}, lastTick: 3, bad: true},
+		{tr: TickRange{From: 3, To: 99}, lastTick: 3, bad: true},
+		{tr: TickRange{From: 1, To: 2}, lastTick: 0, bad: true}, // empty log
+	} {
+		err := tc.tr.Validate(tc.lastTick)
+		if (err != nil) != tc.bad {
+			t.Errorf("Validate(%+v, last=%d) = %v", tc.tr, tc.lastTick, err)
+		}
+	}
+}
+
+// A window reaching past the log's last tick is a spec mistake, not an
+// empty result: both -timeline and -why must fail with a SpecError so
+// qreport exits 2 instead of printing a silently truncated breakdown.
+func TestTimelineRejectsWindowPastLastTick(t *testing.T) {
+	log := buildTestLog(t) // 3 ticks
+	for _, tr := range []TickRange{{From: 99, To: 99}, {From: 3, To: 99}} {
+		var out bytes.Buffer
+		err := Timeline(&out, bytes.NewReader(log), tr)
+		var spec *SpecError
+		if !errors.As(err, &spec) {
+			t.Errorf("Timeline(%+v) = %v, want SpecError", tr, err)
+		}
+	}
+	// The full in-range window still renders.
+	var out bytes.Buffer
+	if err := Timeline(&out, bytes.NewReader(log), TickRange{From: 1, To: 3}); err != nil {
+		t.Fatalf("in-range window rejected: %v", err)
+	}
+}
+
+func TestWhyRejectsWindowPastLastTick(t *testing.T) {
+	log := buildTestLog(t) // 3 ticks
+	var out bytes.Buffer
+	err := Why(&out, bytes.NewReader(log), "class=A tick=3-99", TickRange{})
+	var spec *SpecError
+	if !errors.As(err, &spec) {
+		t.Fatalf("spec window past end = %v, want SpecError", err)
+	}
+	// The -window flag's range is validated too.
+	err = Why(&out, bytes.NewReader(log), "class=A", TickRange{From: 7, To: 7})
+	if !errors.As(err, &spec) {
+		t.Fatalf("flag window past end = %v, want SpecError", err)
+	}
+	if err = Why(&out, bytes.NewReader(log), "class=A tick=2-3", TickRange{}); err != nil {
+		t.Fatalf("in-range window rejected: %v", err)
+	}
+}
+
+// TestAttributeAllAbortedClass pins the fault-injection corner where a
+// class submits queries but completes none (every attempt aborted): the
+// shares must carry the full miss instead of silently reporting zero,
+// and nothing may divide by the zero completion count.
+func TestAttributeAllAbortedClass(t *testing.T) {
+	log := buildTestLog(t)
+	// Class 1 (velocity goal 0.4): two submits, both aborted, no done.
+	// Class 3 (RT goal): one normal query so the roster stays measurable.
+	tr := traceJSONL(
+		ev(0, "submit", 1, 1, 1),
+		ev(0, "submit", 3, 10, 40),
+		ev(0, "start", 3, 10, 40),
+		ev(0.1, "done", 3, 10, 40),
+		ev(5, "abort", 1, 1, 1),
+		ev(10, "submit", 1, 2, 2),
+		ev(15, "abort", 1, 2, 2),
+	)
+	rows, _, err := Attribute(bytes.NewReader(log), strings.NewReader(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	olap := rows[0]
+	if olap.Completed != 0 || olap.Submitted != 2 || olap.Aborted != 2 {
+		t.Fatalf("OLAP tallies: %+v", olap)
+	}
+	checkShares(t, olap)
+	// All-lost velocity counts as velocity-0 deliveries (mirroring the
+	// metrics collector): the whole target is missed, and with the log's
+	// ceiling (0.8) above the goal nothing is infeasible — the miss lands
+	// entirely on faults.
+	if olap.Observed != 0 || !close1e9(olap.Miss, 0.4) {
+		t.Fatalf("OLAP observed/miss: %+v", olap)
+	}
+	if olap.InfeasibleShare != 0 || !close1e9(olap.FaultShare, 0.4) {
+		t.Fatalf("OLAP shares: %+v", olap)
+	}
+	// NaN in any share would poison the table render.
+	for _, v := range []float64{olap.Observed, olap.Miss, olap.FaultShare, olap.ExecShare} {
+		if v != v {
+			t.Fatalf("NaN share: %+v", olap)
+		}
+	}
+}
+
+// An all-aborted class under an unreachable goal peels the infeasible
+// part off first, exactly like the completed-query path.
+func TestAttributeAllAbortedInfeasibleClass(t *testing.T) {
+	var buf bytes.Buffer
+	dw, err := NewWriter(&buf, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRec(60, 0.2, 0.2)
+	rec.Search.Classes[0].Ceiling = 0.3
+	rec.Search.Classes[0].GoalMet = false
+	rec.Search.Classes[0].Reachable = false
+	dw.Note(rec)
+	dw.Flush()
+
+	tr := traceJSONL(
+		ev(0, "submit", 1, 1, 1),
+		ev(5, "abort", 1, 1, 1),
+	)
+	rows, _, err := Attribute(bytes.NewReader(buf.Bytes()), strings.NewReader(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	olap := rows[0]
+	checkShares(t, olap)
+	// Miss 0.4: ceiling 0.3 makes 0.1 structurally unfixable, the
+	// remaining 0.3 is charged to the faults that ate every query.
+	if !close1e9(olap.Miss, 0.4) || !close1e9(olap.InfeasibleShare, 0.1) || !close1e9(olap.FaultShare, 0.3) {
+		t.Fatalf("shares: %+v", olap)
+	}
+	// An RT class with zero completions has no honest observed number:
+	// it stays unmeasured rather than inventing a miss.
+	if oltp := rows[1]; oltp.Miss != 0 || oltp.Observed != 0 {
+		t.Fatalf("OLTP row should stay unmeasured: %+v", oltp)
+	}
+}
+
 func checkShares(t *testing.T, at Attribution) {
 	t.Helper()
 	sum := at.InfeasibleShare + at.FaultShare + at.WaitShare + at.ExecShare

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/backend"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/decisionlog"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/patroller"
+	"repro/internal/router"
 	"repro/internal/simclock"
 	"repro/internal/solver"
 	"repro/internal/trace"
@@ -73,6 +75,9 @@ type RunSpec struct {
 	// Streaming records whether the pool used the streaming client
 	// generator; resume must rebuild it the same way.
 	Streaming bool
+	// Backends records the fleet roster for multi-backend runs (nil for
+	// the classic single-engine rig); resume rebuilds the same fleet.
+	Backends []backend.Spec
 }
 
 // runSnapshot is the gob payload of one checkpoint file.
@@ -96,6 +101,13 @@ type runSnapshot struct {
 	Reg        obs.CheckpointState
 	HasDlog    bool
 	Dlog       decisionlog.CheckpointState
+
+	// Fleet sections, populated only when Spec.Backends lists two or more
+	// specs (the Engine/Pat/QS/Collector fields above stay zero then; the
+	// shared sections — Clock, Pool, Boundaries, exports — are reused).
+	FleetBackends []backend.CheckpointState
+	Router        router.CheckpointState
+	Planner       router.PlannerCheckpointState
 }
 
 // solverSpec names a solver for the run spec. Only the built-in
@@ -142,6 +154,7 @@ func specFromConfig(cfg MixedConfig, classes []*workload.Class) RunSpec {
 		HasMetrics:   cfg.Metrics != nil,
 		HasDecisions: cfg.Decisions != nil,
 		Streaming:    cfg.StreamingClients,
+		Backends:     cfg.Backends,
 	}
 	if cfg.QS != nil {
 		spec.HasQSCfg = true
@@ -184,6 +197,7 @@ func (s *RunSpec) config(tw, mw, dw io.Writer) (MixedConfig, error) {
 		Decisions:  dw,
 
 		StreamingClients: s.Streaming,
+		Backends:         s.Backends,
 	}
 	if s.HasQSCfg {
 		qc := s.QS
@@ -285,6 +299,10 @@ func runBoundaries(rig *Rig, o *runObs, inst *workload.Installation, spec *RunSp
 		return died(), nil
 	}
 	step := boundaryStep(cfg)
+	// atEnd marks a resume that restored a terminal snapshot: the clock is
+	// already at the schedule end, so the loop below must not write a
+	// second (higher-indexed) terminal snapshot.
+	atEnd := float64(startIdx)*step >= duration
 	for idx := startIdx; ; idx++ {
 		t := float64(idx+1) * step
 		last := t >= duration
@@ -296,6 +314,18 @@ func runBoundaries(rig *Rig, o *runObs, inst *workload.Installation, spec *RunSp
 			return true, nil
 		}
 		if last {
+			// Terminal snapshot: mark the run complete on disk. Without
+			// it, resuming a value that already finished (qsweep -resume
+			// over a partially interrupted sweep) restores the last
+			// mid-run boundary and re-simulates the whole tail; with it,
+			// the resume restores the finished state and only re-emits
+			// the final exports.
+			if !atEnd {
+				snap := snapshotRun(rig, o, inst, spec, idx+1)
+				if werr := checkpoint.Write(cfg.CheckpointDir, idx+1, snap); werr != nil {
+					return false, werr
+				}
+			}
 			return false, nil
 		}
 		if (idx+1)%cfg.CheckpointEvery == 0 {
@@ -423,6 +453,19 @@ func ResumeMixed(opts ResumeOptions) (*MixedResult, error) {
 	}
 	cfg.CheckpointEvery = opts.CheckpointEvery
 	cfg.CheckpointDir = opts.Dir
+
+	// Fleet checkpoints resume through the fleet runner: same rewound
+	// writers, same snapshot container, different rig shape.
+	if len(cfg.Backends) >= 2 {
+		fres, ferr := resumeFleet(cfg, snap)
+		if ferr != nil {
+			return fail(ferr)
+		}
+		if cerr := closeFiles(); fres.ExportErr == nil {
+			fres.ExportErr = cerr
+		}
+		return fres.MixedResult, nil
+	}
 
 	// Reconstruction must mirror RunMixed exactly (same constructor and
 	// hook-attachment order), so restored event closures and listener

@@ -238,6 +238,62 @@ func TestResumeFallsBackPastCorruptCheckpoint(t *testing.T) {
 	}
 }
 
+// The same fallback, but with the crash shape a torn write actually
+// leaves: the newest file truncated mid-payload rather than bit-flipped.
+// The resume must warn, fall back to the older valid snapshot, and still
+// reproduce the uninterrupted run byte for byte.
+func TestResumeFallsBackPastTruncatedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	refTrace := filepath.Join(dir, "ref.jsonl")
+	refTables, refMetrics, refTraceBytes := refOutputs(t, ckptTestConfig(ckptDir, 1), refTrace)
+
+	indices := checkpointIndices(t, ckptDir)
+	newest := indices[0]
+	for _, n := range indices {
+		if n > newest {
+			newest = n
+		}
+	}
+	path := filepath.Join(ckptDir, checkpoint.FileName(newest))
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	runTrace := filepath.Join(dir, "resume.jsonl")
+	copyFile(t, refTrace, runTrace)
+	var mb, warn bytes.Buffer
+	res, err := ResumeMixed(ResumeOptions{
+		Dir:       ckptDir,
+		TracePath: runTrace,
+		Metrics:   &mb,
+		Warn:      &warn,
+	})
+	if err != nil {
+		t.Fatalf("resume did not fall back past the truncated checkpoint: %v", err)
+	}
+	if !strings.Contains(warn.String(), "skipping") {
+		t.Errorf("no truncation warning emitted: %q", warn.String())
+	}
+	if got := mixedTables(res); got != refTables {
+		t.Error("fallback resume: period tables diverged")
+	}
+	if !bytes.Equal(mb.Bytes(), refMetrics) {
+		t.Error("fallback resume: metrics exposition diverged")
+	}
+	tb, err := os.ReadFile(runTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tb, refTraceBytes) {
+		t.Error("fallback resume: trace file diverged")
+	}
+}
+
 // Resume output wiring must match the checkpointed run exactly; silent
 // mismatches would produce diverging exports.
 func TestResumeRejectsMismatchedOutputs(t *testing.T) {

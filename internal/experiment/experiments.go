@@ -7,9 +7,11 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/patroller"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -297,6 +299,14 @@ type MixedConfig struct {
 	// memory — million-client schedules only pay for the clients a period
 	// actually activates.
 	StreamingClients bool
+	// Backends, when it lists two or more specs, runs the workload on a
+	// fleet: N backends (each with its own engine, patroller, and Query
+	// Scheduler) behind the routing tier, with the hierarchical planner
+	// splitting SystemCostLimit across them by routed demand. Query
+	// Scheduler mode only; Faults and Retry are not supported on fleets.
+	// Zero or one spec takes the classic single-engine path, byte-identical
+	// to a config without this field.
+	Backends []backend.Spec
 }
 
 // DefaultMixedConfig runs the given mode over the paper's Figure 3
@@ -305,8 +315,13 @@ func DefaultMixedConfig(mode Mode) MixedConfig {
 	return MixedConfig{Mode: mode, Sched: workload.PaperSchedule(), Seed: 1}
 }
 
-// RunMixed executes one mixed-workload experiment.
+// RunMixed executes one mixed-workload experiment. Two or more backend
+// specs dispatch to the fleet runner (RunFleet); zero or one run the
+// classic single-engine rig.
 func RunMixed(cfg MixedConfig) *MixedResult {
+	if len(cfg.Backends) >= 2 {
+		return RunFleet(cfg).MixedResult
+	}
 	if cfg.CheckpointEvery > 0 {
 		validateCheckpointing(cfg)
 	}
@@ -381,32 +396,7 @@ func collectMixed(cfg MixedConfig, rig *Rig, obsErr error) *MixedResult {
 		Classes: rig.Collector.Classes(),
 		Periods: cfg.Sched.Periods(),
 	}
-	for _, cl := range res.Classes {
-		metricRow := make([]float64, res.Periods)
-		measurableRow := make([]bool, res.Periods)
-		metRow := make([]bool, res.Periods)
-		completedRow := make([]int, res.Periods)
-		p95Row := make([]float64, res.Periods)
-		pendingRow := make([]int, res.Periods)
-		for p := 0; p < res.Periods; p++ {
-			v, ok := rig.Collector.Metric(p, cl.ID)
-			metricRow[p] = v
-			measurableRow[p] = ok
-			if ok {
-				metRow[p] = cl.Goal.Met(v)
-			}
-			completedRow[p] = rig.Collector.Agg(p, cl.ID).Completed
-			p95Row[p] = rig.Collector.RespQuantile(p, cl.ID, 0.95)
-			pendingRow[p] = rig.Collector.Pending(p, cl.ID)
-		}
-		res.Metric = append(res.Metric, metricRow)
-		res.Measurable = append(res.Measurable, measurableRow)
-		res.GoalMet = append(res.GoalMet, metRow)
-		res.Completed = append(res.Completed, completedRow)
-		res.RespP95 = append(res.RespP95, p95Row)
-		res.Pending = append(res.Pending, pendingRow)
-		res.Satisfaction = append(res.Satisfaction, rig.Collector.GoalSatisfaction(cl.ID))
-	}
+	fillMixedTables(res, rig.Collector)
 	res.ExportErr = obsErr
 	if rig.Faults != nil {
 		res.Faults = rig.Faults.Stats()
@@ -422,6 +412,38 @@ func collectMixed(cfg MixedConfig, rig *Rig, obsErr error) *MixedResult {
 		res.CostLimits = averageLimitsPerPeriod(res.PlanHistory, res.Classes, cfg.Sched)
 	}
 	return res
+}
+
+// fillMixedTables populates the per-class period tables of res from a
+// collector — the single-engine rig's, or the fleet-global one that
+// folds every backend's completions into one view.
+func fillMixedTables(res *MixedResult, col *metrics.Collector) {
+	for _, cl := range res.Classes {
+		metricRow := make([]float64, res.Periods)
+		measurableRow := make([]bool, res.Periods)
+		metRow := make([]bool, res.Periods)
+		completedRow := make([]int, res.Periods)
+		p95Row := make([]float64, res.Periods)
+		pendingRow := make([]int, res.Periods)
+		for p := 0; p < res.Periods; p++ {
+			v, ok := col.Metric(p, cl.ID)
+			metricRow[p] = v
+			measurableRow[p] = ok
+			if ok {
+				metRow[p] = cl.Goal.Met(v)
+			}
+			completedRow[p] = col.Agg(p, cl.ID).Completed
+			p95Row[p] = col.RespQuantile(p, cl.ID, 0.95)
+			pendingRow[p] = col.Pending(p, cl.ID)
+		}
+		res.Metric = append(res.Metric, metricRow)
+		res.Measurable = append(res.Measurable, measurableRow)
+		res.GoalMet = append(res.GoalMet, metRow)
+		res.Completed = append(res.Completed, completedRow)
+		res.RespP95 = append(res.RespP95, p95Row)
+		res.Pending = append(res.Pending, pendingRow)
+		res.Satisfaction = append(res.Satisfaction, col.GoalSatisfaction(cl.ID))
+	}
 }
 
 // averageLimitsPerPeriod folds per-interval plans into per-period means —

@@ -1,0 +1,459 @@
+// The fleet runner: N backends behind the routing tier, driven by the
+// same schedule, clients, and observability stack as the single-engine
+// rig. Construction order is load-bearing exactly as in newRig — resume
+// replays this sequence verbatim so restored clock events and listener
+// chains line up with the checkpointed run's.
+//
+// The control plane is hierarchical: the fleet planner (router.Planner)
+// splits the global SystemCostLimit across backends proportionally to
+// their smoothed routed-cost demand, and each backend's own Query
+// Scheduler runs the existing per-class solver, unchanged, against its
+// share. A single-backend config never reaches this file — RunMixed
+// dispatches it to the classic rig, byte-identical to before the fleet
+// existed.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/decisionlog"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+	"repro/internal/rng"
+	"repro/internal/router"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// FleetRig is one fully wired fleet testbed: the shared clock, the
+// backend roster in ID order, the routing tier, and the fleet-global
+// collector that folds every backend's completions into one period ×
+// class view (each backend also keeps its own local collector).
+type FleetRig struct {
+	Clock    *simclock.Clock
+	Backends []*backend.Instance
+	Router   *router.Router
+	Planner  *router.Planner
+	Pool     *workload.Pool
+	Classes  []*workload.Class
+	Sched    workload.Schedule
+	// Collector is the fleet-global view; Backends[i].Collector holds the
+	// per-backend one.
+	Collector *metrics.Collector
+	// Plans records every fleet budget split the planner made.
+	Plans []router.FleetPlan
+}
+
+// FleetResult extends MixedResult (computed from the fleet-global
+// collector, so the period tables mean the same thing as a single-engine
+// run's) with per-backend routing and planning detail.
+type FleetResult struct {
+	*MixedResult
+	// Specs is the backend roster the fleet ran with.
+	Specs []backend.Spec
+	// Routed[i] counts the queries the router sent to roster backend i.
+	Routed []int64
+	// BackendCompleted[i][p] counts roster backend i's completions (all
+	// classes) in period p.
+	BackendCompleted [][]int
+	// Plans is the fleet planner's budget-split history.
+	Plans []router.FleetPlan
+	// Histories[i] is roster backend i's per-tick plan record — the same
+	// shape MixedResult.PlanHistory has for a single-engine run.
+	Histories [][]core.PlanRecord
+}
+
+// validateFleet rejects configurations the fleet runner does not
+// support. The routing tier exists to study the hierarchical control
+// plane; fault injection and retry mitigation stay single-engine
+// features until they learn per-backend targeting.
+func validateFleet(cfg MixedConfig) {
+	if cfg.Mode != QueryScheduler {
+		panic(fmt.Sprintf("experiment: a fleet run requires Query Scheduler mode, got %v", cfg.Mode))
+	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		panic("experiment: fault plans are not supported on fleet runs")
+	}
+	if cfg.Retry != nil {
+		panic("experiment: retry policies are not supported on fleet runs")
+	}
+}
+
+// newFleetRig builds the fleet testbed. The construction order mirrors
+// newRig where the stages overlap (clock, engines, template sets, pool,
+// clients seeded from one rng stream) and appends the fleet-only stages
+// in a fixed order (control per backend in roster order, collectors,
+// planner last — so on each shared tick every backend plans before the
+// fleet re-splits the budget).
+func newFleetRig(cfg MixedConfig) *FleetRig {
+	classes := cfg.Classes
+	if classes == nil {
+		classes = workload.PaperClasses()
+	}
+	clock := simclock.New()
+	instances := make([]*backend.Instance, len(cfg.Backends))
+	engines := make([]*engine.Engine, len(cfg.Backends))
+	roster := make([]backend.Backend, len(cfg.Backends))
+	for i, spec := range cfg.Backends {
+		b := backend.New(i+1, spec, clock)
+		instances[i], engines[i], roster[i] = b, b.Eng, b
+	}
+
+	model := optimizer.DefaultModel()
+	olapSet := workload.NewSet(optimizer.New(model, workload.TPCHCatalog()), workload.TPCHTemplates())
+	oltpSet := workload.NewSet(optimizer.New(model, workload.TPCCCatalog()), workload.TPCCTemplates())
+
+	rt := router.New(roster, router.DefaultScorers())
+	pool := workload.NewRoutedPool(rt, engines)
+	src := rng.New(cfg.Seed)
+	maxClients := cfg.Sched.MaxClients()
+	for _, c := range classes {
+		set := olapSet
+		if c.Kind == workload.OLTP {
+			set = oltpSet
+		}
+		if cfg.StreamingClients {
+			pool.AddClientsStreaming(c, set, maxClients[c.ID], src)
+		} else {
+			pool.AddClients(c, set, maxClients[c.ID], src)
+		}
+	}
+
+	qc := core.DefaultConfig()
+	qc.SystemCostLimit = SystemCostLimit
+	if cfg.QS != nil {
+		qc = *cfg.QS
+	}
+	var olap []engine.ClassID
+	var oltpClients func() []engine.ClientID
+	for _, c := range classes {
+		if c.Kind == workload.OLAP {
+			olap = append(olap, c.ID)
+		} else if oltpClients == nil {
+			id := c.ID
+			oltpClients = func() []engine.ClientID { return pool.ActiveClients(id) }
+		}
+	}
+	for _, b := range instances {
+		b.AttachControl(qc, classes, olap, oltpClients)
+	}
+	for _, b := range instances {
+		b.AttachCollector(classes, cfg.Sched)
+	}
+	global := metrics.NewCollector(engines[0], classes, cfg.Sched)
+	for _, e := range engines[1:] {
+		global.Attach(e)
+	}
+
+	frig := &FleetRig{
+		Clock:     clock,
+		Backends:  instances,
+		Router:    rt,
+		Pool:      pool,
+		Classes:   classes,
+		Sched:     cfg.Sched,
+		Collector: global,
+	}
+	// The per-backend control interval is the fleet planning interval:
+	// read it back validated from an attached scheduler rather than
+	// trusting the raw config.
+	qcv := instances[0].QS.Config()
+	frig.Planner = router.StartPlanner(clock, rt, instances, router.PlannerConfig{
+		Interval: qcv.ControlInterval,
+		Total:    qcv.SystemCostLimit,
+	})
+	frig.Planner.OnPlan(func(fp router.FleetPlan) { frig.Plans = append(frig.Plans, fp) })
+	return frig
+}
+
+// backendsMeta resolves the roster into the trace/decision-log header
+// entry: 1-based ID, label, and resolved capacities.
+func backendsMeta(specs []backend.Spec) []trace.BackendMeta {
+	out := make([]trace.BackendMeta, len(specs))
+	for i, s := range specs {
+		ec := s.EngineConfig()
+		out[i] = trace.BackendMeta{ID: i + 1, Name: s.Name, CPU: ec.CPUCapacity, IO: ec.IOCapacity}
+	}
+	return out
+}
+
+// attachFleetObs mirrors attachObs for a fleet: one tracer, one
+// registry, one decision log — all streams carry the backend dimension.
+// Attachment order (trace, metrics, decisions; backends in roster order
+// within each) is part of the resume contract.
+func attachFleetObs(frig *FleetRig, cfg MixedConfig, resume bool) (*runObs, error) {
+	o := &runObs{}
+	if cfg.Trace != nil {
+		tr := trace.New(traceRingCap)
+		tr.SetPeriodMapper(cfg.Sched.PeriodAt)
+		if resume {
+			if err := tr.ResumeJSONL(cfg.Trace); err != nil {
+				return nil, err
+			}
+		} else {
+			meta := traceMeta(cfg, frig.Classes)
+			meta.Backends = backendsMeta(cfg.Backends)
+			if err := tr.StreamJSONL(cfg.Trace, meta); err != nil {
+				return nil, err
+			}
+		}
+		for _, b := range frig.Backends {
+			trace.AttachEngine(tr, b.Eng)
+			trace.AttachPatroller(tr, b.Pat, frig.Clock)
+		}
+		// Routing decisions are traced; per-backend plan changes are not
+		// (the trace's plan events carry no backend dimension — the
+		// decision log is the per-backend planning record).
+		trace.AttachRouter(tr, frig.Router, frig.Clock)
+		o.tracer = tr
+	}
+	if cfg.Metrics != nil {
+		reg := obs.New(func() float64 { return frig.Clock.Now() })
+		for _, b := range frig.Backends {
+			instrumentEngine(reg, b.Eng, frig.Classes, obs.L("backend", b.Name()))
+		}
+		o.reg = reg
+		o.mw = cfg.Metrics
+	}
+	if cfg.Decisions != nil {
+		qc := frig.Backends[0].QS.Config()
+		meta := decisionlog.Meta{
+			Experiment:      cfg.Experiment,
+			Seed:            int64(cfg.Seed),
+			ControlInterval: qc.ControlInterval,
+			SLOWindow:       qc.SLOWindow,
+			SLOBudget:       qc.SLOBudget,
+			Classes:         decisionlog.ClassesMeta(frig.Classes),
+		}
+		if meta.Experiment == "" {
+			meta.Experiment = cfg.Mode.String()
+		}
+		for _, bm := range backendsMeta(cfg.Backends) {
+			meta.Backends = append(meta.Backends, decisionlog.BackendMeta(bm))
+		}
+		var dw *decisionlog.Writer
+		var err error
+		if resume {
+			dw, err = decisionlog.ResumeWriter(cfg.Decisions, meta)
+		} else {
+			dw, err = decisionlog.NewWriter(cfg.Decisions, meta)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range frig.Backends {
+			id := b.ID()
+			b.QS.OnPlan(func(rec core.PlanRecord) { dw.NoteBackend(id, rec) })
+		}
+		o.dlog = dw
+	}
+	return o, nil
+}
+
+// buildFleetRig is the fleet counterpart of buildMixedRig: rig then
+// observability, in the order resume replays.
+func buildFleetRig(cfg MixedConfig, resume bool) (*FleetRig, *runObs, error) {
+	frig := newFleetRig(cfg)
+	o, err := attachFleetObs(frig, cfg, resume)
+	return frig, o, err
+}
+
+// snapshotFleet captures the full fleet state at a quiescent boundary.
+// It reuses the single-engine snapshot container: the shared sections
+// (clock, pool, boundaries, global collector, exports) land in their
+// usual fields, and the per-backend stacks plus router/planner state
+// fill the fleet sections.
+func snapshotFleet(frig *FleetRig, o *runObs, inst *workload.Installation, spec *RunSpec, idx int) *runSnapshot {
+	snap := &runSnapshot{
+		Spec:       *spec,
+		Index:      idx,
+		Clock:      frig.Clock.State(),
+		Pool:       frig.Pool.CheckpointState(),
+		Boundaries: inst.CheckpointState(frig.Clock.Now()),
+		Collector:  frig.Collector.CheckpointState(),
+		Router:     frig.Router.CheckpointState(),
+		Planner:    frig.Planner.CheckpointState(),
+	}
+	for _, b := range frig.Backends {
+		snap.FleetBackends = append(snap.FleetBackends, b.CheckpointState())
+	}
+	if o != nil && o.tracer != nil {
+		snap.HasTrace = true
+		snap.Trace = o.tracer.CheckpointState()
+	}
+	if o != nil && o.reg != nil {
+		snap.HasReg = true
+		snap.Reg = o.reg.CheckpointState()
+	}
+	if o != nil && o.dlog != nil {
+		snap.HasDlog = true
+		snap.Dlog = o.dlog.CheckpointState()
+	}
+	return snap
+}
+
+// runFleetBoundaries drives a fleet run to the end of the schedule,
+// mirroring runBoundaries (fleets have no fault injector, so there is
+// no crash path).
+func runFleetBoundaries(frig *FleetRig, o *runObs, inst *workload.Installation, spec *RunSpec, cfg MixedConfig, startIdx int) error {
+	duration := frig.Sched.Duration()
+	if cfg.CheckpointEvery <= 0 {
+		frig.Clock.RunUntil(duration)
+		return nil
+	}
+	step := boundaryStep(cfg)
+	// As in runBoundaries: a resume that restored a terminal snapshot must
+	// not write a second terminal snapshot at a higher index.
+	atEnd := float64(startIdx)*step >= duration
+	for idx := startIdx; ; idx++ {
+		t := float64(idx+1) * step
+		last := t >= duration
+		if last {
+			t = duration
+		}
+		frig.Clock.RunUntil(t)
+		if last {
+			if !atEnd {
+				snap := snapshotFleet(frig, o, inst, spec, idx+1)
+				if werr := checkpoint.Write(cfg.CheckpointDir, idx+1, snap); werr != nil {
+					return werr
+				}
+			}
+			return nil
+		}
+		if (idx+1)%cfg.CheckpointEvery == 0 {
+			snap := snapshotFleet(frig, o, inst, spec, idx+1)
+			if werr := checkpoint.Write(cfg.CheckpointDir, idx+1, snap); werr != nil {
+				return werr
+			}
+		}
+	}
+}
+
+// collectFleet assembles the result from a finished fleet: the standard
+// mixed tables from the fleet-global collector, fleet-wide per-class
+// cost limits as the sum of the per-backend plans, and the per-backend
+// routing/planning detail.
+func collectFleet(cfg MixedConfig, frig *FleetRig, obsErr error) *FleetResult {
+	res := &MixedResult{
+		Mode:    cfg.Mode,
+		Classes: frig.Collector.Classes(),
+		Periods: cfg.Sched.Periods(),
+	}
+	fillMixedTables(res, frig.Collector)
+	res.ExportErr = obsErr
+
+	fr := &FleetResult{
+		MixedResult: res,
+		Specs:       append([]backend.Spec(nil), cfg.Backends...),
+		Routed:      frig.Router.Routed(),
+		Plans:       frig.Plans,
+	}
+	for _, b := range frig.Backends {
+		hist := b.QS.History()
+		fr.Histories = append(fr.Histories, hist)
+		limits := averageLimitsPerPeriod(hist, res.Classes, cfg.Sched)
+		if res.CostLimits == nil {
+			res.CostLimits = limits
+		} else {
+			for i := range limits {
+				for p := range limits[i] {
+					res.CostLimits[i][p] += limits[i][p]
+				}
+			}
+		}
+		row := make([]int, res.Periods)
+		for p := 0; p < res.Periods; p++ {
+			for _, cl := range res.Classes {
+				row[p] += b.Collector.Agg(p, cl.ID).Completed
+			}
+		}
+		fr.BackendCompleted = append(fr.BackendCompleted, row)
+	}
+	return fr
+}
+
+// RunFleet executes one mixed-workload experiment on a fleet of two or
+// more backends behind the routing tier. RunMixed dispatches here
+// automatically; call it directly when the per-backend detail in
+// FleetResult is wanted.
+func RunFleet(cfg MixedConfig) *FleetResult {
+	if len(cfg.Backends) < 2 {
+		panic(fmt.Sprintf("experiment: RunFleet needs at least 2 backend specs, got %d", len(cfg.Backends)))
+	}
+	validateFleet(cfg)
+	if cfg.CheckpointEvery > 0 {
+		validateCheckpointing(cfg)
+	}
+	frig, o, obsErr := buildFleetRig(cfg, false)
+	var spec RunSpec
+	if cfg.CheckpointEvery > 0 {
+		spec = specFromConfig(cfg, frig.Classes)
+	}
+	inst := frig.Sched.Install(frig.Clock, frig.Pool, nil)
+	runErr := runFleetBoundaries(frig, o, inst, &spec, cfg, 0)
+	if obsErr == nil {
+		obsErr = runErr
+	}
+	if obsErr == nil {
+		obsErr = o.finish()
+	}
+	return collectFleet(cfg, frig, obsErr)
+}
+
+// resumeFleet restores a fleet checkpoint onto a freshly rebuilt fleet
+// rig and drives the run to completion. The restore order mirrors the
+// single-engine resume: clock first, every engine before the pool (held
+// and active entries re-link to engine-owned query objects), control
+// stacks after the boundaries, collectors last.
+func resumeFleet(cfg MixedConfig, snap *runSnapshot) (*FleetResult, error) {
+	frig, o, obsErr := buildFleetRig(cfg, true)
+	if obsErr != nil {
+		return nil, obsErr
+	}
+	if len(snap.FleetBackends) != len(frig.Backends) {
+		return nil, fmt.Errorf("experiment: checkpoint carries %d backends for a %d-backend fleet",
+			len(snap.FleetBackends), len(frig.Backends))
+	}
+	frig.Clock.Restore(snap.Clock)
+	for i, b := range frig.Backends {
+		b.Eng.RestoreCheckpoint(snap.FleetBackends[i].Engine)
+	}
+	frig.Pool.RestoreCheckpoint(snap.Pool)
+	inst := frig.Sched.RestoreBoundaries(frig.Clock, frig.Pool, nil, snap.Boundaries)
+	for i, b := range frig.Backends {
+		b.Pat.RestoreCheckpoint(snap.FleetBackends[i].Pat)
+	}
+	for i, b := range frig.Backends {
+		b.QS.RestoreCheckpoint(snap.FleetBackends[i].QS)
+	}
+	frig.Router.RestoreCheckpoint(snap.Router)
+	frig.Planner.RestoreCheckpoint(snap.Planner)
+	for i, b := range frig.Backends {
+		b.Collector.RestoreCheckpoint(snap.FleetBackends[i].Collector)
+	}
+	frig.Collector.RestoreCheckpoint(snap.Collector)
+	if o.tracer != nil {
+		o.tracer.RestoreCheckpoint(snap.Trace)
+	}
+	if o.reg != nil && snap.HasReg {
+		o.reg.RestoreCheckpoint(snap.Reg)
+	}
+	if o.dlog != nil {
+		o.dlog.RestoreCheckpoint(snap.Dlog)
+	}
+
+	spec := snap.Spec
+	runErr := runFleetBoundaries(frig, o, inst, &spec, cfg, snap.Index)
+	obsErr = runErr
+	if obsErr == nil {
+		obsErr = o.finish()
+	}
+	return collectFleet(cfg, frig, obsErr), nil
+}

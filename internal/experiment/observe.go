@@ -206,19 +206,22 @@ func (d *classDense[T]) get(id engine.ClassID, mk func() *T) *T {
 
 // instrumentEngine registers run-level query counters and latency
 // histograms fed from the engine's lifecycle hooks, so every mode — not
-// just Query Scheduler runs — produces a metrics exposition.
-func instrumentEngine(reg *obs.Registry, eng *engine.Engine, classes []*workload.Class) {
+// just Query Scheduler runs — produces a metrics exposition. Fleet runs
+// pass an extra backend label per engine; the instruments are created
+// lazily once per class, so the label slice is built off the hot path.
+func instrumentEngine(reg *obs.Registry, eng *engine.Engine, classes []*workload.Class, extra ...obs.Label) {
 	submitted := newClassDense[obs.Counter](classes)
 	completed := newClassDense[obs.Counter](classes)
 	failed := newClassDense[obs.Counter](classes)
 	resp := newClassDense[obs.Histogram](classes)
-	classLabel := func(id engine.ClassID) obs.Label {
-		return obs.L("class", fmt.Sprintf("%d", int(id)))
+	labels := func(id engine.ClassID) []obs.Label {
+		ls := append([]obs.Label{}, extra...)
+		return append(ls, obs.L("class", fmt.Sprintf("%d", int(id))))
 	}
 	eng.OnSubmit(func(q *engine.Query) {
 		submitted.get(q.Class, func() *obs.Counter {
 			return reg.Counter("queries_submitted_total",
-				"Queries submitted to the engine, per class.", classLabel(q.Class))
+				"Queries submitted to the engine, per class.", labels(q.Class)...)
 		}).Inc()
 	})
 	eng.OnDone(func(q *engine.Query) {
@@ -228,18 +231,18 @@ func instrumentEngine(reg *obs.Registry, eng *engine.Engine, classes []*workload
 			failed.get(q.Class, func() *obs.Counter {
 				return reg.Counter("queries_failed_total",
 					"Queries that ended in terminal failure (aborted, retries exhausted), per class.",
-					classLabel(q.Class))
+					labels(q.Class)...)
 			}).Inc()
 			return
 		}
 		completed.get(q.Class, func() *obs.Counter {
 			return reg.Counter("queries_completed_total",
-				"Queries completed by the engine, per class.", classLabel(q.Class))
+				"Queries completed by the engine, per class.", labels(q.Class)...)
 		}).Inc()
 		resp.get(q.Class, func() *obs.Histogram {
 			return reg.Histogram("query_response_seconds",
 				"End-to-end response time (submit to done), per class.",
-				obs.DefaultDurationBuckets(), classLabel(q.Class))
+				obs.DefaultDurationBuckets(), labels(q.Class)...)
 		}).Observe(q.ResponseTime())
 	})
 }

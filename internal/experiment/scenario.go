@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -36,6 +38,23 @@ type ScenarioSpec struct {
 	// ControlIntervalSeconds overrides the Query Scheduler's re-planning
 	// period (optional).
 	ControlIntervalSeconds float64 `json:"control_interval_seconds"`
+	// Backends, when it lists two or more entries, runs the scenario on a
+	// fleet behind the routing tier (query-scheduler mode only). Each
+	// entry may override the engine's CPU/IO capacity, so heterogeneous
+	// fleets are plain configuration.
+	Backends []ScenarioBackend `json:"backends"`
+}
+
+// ScenarioBackend is one fleet backend in a scenario file.
+type ScenarioBackend struct {
+	Name string `json:"name"`
+	// CPUCapacity / IOCapacity override the engine defaults (0 = paper
+	// default).
+	CPUCapacity float64 `json:"cpu_capacity"`
+	IOCapacity  float64 `json:"io_capacity"`
+	// Affinity biases the router toward this backend for a class, keyed
+	// by 1-based class index ("1", "2", ...); values must be positive.
+	Affinity map[string]float64 `json:"affinity"`
 }
 
 // ScenarioClass is one service class in a scenario file.
@@ -72,6 +91,9 @@ type Scenario struct {
 	// (set by the caller, not the JSON spec); see MixedConfig.
 	CheckpointEvery int
 	CheckpointDir   string
+	// Backends, when it lists two or more specs, runs the scenario on a
+	// fleet behind the routing tier; see MixedConfig.Backends.
+	Backends []backend.Spec
 }
 
 // ParseScenario reads and validates a JSON scenario.
@@ -170,6 +192,41 @@ func buildScenario(spec ScenarioSpec) (*Scenario, error) {
 		s.Sched.Clients = append(s.Sched.Clients, counts)
 	}
 
+	if len(spec.Backends) > 0 {
+		if len(spec.Backends) >= 2 && s.Mode != QueryScheduler {
+			return nil, fmt.Errorf("scenario: fleets need mode \"query-scheduler\", got %q", spec.Mode)
+		}
+		for i, sb := range spec.Backends {
+			bs := backend.Spec{
+				Name:        sb.Name,
+				CPUCapacity: sb.CPUCapacity,
+				IOCapacity:  sb.IOCapacity,
+			}
+			if bs.Name == "" {
+				bs.Name = fmt.Sprintf("b%d", i+1)
+			}
+			if bs.CPUCapacity < 0 || bs.IOCapacity < 0 {
+				return nil, fmt.Errorf("scenario: backend %q has negative capacity", bs.Name)
+			}
+			for key, w := range sb.Affinity {
+				id, err := strconv.Atoi(key)
+				if err != nil || id < 1 || id > len(s.Classes) {
+					return nil, fmt.Errorf("scenario: backend %q affinity key %q is not a class index in 1..%d",
+						bs.Name, key, len(s.Classes))
+				}
+				if w <= 0 {
+					return nil, fmt.Errorf("scenario: backend %q affinity for class %s must be positive, got %v",
+						bs.Name, key, w)
+				}
+				if bs.Affinity == nil {
+					bs.Affinity = make(map[engine.ClassID]float64, len(sb.Affinity))
+				}
+				bs.Affinity[engine.ClassID(id)] = w
+			}
+			s.Backends = append(s.Backends, bs)
+		}
+	}
+
 	if spec.SystemCostLimit != 0 || spec.ControlIntervalSeconds != 0 {
 		cfg := core.DefaultConfig()
 		if spec.SystemCostLimit != 0 {
@@ -203,5 +260,6 @@ func (s *Scenario) Run() *MixedResult {
 		Retry:           s.Retry,
 		CheckpointEvery: s.CheckpointEvery,
 		CheckpointDir:   s.CheckpointDir,
+		Backends:        s.Backends,
 	})
 }

@@ -87,9 +87,18 @@ func NewCollector(eng *engine.Engine, classes []*workload.Class, sched workload.
 			c.aggs[p*len(c.classIDs)+slot].RespSample = stats.NewReservoir(512, seed)
 		}
 	}
+	c.Attach(eng)
+	return c
+}
+
+// Attach subscribes the collector to an additional engine's submit and
+// done hooks. A fleet run has one engine per backend but one logical
+// workload; attaching the same collector to every engine folds all
+// completions into a single period × class view, exactly as if one
+// engine had run them.
+func (c *Collector) Attach(eng *engine.Engine) {
 	eng.OnSubmit(c.onSubmit)
 	eng.OnDone(c.onDone)
-	return c
 }
 
 // agg returns the aggregate for a period and class, or nil when the class

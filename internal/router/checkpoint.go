@@ -1,0 +1,56 @@
+// Checkpoint state for the routing tier. The router's tallies and the
+// planner's demand EWMA are run state — a resumed fleet must keep
+// splitting the budget from the same smoothed demand, and the planner's
+// ticker must re-arm with its original event identity so tick ordering
+// reproduces the uninterrupted run exactly.
+package router
+
+import "repro/internal/simclock"
+
+// CheckpointState is the router's serializable state.
+type CheckpointState struct {
+	// Routed / Cost mirror the per-backend tallies, roster order.
+	Routed []int64
+	Cost   []float64
+}
+
+// CheckpointState captures the router at a quiescent boundary.
+func (r *Router) CheckpointState() CheckpointState {
+	return CheckpointState{
+		Routed: append([]int64(nil), r.routed...),
+		Cost:   append([]float64(nil), r.cost...),
+	}
+}
+
+// RestoreCheckpoint overwrites a freshly constructed router.
+func (r *Router) RestoreCheckpoint(st CheckpointState) {
+	if len(st.Routed) != len(r.routed) || len(st.Cost) != len(r.cost) {
+		panic("router: checkpoint roster size mismatch")
+	}
+	copy(r.routed, st.Routed)
+	copy(r.cost, st.Cost)
+}
+
+// PlannerCheckpointState is the fleet planner's serializable state.
+type PlannerCheckpointState struct {
+	EWMA   []float64
+	Ticker simclock.TickerState
+}
+
+// CheckpointState captures the planner at a quiescent boundary.
+func (p *Planner) CheckpointState() PlannerCheckpointState {
+	return PlannerCheckpointState{
+		EWMA:   append([]float64(nil), p.ewma...),
+		Ticker: p.ticker.State(),
+	}
+}
+
+// RestoreCheckpoint overwrites a freshly started planner and re-arms
+// its ticker with the checkpointed event identity.
+func (p *Planner) RestoreCheckpoint(st PlannerCheckpointState) {
+	if len(st.EWMA) != len(p.ewma) {
+		panic("router: planner checkpoint roster size mismatch")
+	}
+	copy(p.ewma, st.EWMA)
+	p.ticker.Restore(st.Ticker.Ref, st.Ticker.Active)
+}

@@ -1,0 +1,142 @@
+// The hierarchical fleet planner: the top layer of the two-level
+// budget split. Each interval it harvests the router's per-backend
+// routed-cost demand, folds it into an EWMA, and re-targets every
+// backend's SystemCostLimit proportionally — the per-backend Query
+// Schedulers then run the existing per-class solver, unchanged,
+// against their share. A single-backend fleet degenerates to handing
+// the whole budget to backend 1, which is exactly the classic rig.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/simclock"
+)
+
+// PlannerConfig tunes the fleet budget split.
+type PlannerConfig struct {
+	// Interval is the seconds between splits (typically the control
+	// interval of the per-backend schedulers).
+	Interval float64
+	// Total is the global system cost budget to divide.
+	Total float64
+	// Alpha is the demand EWMA smoothing factor in (0, 1]; higher
+	// tracks routed demand faster. Zero = DefaultAlpha.
+	Alpha float64
+	// MinShare is the budget fraction every backend keeps even with
+	// zero routed demand, so an idle backend can still admit the first
+	// queries routed its way. Zero = DefaultMinShare.
+	MinShare float64
+}
+
+// Planner defaults.
+const (
+	DefaultAlpha    = 0.3
+	DefaultMinShare = 0.1
+)
+
+// FleetPlan records one budget split, for logging and tests.
+type FleetPlan struct {
+	Time simclock.Time
+	// Demand[i] is roster backend i's smoothed routed-cost demand.
+	Demand []float64
+	// Limits[i] is the SystemCostLimit handed to roster backend i.
+	Limits []float64
+}
+
+// Planner re-splits the global budget across a fleet each interval.
+type Planner struct {
+	router   *Router
+	backends []*backend.Instance
+	cfg      PlannerConfig
+
+	ewma   []float64
+	ticker *simclock.Ticker
+	onPlan []func(FleetPlan)
+}
+
+// StartPlanner arms the fleet budget split on the shared clock. The
+// first split fires one interval in; until then every backend runs on
+// the equal initial split applied here.
+func StartPlanner(clock *simclock.Clock, r *Router, backends []*backend.Instance, cfg PlannerConfig) *Planner {
+	if len(backends) == 0 {
+		panic("router: planner with no backends")
+	}
+	if cfg.Interval <= 0 {
+		panic(fmt.Sprintf("router: non-positive planner interval %v", cfg.Interval))
+	}
+	if cfg.Total <= 0 {
+		panic(fmt.Sprintf("router: non-positive fleet budget %v", cfg.Total))
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultAlpha
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		panic(fmt.Sprintf("router: planner alpha %v outside (0, 1]", cfg.Alpha))
+	}
+	if cfg.MinShare == 0 {
+		cfg.MinShare = DefaultMinShare
+	}
+	if cfg.MinShare < 0 || cfg.MinShare*float64(len(backends)) >= 1 {
+		panic(fmt.Sprintf("router: planner min share %v infeasible for %d backends", cfg.MinShare, len(backends)))
+	}
+	p := &Planner{
+		router:   r,
+		backends: backends,
+		cfg:      cfg,
+		ewma:     make([]float64, len(backends)),
+	}
+	// Equal initial split: no demand observed yet.
+	equal := cfg.Total / float64(len(backends))
+	for _, b := range backends {
+		b.QS.SetSystemCostLimit(equal)
+	}
+	p.ticker = clock.StartTicker(cfg.Interval, p.tick)
+	return p
+}
+
+// OnPlan registers a split listener.
+func (p *Planner) OnPlan(fn func(FleetPlan)) { p.onPlan = append(p.onPlan, fn) }
+
+// tick is one fleet planning cycle: harvest routed demand, smooth,
+// split the budget proportionally with the min-share floor, and
+// re-target every backend's scheduler.
+func (p *Planner) tick() {
+	cost := p.router.TakeCost()
+	total := 0.0
+	for i := range p.ewma {
+		p.ewma[i] = (1-p.cfg.Alpha)*p.ewma[i] + p.cfg.Alpha*cost[i]
+		total += p.ewma[i]
+	}
+	n := float64(len(p.backends))
+	limits := make([]float64, len(p.backends))
+	if total <= 0 {
+		// Nothing routed anywhere yet: hold the equal split.
+		for i := range limits {
+			limits[i] = p.cfg.Total / n
+		}
+	} else {
+		// Proportional share with a floor: the floored fraction is
+		// reserved equally, the remainder follows demand.
+		reserved := p.cfg.MinShare * n
+		for i := range limits {
+			share := p.cfg.MinShare + (1-reserved)*(p.ewma[i]/total)
+			limits[i] = p.cfg.Total * share
+		}
+	}
+	for i, b := range p.backends {
+		b.QS.SetSystemCostLimit(limits[i])
+	}
+	if len(p.onPlan) > 0 {
+		plan := FleetPlan{Time: simclock.Time(p.clockNow()), Demand: append([]float64(nil), p.ewma...), Limits: limits}
+		for _, fn := range p.onPlan {
+			fn(plan)
+		}
+	}
+}
+
+// clockNow reads the shared clock through any backend's engine.
+func (p *Planner) clockNow() float64 {
+	return float64(p.backends[0].Eng.Clock().Now())
+}

@@ -1,0 +1,193 @@
+// Package router is the fleet's routing tier: one routing decision per
+// submitted query, computed from orthogonal, independently-evaluated
+// scorers combined by weighted argmax with deterministic tie-breaking.
+//
+// The router sits between the client pool and the backends — it
+// implements the pool's Submitter contract, so the closed-loop clients
+// are oblivious to how many engines exist. Scoring reads only
+// instantaneous backend signals (queue depth, load, class affinity);
+// nothing about the decision depends on map iteration or wall time, so
+// a fleet run is as deterministic as a single-engine one.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/engine"
+)
+
+// Scorer rates one backend for one query. Higher is better. Scores
+// must be finite, non-negative, and independent of evaluation order —
+// each scorer sees one (backend, query) pair at a time.
+type Scorer interface {
+	Name() string
+	Score(b backend.Backend, q *engine.Query) float64
+}
+
+// QueueDepth prefers backends with shorter admission queues: a backend
+// holding h queries scores 1/(1+h).
+type QueueDepth struct{}
+
+// Name identifies the scorer in traces.
+func (QueueDepth) Name() string { return "queue" }
+
+// Score rates b by its held-queue length.
+func (QueueDepth) Score(b backend.Backend, _ *engine.Query) float64 {
+	return 1 / (1 + float64(b.QueueDepth()))
+}
+
+// Load prefers lightly loaded backends: a backend at utilization u
+// (demand over capacity, busier station) scores 1/(1+u). Capacity
+// heterogeneity is already folded in — a slow box reaches u=1 sooner,
+// so it repels load earlier than a fast one.
+type Load struct{}
+
+// Name identifies the scorer in traces.
+func (Load) Name() string { return "load" }
+
+// Score rates b by its current utilization.
+func (Load) Score(b backend.Backend, _ *engine.Query) float64 {
+	return 1 / (1 + b.Load())
+}
+
+// Affinity applies the backend spec's per-class routing bias: a backend
+// with affinity w for the query's class scores w (1 when unspecified).
+type Affinity struct{}
+
+// Name identifies the scorer in traces.
+func (Affinity) Name() string { return "affinity" }
+
+// Score rates b by its configured bias for the query's class.
+func (Affinity) Score(b backend.Backend, q *engine.Query) float64 {
+	return b.Affinity(q.Class)
+}
+
+// Weighted pairs a scorer with its weight in the combined score.
+type Weighted struct {
+	Scorer Scorer
+	Weight float64
+}
+
+// DefaultScorers is the standard policy: queue depth and load dominate,
+// affinity breaks structural preferences.
+func DefaultScorers() []Weighted {
+	return []Weighted{
+		{Scorer: QueueDepth{}, Weight: 1},
+		{Scorer: Load{}, Weight: 1},
+		{Scorer: Affinity{}, Weight: 0.5},
+	}
+}
+
+// Decision is one routing outcome: the chosen backend and the combined
+// score of every candidate, in roster order. The Scores slice is owned
+// by the router and valid only during the OnRoute callback.
+type Decision struct {
+	// Backend is the chosen backend's 1-based ID.
+	Backend int
+	// Scores[i] is roster backend i's combined weighted score.
+	Scores []float64
+}
+
+// Router routes every submitted query to one backend. It implements
+// the workload pool's Submitter contract.
+type Router struct {
+	backends []backend.Backend
+	scorers  []Weighted
+
+	// routed / cost are the per-backend tallies (roster order): total
+	// queries ever routed, and routed timeron cost since the fleet
+	// planner last harvested it — the demand signal the hierarchical
+	// budget split is proportional to.
+	routed []int64
+	cost   []float64
+
+	onRoute []func(q *engine.Query, d Decision)
+	//lint:ignore ckptcover reused scoring scratch; dead between Submit calls
+	scratch []float64
+}
+
+// New builds a router over the backends (roster order = tie-break
+// order) with the given scoring policy.
+func New(backends []backend.Backend, scorers []Weighted) *Router {
+	if len(backends) == 0 {
+		panic("router: no backends")
+	}
+	if len(scorers) == 0 {
+		panic("router: no scorers")
+	}
+	for _, ws := range scorers {
+		if ws.Scorer == nil || ws.Weight <= 0 {
+			panic(fmt.Sprintf("router: invalid weighted scorer %+v", ws))
+		}
+	}
+	return &Router{
+		backends: backends,
+		scorers:  scorers,
+		routed:   make([]int64, len(backends)),
+		cost:     make([]float64, len(backends)),
+		scratch:  make([]float64, len(backends)),
+	}
+}
+
+// Backends returns the roster in tie-break order.
+func (r *Router) Backends() []backend.Backend { return r.backends }
+
+// OnRoute registers a routing-decision listener (trace/decision-log
+// wiring). Listeners fire after the query has been submitted to the
+// chosen backend, so its engine-assigned ID is already set.
+func (r *Router) OnRoute(fn func(q *engine.Query, d Decision)) {
+	r.onRoute = append(r.onRoute, fn)
+}
+
+// AcquireQuery hands out a fresh query object. Fleet queries are
+// plain allocations, never pooled: a query's terminal engine recycles
+// only its own pooled objects, and cross-backend freelist migration is
+// not worth the bookkeeping. Engines ignore non-pooled queries on
+// recycle, so this is safe by construction.
+func (r *Router) AcquireQuery() *engine.Query { return &engine.Query{} }
+
+// Submit scores every backend for the query, routes it to the argmax
+// (lowest roster index wins ties), and fires the routing listeners.
+func (r *Router) Submit(q *engine.Query) {
+	best := 0
+	for i, b := range r.backends {
+		s := 0.0
+		for _, ws := range r.scorers {
+			s += ws.Weight * ws.Scorer.Score(b, q)
+		}
+		r.scratch[i] = s
+		if s > r.scratch[best] {
+			best = i
+		}
+	}
+	r.routed[best]++
+	r.cost[best] += q.Cost
+	r.backends[best].Engine().Submit(q)
+	if len(r.onRoute) > 0 {
+		d := Decision{Backend: r.backends[best].ID(), Scores: r.scratch}
+		for _, fn := range r.onRoute {
+			fn(q, d)
+		}
+	}
+}
+
+// Routed returns the total queries routed to each backend, roster
+// order. The slice is a copy.
+func (r *Router) Routed() []int64 {
+	out := make([]int64, len(r.routed))
+	copy(out, r.routed)
+	return out
+}
+
+// TakeCost returns the routed timeron cost per backend since the last
+// call and resets the accumulators — the fleet planner's per-interval
+// demand harvest. The returned slice is owned by the caller.
+func (r *Router) TakeCost() []float64 {
+	out := make([]float64, len(r.cost))
+	copy(out, r.cost)
+	for i := range r.cost {
+		r.cost[i] = 0
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// stub is a scriptable Backend: a real engine (Submit must land
+// somewhere) with queue/load/affinity signals set by the test.
+type stub struct {
+	id    int
+	eng   *engine.Engine
+	queue int
+	load  float64
+	aff   map[engine.ClassID]float64
+}
+
+func newStub(id int, clock *simclock.Clock) *stub {
+	return &stub{id: id, eng: engine.New(engine.DefaultConfig(), clock)}
+}
+
+func (s *stub) ID() int                { return s.id }
+func (s *stub) Name() string           { return "stub" }
+func (s *stub) Engine() *engine.Engine { return s.eng }
+func (s *stub) QueueDepth() int        { return s.queue }
+func (s *stub) Load() float64          { return s.load }
+func (s *stub) Affinity(class engine.ClassID) float64 {
+	if w, ok := s.aff[class]; ok {
+		return w
+	}
+	return 1
+}
+
+func testRouter(t *testing.T, scorers []Weighted) (*Router, []*stub) {
+	t.Helper()
+	clock := simclock.New()
+	stubs := []*stub{newStub(1, clock), newStub(2, clock), newStub(3, clock)}
+	bs := make([]backend.Backend, len(stubs))
+	for i, s := range stubs {
+		bs[i] = s
+	}
+	return New(bs, scorers), stubs
+}
+
+func submitOne(r *Router, class engine.ClassID) *engine.Query {
+	q := r.AcquireQuery()
+	q.Class = class
+	q.Cost = 100
+	q.Demand = engine.Demand{Work: 1, CPURate: 0.1, IORate: 0.1}
+	r.Submit(q)
+	return q
+}
+
+func TestRouterPrefersShortQueue(t *testing.T) {
+	r, stubs := testRouter(t, []Weighted{{Scorer: QueueDepth{}, Weight: 1}})
+	stubs[0].queue = 5
+	stubs[1].queue = 0
+	stubs[2].queue = 5
+	submitOne(r, 1)
+	if got := r.Routed(); got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("routed = %v, want the empty-queue backend", got)
+	}
+}
+
+func TestRouterPrefersLightLoad(t *testing.T) {
+	r, stubs := testRouter(t, []Weighted{{Scorer: Load{}, Weight: 1}})
+	stubs[0].load = 1.5
+	stubs[1].load = 1.0
+	stubs[2].load = 0.2
+	submitOne(r, 1)
+	if got := r.Routed(); got[2] != 1 {
+		t.Fatalf("routed = %v, want the least-loaded backend", got)
+	}
+}
+
+func TestRouterAffinityBias(t *testing.T) {
+	r, stubs := testRouter(t, DefaultScorers())
+	stubs[2].aff = map[engine.ClassID]float64{3: 4}
+	submitOne(r, 3)
+	if got := r.Routed(); got[2] != 1 {
+		t.Fatalf("routed = %v, want the high-affinity backend for class 3", got)
+	}
+	// A class without the bias falls back to the tie-break.
+	submitOne(r, 1)
+	if got := r.Routed(); got[0] != 1 {
+		t.Fatalf("routed = %v, want backend 1 for the unbiased class", got)
+	}
+}
+
+func TestRouterTieBreaksLowestIndex(t *testing.T) {
+	r, _ := testRouter(t, DefaultScorers())
+	for i := 0; i < 3; i++ {
+		submitOne(r, 1)
+	}
+	// Identical backends: every decision must tie-break to index 0 (the
+	// submitted queries start executing, so load stays equal too — the
+	// stubs report scripted signals, not engine state).
+	if got := r.Routed(); got[0] != 3 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("routed = %v, want all on the first backend", got)
+	}
+}
+
+func TestRouterDecisionHookAndTallies(t *testing.T) {
+	r, stubs := testRouter(t, []Weighted{{Scorer: QueueDepth{}, Weight: 1}})
+	stubs[0].queue = 9
+	stubs[2].queue = 9
+	var decisions []Decision
+	var ids []engine.QueryID
+	r.OnRoute(func(q *engine.Query, d Decision) {
+		decisions = append(decisions, Decision{Backend: d.Backend, Scores: append([]float64(nil), d.Scores...)})
+		ids = append(ids, q.ID)
+	})
+	q := submitOne(r, 2)
+	if len(decisions) != 1 || decisions[0].Backend != 2 {
+		t.Fatalf("decisions = %+v, want one decision for backend 2", decisions)
+	}
+	if len(decisions[0].Scores) != 3 {
+		t.Fatalf("decision carries %d scores, want 3", len(decisions[0].Scores))
+	}
+	if ids[0] == 0 || ids[0] != q.ID {
+		t.Fatalf("hook saw query ID %d, want the engine-assigned %d", ids[0], q.ID)
+	}
+	cost := r.TakeCost()
+	if cost[1] != 100 || cost[0] != 0 {
+		t.Fatalf("TakeCost = %v, want 100 on backend 2", cost)
+	}
+	if again := r.TakeCost(); again[1] != 0 {
+		t.Fatalf("TakeCost did not reset: %v", again)
+	}
+}
+
+func TestRouterCheckpointRoundtrip(t *testing.T) {
+	r, _ := testRouter(t, DefaultScorers())
+	submitOne(r, 1)
+	submitOne(r, 1)
+	st := r.CheckpointState()
+
+	r2, _ := testRouter(t, DefaultScorers())
+	r2.RestoreCheckpoint(st)
+	if got, want := r2.Routed(), r.Routed(); got[0] != want[0] {
+		t.Fatalf("restored routed = %v, want %v", got, want)
+	}
+	if got := r2.TakeCost(); got[0] != 200 {
+		t.Fatalf("restored cost = %v, want 200 on backend 1", got)
+	}
+}
+
+// fleetPair builds two real backends with control stacks on one clock —
+// the smallest fleet the planner can split a budget across.
+func fleetPair(t *testing.T) (*simclock.Clock, *Router, []*backend.Instance) {
+	t.Helper()
+	clock := simclock.New()
+	classes := []*workload.Class{
+		{ID: 1, Name: "Class 1", Kind: workload.OLAP, Goal: workload.Goal{Metric: workload.Velocity, Target: 0.4}, Importance: 1},
+	}
+	qsCfg := core.DefaultConfig()
+	qsCfg.SystemCostLimit = 30000
+	var instances []*backend.Instance
+	var bs []backend.Backend
+	for i := 1; i <= 2; i++ {
+		b := backend.New(i, backend.Spec{Name: "b"}, clock)
+		b.AttachControl(qsCfg, classes, []engine.ClassID{1}, nil)
+		instances = append(instances, b)
+		bs = append(bs, b)
+	}
+	return clock, New(bs, DefaultScorers()), instances
+}
+
+func TestPlannerSplitsBudgetByDemand(t *testing.T) {
+	clock, r, instances := fleetPair(t)
+	p := StartPlanner(clock, r, instances, PlannerConfig{Interval: 60, Total: 30000})
+
+	// Initial split is equal.
+	for i, b := range instances {
+		if got := b.QS.Config().SystemCostLimit; got != 15000 {
+			t.Fatalf("backend %d initial limit = %v, want 15000", i+1, got)
+		}
+	}
+
+	var plans []FleetPlan
+	p.OnPlan(func(fp FleetPlan) { plans = append(plans, fp) })
+
+	// All demand lands on backend 1.
+	r.cost[0] = 10000
+	clock.RunUntil(61)
+	if len(plans) != 1 {
+		t.Fatalf("planner fired %d times, want 1", len(plans))
+	}
+	l := plans[0].Limits
+	if l[0] <= l[1] {
+		t.Fatalf("limits %v: demand-heavy backend should get the larger share", l)
+	}
+	if sum := l[0] + l[1]; sum < 29999 || sum > 30001 {
+		t.Fatalf("limits %v do not sum to the total budget", l)
+	}
+	// The floor keeps the idle backend alive.
+	if l[1] < 30000*DefaultMinShare-1 {
+		t.Fatalf("idle backend limit %v fell below the min-share floor", l[1])
+	}
+	for i, b := range instances {
+		//lint:ignore floateq the limit is actuated verbatim from the plan
+		if got := b.QS.Config().SystemCostLimit; got != l[i] {
+			t.Fatalf("backend %d limit = %v, want actuated %v", i+1, got, l[i])
+		}
+	}
+}
+
+func TestPlannerCheckpointRoundtrip(t *testing.T) {
+	clock, r, instances := fleetPair(t)
+	p := StartPlanner(clock, r, instances, PlannerConfig{Interval: 60, Total: 30000})
+	r.cost[0] = 5000
+	clock.RunUntil(61)
+	st := p.CheckpointState()
+	if len(st.EWMA) != 2 || st.EWMA[0] == 0 {
+		t.Fatalf("checkpoint EWMA %v should carry the folded demand", st.EWMA)
+	}
+
+	clock2, r2, instances2 := fleetPair(t)
+	p2 := StartPlanner(clock2, r2, instances2, PlannerConfig{Interval: 60, Total: 30000})
+	clock2.Restore(clock.State())
+	p2.RestoreCheckpoint(st)
+	got := p2.CheckpointState()
+	if got.EWMA[0] != st.EWMA[0] || got.EWMA[1] != st.EWMA[1] {
+		t.Fatalf("restored EWMA %v, want %v", got.EWMA, st.EWMA)
+	}
+}

@@ -35,6 +35,14 @@ type ClassMeta struct {
 	Target float64 `json:"target"`
 }
 
+// BackendMeta describes one fleet backend in the trace header.
+type BackendMeta struct {
+	ID   int     `json:"id"` // 1-based, matches route events' Value
+	Name string  `json:"name"`
+	CPU  float64 `json:"cpu"`
+	IO   float64 `json:"io"`
+}
+
 // Meta is the trace header: enough run context for qtrace to interpret
 // event times as schedule periods and class IDs as named classes.
 type Meta struct {
@@ -44,6 +52,9 @@ type Meta struct {
 	PeriodSeconds float64     `json:"period_seconds"`
 	Periods       int         `json:"periods"`
 	Classes       []ClassMeta `json:"classes"`
+	// Backends is the fleet roster; empty (and omitted from the header
+	// line) for single-backend runs, so legacy traces are byte-identical.
+	Backends []BackendMeta `json:"backends,omitempty"`
 }
 
 // jsonMeta is the on-disk meta line.
@@ -231,7 +242,7 @@ func appendJSONString(buf []byte, s string) []byte {
 
 // kindFromString inverts Kind.String for trace file parsing.
 func kindFromString(s string) (Kind, error) {
-	for k := QuerySubmit; k <= QueryRetried; k++ {
+	for k := QuerySubmit; k <= QueryRouted; k++ {
 		if k.String() == s {
 			return k, nil
 		}

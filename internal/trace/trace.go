@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/patroller"
+	"repro/internal/router"
 	"repro/internal/simclock"
 	"repro/internal/solver"
 )
@@ -34,6 +35,10 @@ const (
 	WorkloadShift
 	QueryAborted
 	QueryRetried
+	// QueryRouted is a fleet routing decision: one per submitted query,
+	// with the chosen backend (1-based) in Value. Single-backend runs
+	// never emit it, keeping their exports byte-identical.
+	QueryRouted
 )
 
 func (k Kind) String() string {
@@ -56,6 +61,8 @@ func (k Kind) String() string {
 		return "abort"
 	case QueryRetried:
 		return "retry"
+	case QueryRouted:
+		return "route"
 	default:
 		//lint:ignore hotalloc unreachable for the known kinds emitted on the hot path
 		return fmt.Sprintf("Kind(%d)", int(k))
@@ -93,7 +100,7 @@ func (e Event) String() string {
 
 // numKinds sizes the dense per-kind counter array (kinds are small
 // consecutive constants; anything else spills to farCounts).
-const numKinds = int(QueryRetried) + 1
+const numKinds = int(QueryRouted) + 1
 
 // traceBatchSize bounds the batched-dispatch buffer: Emit appends events
 // here and the JSONL encoding happens in batches — when the buffer
@@ -360,6 +367,26 @@ func AttachPatroller(t *Tracer, pat *patroller.Patroller, clock *simclock.Clock)
 			Query: qi.ID, Client: qi.Client, Value: qi.Cost,
 			Detail: t.detailAttempt(qi.Attempt)})
 	}
+}
+
+// AttachRouter records one QueryRouted event per submitted query: the
+// chosen backend's 1-based ID in Value, "backend=N" in Detail. The
+// router fires its hook after the backend's engine assigned the query
+// ID, so route events correlate with the rest of the lifecycle.
+func AttachRouter(t *Tracer, r *router.Router, clock *simclock.Clock) {
+	r.OnRoute(func(q *engine.Query, d router.Decision) {
+		t.Emit(Event{Time: clock.Now(), Kind: QueryRouted, Class: q.Class,
+			Query: q.ID, Client: q.Client, Value: float64(d.Backend),
+			Detail: t.detailBackend(d.Backend)})
+	})
+}
+
+//qlint:hotpath
+func (t *Tracer) detailBackend(b int) string {
+	buf := append(t.detailBuf[:0], "backend="...)
+	buf = strconv.AppendInt(buf, int64(b), 10)
+	t.detailBuf = buf
+	return string(buf)
 }
 
 // AttachScheduler records PlanChanged events from the Query Scheduler's

@@ -40,10 +40,12 @@ func (c *Client) Active() bool { return c.active }
 //qlint:hotpath
 func (c *Client) submitNext() {
 	inst := c.set.Generate(c.src)
-	// Queries come from the engine's freelist: the engine recycles them
-	// on terminal state, so a million-query run reuses a handful of
-	// objects instead of allocating one per statement.
-	q := c.pool.eng.AcquireQuery()
+	// Queries come from the submitter's freelist: the engine recycles
+	// them on terminal state, so a million-query run reuses a handful of
+	// objects instead of allocating one per statement. A fleet run swaps
+	// in a router here; the single-engine path is untouched.
+	sub := c.pool.route
+	q := sub.AcquireQuery()
 	q.Client = c.ID
 	q.Class = c.Class.ID
 	q.Template = inst.Template
@@ -51,13 +53,21 @@ func (c *Client) submitNext() {
 	q.Demand = inst.Demand
 	c.inFlight = true
 	c.Submitted++
-	c.pool.eng.Submit(q)
+	sub.Submit(q)
+}
+
+// Submitter is where clients send their queries: a single engine in the
+// classic rig, or a fleet router that picks a backend per query. Both
+// hand out queries from a freelist via AcquireQuery.
+type Submitter interface {
+	AcquireQuery() *engine.Query
+	Submit(*engine.Query)
 }
 
 // Pool owns all clients of an experiment and routes engine completions
 // back to them. Period changes activate or park clients per class.
 type Pool struct {
-	eng     *engine.Engine
+	route   Submitter
 	clients map[engine.ClientID]*Client // eager clients + live streaming clients
 	//lint:ignore ckptcover derived per-class index; rebuilt from the clients table by construction on restore
 	byClass map[engine.ClassID][]*Client
@@ -86,12 +96,32 @@ type lazyGroup struct {
 // NewPool returns a pool bound to eng, registering its completion hook.
 func NewPool(eng *engine.Engine) *Pool {
 	p := &Pool{
-		eng:     eng,
+		route:   eng,
 		clients: make(map[engine.ClientID]*Client),
 		byClass: make(map[engine.ClassID][]*Client),
 		groups:  make(map[engine.ClassID]*lazyGroup),
 	}
 	eng.OnDone(p.onDone)
+	return p
+}
+
+// NewRoutedPool returns a pool that submits through route instead of a
+// single engine. Completions still arrive engine-by-engine: the caller
+// passes every engine queries can land on so the pool's closed loop
+// keeps turning wherever the router sends them.
+func NewRoutedPool(route Submitter, engines []*engine.Engine) *Pool {
+	if route == nil || len(engines) == 0 {
+		panic("workload: NewRoutedPool needs a router and at least one engine")
+	}
+	p := &Pool{
+		route:   route,
+		clients: make(map[engine.ClientID]*Client),
+		byClass: make(map[engine.ClassID][]*Client),
+		groups:  make(map[engine.ClassID]*lazyGroup),
+	}
+	for _, eng := range engines {
+		eng.OnDone(p.onDone)
+	}
 	return p
 }
 
