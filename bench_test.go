@@ -577,6 +577,20 @@ func BenchmarkRoutingFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetFailover regenerates E15 (quick shape): three arms of
+// the backend-crash drill — healthy baseline, failover + migration, and
+// mitigation-off. The reported metrics are the acceptance verdict: the
+// mitigated arm's critical-class retention vs baseline (bar: >= 90%)
+// and the collapse of the unmitigated black-hole arm.
+func BenchmarkFleetFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFailover(experiment.FailoverConfig{Seed: 1, Quick: true})
+		b.ReportMetric(100*r.Baseline.Attainment, "baseline-attain%")
+		b.ReportMetric(100*r.Retention(r.Failover), "retention%")
+		b.ReportMetric(100*r.NoMitig.Attainment, "nomitig-attain%")
+	}
+}
+
 // BenchmarkMillionClients drives one million distinct streaming clients
 // through a 24-sim-hour closed-loop OLTP run. A 25-client cohort rotates
 // through the population every ~2.2 sim-seconds via SetActiveWindow, so

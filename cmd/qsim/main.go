@@ -6,6 +6,7 @@
 //	qsim -exp fig6 -seed 7    # Query Scheduler run with another seed
 //	qsim -exp fig6 -backends 3  # same run on a 3-backend fleet
 //	qsim -exp routing         # E14: heterogeneous fleet + routing tier
+//	qsim -exp failover        # E15: kill 1-of-3 backends mid-run
 //	qsim -exp all             # everything, in paper order
 //	qsim -exp fig2 -parallel 8  # fan the sweep across 8 workers
 //
@@ -101,7 +102,7 @@ func (s *fileSink) close() {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|crashrecovery|infeasible|routing|all")
+	exp := flag.String("exp", "all", "experiment: syslimit|fig2|fig3|fig4|fig5|fig6|fig7|overhead|direct|detection|detection-replicated|replicated|ablations|faultmatrix|crashrecovery|infeasible|routing|failover|all")
 	backends := flag.Int("backends", 1, "number of identical backends behind the routing tier (Query Scheduler runs: -exp fig6|fig7); 1 = the classic single-engine rig, byte-identical to builds without a fleet")
 	replications := flag.Int("seeds", 5, "number of seeds for -exp replicated / detection-replicated")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -114,7 +115,7 @@ func main() {
 	decisionsFile := flag.String("decisions", "", "write the control plane's decision audit log as JSONL to this file (Query Scheduler runs only: -exp fig6|fig7|infeasible or a query-scheduler -scenario; inspect with qreport)")
 	faultsFile := flag.String("faults", "", "inject the deterministic fault plan from this JSON file (mixed runs and -exp faultmatrix; see internal/fault)")
 	mitigate := flag.Bool("mitigate", false, "with -faults on a mixed run: arm the mitigation stack (timeout+retry, plan hold, slope fallback)")
-	quick := flag.Bool("quick", false, "with -exp faultmatrix: run the CI-smoke-sized schedule instead of the 24-hour one")
+	quick := flag.Bool("quick", false, "with -exp faultmatrix|failover: run the CI-smoke-sized schedule instead of the full one")
 	traceRotate := flag.Int64("trace-rotate", 0, "rotate the -trace file once a segment exceeds this many bytes (0 = never); rotated segments move to <file>.1, .2, ... and each re-starts with the meta line")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a crash-consistent checkpoint every N control boundaries (single mixed runs only; requires -checkpoint-dir)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory checkpoint files are written to")
@@ -123,8 +124,8 @@ func main() {
 	pprofFile := flag.String("pprof-file", "", "profile output path (default qsim-cpu.pprof / qsim-heap.pprof)")
 	flag.Parse()
 
-	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true, "infeasible": true, "routing": true}
-	decCapable := map[string]bool{"fig6": true, "fig7": true, "infeasible": true, "routing": true}
+	obsCapable := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true, "infeasible": true, "routing": true, "failover": true}
+	decCapable := map[string]bool{"fig6": true, "fig7": true, "infeasible": true, "routing": true, "failover": true}
 	if *backends < 1 {
 		fmt.Fprintln(os.Stderr, "-backends must be at least 1")
 		os.Exit(2)
@@ -385,10 +386,9 @@ func main() {
 		cfg.CheckpointEvery = *checkpointEvery
 		cfg.CheckpointDir = *checkpointDir
 		if *backends > 1 {
-			if faults != nil || *mitigate {
-				fmt.Fprintln(os.Stderr, "-backends cannot be combined with -faults or -mitigate (fleet runs have no fault injector)")
-				os.Exit(2)
-			}
+			// Fault plans and the retry stack are wired per backend in the
+			// fleet rig; only backend-scoped fault targets are validated
+			// there (a plan naming backend 5 on a 3-box fleet panics).
 			cfg.Backends = backend.DefaultSpecs(*backends)
 		}
 		if *mitigate {
@@ -475,11 +475,15 @@ func main() {
 		cfg.Decisions = decisionsSink.writer()
 		cfg.CheckpointEvery = *checkpointEvery
 		cfg.CheckpointDir = *checkpointDir
-		if faults != nil || *mitigate {
-			fmt.Fprintln(os.Stderr, "-exp routing cannot be combined with -faults or -mitigate (fleet runs have no fault injector)")
-			os.Exit(2)
+		cfg.Faults = faults
+		if *mitigate {
+			qc := experiment.MitigatedQSConfig()
+			cfg.QS = &qc
+			rp := experiment.DefaultRetryPolicy()
+			cfg.Retry = &rp
 		}
 		res := experiment.RunFleet(cfg)
+		exitIfCrashed(res.MixedResult)
 		checkExport(res.MixedResult)
 		if err := res.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -487,6 +491,23 @@ func main() {
 		}
 		writeMixed("routing", res.MixedResult)
 		experiment.WriteRouting(out, res)
+		fmt.Fprintln(out)
+	}
+	if *exp == "failover" { // not part of "all": three full fleet runs
+		any = true
+		fcfg := experiment.FailoverConfig{
+			Seed:            *seed,
+			Quick:           *quick,
+			Trace:           traceWriter(),
+			Metrics:         metricsSink.writer(),
+			Decisions:       decisionsSink.writer(),
+			CheckpointEvery: *checkpointEvery,
+			CheckpointDir:   *checkpointDir,
+		}
+		r := experiment.RunFailover(fcfg)
+		checkExport(r.Failover.Result.MixedResult)
+		experiment.WriteFailover(out, r)
+		writeCSV("failover.csv", experiment.FailoverCSV(r))
 		fmt.Fprintln(out)
 	}
 	if run("overhead") {

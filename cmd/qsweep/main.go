@@ -164,10 +164,8 @@ func main() {
 	}
 	defer stopProfile()
 
-	if *backends > 1 && (*faultsFile != "" || *mitigate) {
-		fmt.Fprintln(os.Stderr, "-faults/-mitigate are not supported on fleet runs (-backends > 1)")
-		os.Exit(2)
-	}
+	// Fault plans and the mitigation stack apply per backend on fleet
+	// runs; the fleet rig validates backend-scoped fault targets itself.
 	var fleetSpecs []backend.Spec
 	if *backends > 1 {
 		fleetSpecs = backend.DefaultSpecs(*backends)

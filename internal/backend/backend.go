@@ -80,6 +80,12 @@ type Backend interface {
 	Load() float64
 	// Affinity is the spec's routing bias for a class (1 = neutral).
 	Affinity(class engine.ClassID) float64
+	// Evacuate pulls every query this backend holds — admission-held,
+	// executing, and awaiting retry — off the backend for failover
+	// re-dispatch, in deterministic order (held queue in arrival order,
+	// then executing queries by ID, then pending retries by event
+	// sequence). Each returned query is reset to StateNew.
+	Evacuate() []*engine.Query
 }
 
 // Instance is one concrete backend: an engine plus (once attached) its
@@ -147,6 +153,29 @@ func (b *Instance) Affinity(class engine.ClassID) float64 {
 		return w
 	}
 	return 1
+}
+
+// Evacuate implements the failover drain: held queries first (arrival
+// order), then executing queries (ID order, with their patroller rows
+// closed), then pending retries (event-sequence order). The composite
+// order is deterministic, so the survivors' submission sequence — and
+// every event sequence number downstream of it — replays identically
+// run to run and across checkpoint resume.
+func (b *Instance) Evacuate() []*engine.Query {
+	var out []*engine.Query
+	if b.Pat != nil {
+		out = append(out, b.Pat.EvacuateHeld()...)
+	}
+	for _, q := range b.Eng.Evacuate() {
+		if b.Pat != nil {
+			b.Pat.ForgetActive(q.ID)
+		}
+		out = append(out, q)
+	}
+	if b.Pat != nil {
+		out = append(out, b.Pat.EvacuateRetries()...)
+	}
+	return out
 }
 
 // AttachControl wires the backend's admission stack: a patroller over

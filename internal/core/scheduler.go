@@ -328,6 +328,17 @@ func (qs *QueryScheduler) History() []PlanRecord {
 	return out
 }
 
+// LastPlan returns the most recent control-interval record without
+// copying the whole history — the fleet planner reads each backend's
+// solver verdict (infeasible plan, binding class) from it every tick.
+// The record is deep-copied; false means no tick has run yet.
+func (qs *QueryScheduler) LastPlan() (PlanRecord, bool) {
+	if len(qs.history) == 0 {
+		return PlanRecord{}, false
+	}
+	return qs.history[len(qs.history)-1].Clone(), true
+}
+
 // OnPlan registers a hook called with each control interval's PlanRecord
 // as it is appended to the history. Hooks run in registration order; the
 // trace layer uses this to emit plan-change events.

@@ -131,6 +131,29 @@ type Record struct {
 	Actual []Outcome `json:"actual,omitempty"`
 }
 
+// FleetRecord is one fleet-level availability or mitigation event in
+// the log: a backend failing over, recovering, degrading, or having its
+// class demand migrated or shed. Unlike decision records these are not
+// tick-buffered — there is no prediction window to close — so NoteFleet
+// writes them immediately, interleaved with the decision streams in
+// event order.
+type FleetRecord struct {
+	Type string  `json:"type"` // always "fleet"
+	T    float64 `json:"t"`    // sim time of the event
+	// Event: "failover" (backend crashed, queries re-dispatched),
+	// "recover", "degraded", "restored", "migration", "migration-end",
+	// "shed".
+	Event   string `json:"event"`
+	Backend int    `json:"backend"` // the event's subject, 1-based
+	// Class / Target are set on migration and shed events.
+	Class  int `json:"class,omitempty"`
+	Target int `json:"target,omitempty"`
+	// Factor is the brownout speed factor on degraded events.
+	Factor float64 `json:"factor,omitempty"`
+	// Moved counts queries re-dispatched to survivors on failover.
+	Moved int `json:"moved,omitempty"`
+}
+
 // ClassesMeta renders a class roster into meta form, sorted by ID.
 func ClassesMeta(classes []*workload.Class) []ClassMeta {
 	out := make([]ClassMeta, 0, len(classes))
@@ -262,6 +285,30 @@ func (dw *Writer) NoteBackend(b int, rec core.PlanRecord) {
 	}
 	r := dw.buildRecord(b, dw.bticks[b], prev, rec)
 	dw.bpending[b] = &r
+}
+
+// NoteFleet writes one fleet availability/mitigation event immediately.
+// No buffering: fleet events have no prediction window, and writing in
+// event order keeps the log a faithful interleaving of what the control
+// plane knew when. Byte accounting goes through the same path as
+// decision records, so checkpoints taken after a fleet event resume
+// byte-identically.
+func (dw *Writer) NoteFleet(fr FleetRecord) {
+	if dw.err != nil {
+		return
+	}
+	fr.Type = "fleet"
+	line, err := json.Marshal(fr)
+	if err != nil {
+		dw.err = fmt.Errorf("decisionlog: encode fleet record: %w", err)
+		return
+	}
+	line = append(line, '\n')
+	n, werr := dw.w.Write(line)
+	dw.bytes += int64(n)
+	if werr != nil {
+		dw.err = werr
+	}
 }
 
 // Flush writes the trailing pending records (without Actual — no later

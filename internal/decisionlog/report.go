@@ -317,11 +317,13 @@ func Summarize(w io.Writer, r io.Reader) error {
 // in the window: time, utility, search effort, actuated limits, and
 // feasibility/outcome flags. Lines print as records are scanned, so
 // memory stays constant; corrupt input can leave partial output behind
-// the returned error.
+// the returned error. Fleet logs get their availability spans and
+// failover/migration markers appended after the tick lines.
 func Timeline(w io.Writer, r io.Reader, window TickRange) error {
 	var meta Meta
+	var health fleetHealth
 	lastTick := 0
-	err := ScanJSONL(r,
+	err := ScanJSONLWithFleet(r,
 		func(m Meta) error {
 			meta = m
 			fmt.Fprintf(w, "Decision timeline: %s (seed %d)\n", m.Experiment, m.Seed)
@@ -336,19 +338,25 @@ func Timeline(w io.Writer, r io.Reader, window TickRange) error {
 			}
 			writeTimelineLine(w, meta, rec)
 			return nil
-		})
+		},
+		func(fr FleetRecord) error { health.add(fr); return nil })
 	if err != nil {
 		return err
 	}
 	if verr := window.Validate(lastTick); verr != nil {
 		return &SpecError{Err: verr}
 	}
+	health.render(w, meta)
 	return nil
 }
 
 func writeTimelineLine(w io.Writer, meta Meta, rec Record) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "tick %4d  t=%9.1fs", rec.Tick, rec.T)
+	fmt.Fprintf(&b, "tick %4d", rec.Tick)
+	if rec.Backend > 0 {
+		fmt.Fprintf(&b, " b%d", rec.Backend)
+	}
+	fmt.Fprintf(&b, "  t=%9.1fs", rec.T)
 	if rec.Held {
 		b.WriteString("  held (degraded harvest, limits frozen)")
 	} else {
@@ -364,6 +372,139 @@ func writeTimelineLine(w io.Writer, meta Meta, rec Record) {
 		fmt.Fprintf(&b, "  missed:%s", joinInts(missed))
 	}
 	fmt.Fprintln(w, b.String())
+}
+
+// fleetHealth collects the fleet records interleaved in a fleet decision
+// log. NoteFleet writes them unbuffered at event time, so they arrive in
+// time order and every event at or before a decision record's T precedes
+// that record in the file — which is what lets Why annotate streamed
+// INFEASIBLE verdicts with the capacity already known to be lost.
+type fleetHealth struct {
+	events []FleetRecord
+}
+
+func (fh *fleetHealth) add(fr FleetRecord) { fh.events = append(fh.events, fr) }
+
+// availability transitions map a fleet event to the backend state it
+// enters; migration markers return "" (they move demand, not capacity).
+func availabilityState(fr FleetRecord) string {
+	switch fr.Event {
+	case "failover":
+		return "DOWN"
+	case "recover", "restored":
+		return "UP"
+	case "degraded":
+		return fmt.Sprintf("DEGRADED x%.2f", fr.Factor)
+	}
+	return ""
+}
+
+// render writes the backend availability spans and the fleet event
+// markers. A log with no fleet records (single engine, or a fleet that
+// never saw a fault) renders nothing.
+func (fh *fleetHealth) render(w io.Writer, meta Meta) {
+	if len(fh.events) == 0 || len(meta.Backends) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Backend availability:")
+	for _, bk := range meta.Backends {
+		state, from := "UP", 0.0
+		redispatched := 0
+		var spans []string
+		for _, fr := range fh.events {
+			if fr.Backend != bk.ID {
+				continue
+			}
+			if fr.Event == "failover" {
+				redispatched += fr.Moved
+			}
+			next := availabilityState(fr)
+			if next == "" || next == state {
+				continue
+			}
+			spans = append(spans, fmt.Sprintf("%s %.0fs-%.0fs", state, from, fr.T))
+			state, from = next, fr.T
+		}
+		spans = append(spans, fmt.Sprintf("%s %.0fs-end", state, from))
+		line := fmt.Sprintf("  backend %d: %s", bk.ID, strings.Join(spans, ", "))
+		if redispatched > 0 {
+			line += fmt.Sprintf("  (%d queries re-dispatched on failover)", redispatched)
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintln(w, "Fleet events:")
+	for _, fr := range fh.events {
+		fmt.Fprintf(w, "  t=%9.1fs  %s\n", fr.T, fleetEventLine(meta, fr))
+	}
+}
+
+// fleetEventLine renders one fleet record as an operator-readable marker.
+func fleetEventLine(meta Meta, fr FleetRecord) string {
+	switch fr.Event {
+	case "failover":
+		return fmt.Sprintf("backend %d DOWN — failover, %d queries re-dispatched to survivors", fr.Backend, fr.Moved)
+	case "recover":
+		return fmt.Sprintf("backend %d UP — rejoined with warm-up share", fr.Backend)
+	case "degraded":
+		return fmt.Sprintf("backend %d DEGRADED — running at x%.2f speed", fr.Backend, fr.Factor)
+	case "restored":
+		return fmt.Sprintf("backend %d restored to full speed", fr.Backend)
+	case "migration":
+		return fmt.Sprintf("backend %d infeasible — migrating %s to backend %d", fr.Backend, metaClassName(meta, fr.Class), fr.Target)
+	case "migration-end":
+		// Ends either because the source plans feasibly again or because
+		// it died; the record does not distinguish.
+		return fmt.Sprintf("migration of %s off backend %d ended", metaClassName(meta, fr.Class), fr.Backend)
+	case "shed":
+		return fmt.Sprintf("backend %d infeasible, no healthy peer — shedding %s", fr.Backend, metaClassName(meta, fr.Class))
+	}
+	return fmt.Sprintf("backend %d %s", fr.Backend, fr.Event)
+}
+
+// capacityNote names the capacity lost as of time t — the backends down
+// or degraded — so an INFEASIBLE verdict can say what broke the plan.
+// Returns "" when the fleet was whole.
+func (fh *fleetHealth) capacityNote(t float64) string {
+	type bkState struct {
+		state  string // "" = up
+		since  float64
+		factor float64
+	}
+	states := make(map[int]*bkState)
+	order := []int{}
+	for _, fr := range fh.events {
+		if fr.T > t {
+			break // events are time-ordered
+		}
+		st := states[fr.Backend]
+		if st == nil {
+			st = &bkState{}
+			states[fr.Backend] = st
+			order = append(order, fr.Backend)
+		}
+		switch fr.Event {
+		case "failover":
+			st.state, st.since = "down", fr.T
+		case "degraded":
+			st.state, st.since, st.factor = "degraded", fr.T, fr.Factor
+		case "recover", "restored":
+			st.state = ""
+		}
+	}
+	var parts []string
+	for _, id := range order {
+		st := states[id]
+		switch st.state {
+		case "down":
+			parts = append(parts, fmt.Sprintf("backend %d down since t=%.0fs", id, st.since))
+		case "degraded":
+			parts = append(parts, fmt.Sprintf("backend %d at x%.2f speed since t=%.0fs", id, st.factor, st.since))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "capacity lost: " + strings.Join(parts, ", ")
 }
 
 func metaClassName(meta Meta, id int) string {
@@ -440,11 +581,15 @@ func ParseWhyQuery(spec string, meta Meta) (WhyQuery, error) {
 // in the query's window: what the controller did to the class and why —
 // the actuation verb, the prediction against the goal, reachability,
 // the utility margin over the runner-up plan, and the back-filled
-// actual outcome. Spec errors are wrapped in *SpecError.
+// actual outcome. On fleet logs an INFEASIBLE verdict also names the
+// capacity lost (backends down or degraded at that tick), so "the plan
+// can't meet the goal" reads as "because a backend died", not as a
+// solver mystery. Spec errors are wrapped in *SpecError.
 func Why(w io.Writer, r io.Reader, spec string, window TickRange) error {
 	var q WhyQuery
+	var health fleetHealth
 	lastTick := 0
-	err := ScanJSONL(r,
+	err := ScanJSONLWithFleet(r,
 		func(m Meta) error {
 			var err error
 			if q, err = ParseWhyQuery(spec, m); err != nil {
@@ -466,9 +611,10 @@ func Why(w io.Writer, r io.Reader, spec string, window TickRange) error {
 			if !window.Contains(rec.Tick) || !q.Window.Contains(rec.Tick) {
 				return nil
 			}
-			writeWhyLine(w, q.Class, rec)
+			writeWhyLine(w, q.Class, rec, &health)
 			return nil
-		})
+		},
+		func(fr FleetRecord) error { health.add(fr); return nil })
 	if err != nil {
 		return err
 	}
@@ -481,7 +627,7 @@ func Why(w io.Writer, r io.Reader, spec string, window TickRange) error {
 }
 
 // writeWhyLine renders one tick's decision for one class.
-func writeWhyLine(w io.Writer, cm ClassMeta, rec Record) {
+func writeWhyLine(w io.Writer, cm ClassMeta, rec Record, health *fleetHealth) {
 	cd := rec.classRow(cm.ID)
 	if cd == nil {
 		return
@@ -529,6 +675,9 @@ func writeWhyLine(w io.Writer, cm ClassMeta, rec Record) {
 		}
 		if rec.Infeasible {
 			fmt.Fprintf(&b, "; INFEASIBLE (binding class %d)", rec.Binding)
+			if note := health.capacityNote(rec.T); note != "" {
+				fmt.Fprintf(&b, "; %s", note)
+			}
 		}
 	}
 	fmt.Fprintln(w, b.String())

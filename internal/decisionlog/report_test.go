@@ -534,3 +534,93 @@ func TestMetricsCrossCheck(t *testing.T) {
 		t.Fatalf("empty cross-check not flagged:\n%s", out.String())
 	}
 }
+
+// buildFleetTestLog writes a 2-backend log with a failover, a recovery,
+// a brownout, and a migration interleaved between the tick records.
+func buildFleetTestLog(t *testing.T, infeasibleTick2 bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	meta := testMeta()
+	meta.Backends = []BackendMeta{{ID: 1, Name: "b1"}, {ID: 2, Name: "b2"}}
+	dw, err := NewWriter(&buf, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw.NoteBackend(1, testRec(60, 0.45, 0.2))
+	dw.NoteBackend(2, testRec(60, 0.45, 0.2))
+	dw.NoteFleet(FleetRecord{T: 90, Event: "failover", Backend: 2, Moved: 3})
+	rec := testRec(120, 0.35, 0.3)
+	if infeasibleTick2 {
+		rec.Search.Infeasible = true
+		rec.Search.Binding = 1
+	}
+	dw.NoteBackend(1, rec)
+	dw.NoteBackend(2, testRec(120, 0.35, 0.3))
+	dw.NoteFleet(FleetRecord{T: 150, Event: "recover", Backend: 2})
+	dw.NoteFleet(FleetRecord{T: 155, Event: "degraded", Backend: 1, Factor: 0.25})
+	dw.NoteFleet(FleetRecord{T: 170, Event: "restored", Backend: 1})
+	dw.NoteFleet(FleetRecord{T: 175, Event: "migration", Backend: 1, Class: 1, Target: 2})
+	dw.NoteBackend(1, testRec(180, 0.5, 0.21))
+	dw.NoteBackend(2, testRec(180, 0.5, 0.21))
+	dw.Flush()
+	if dw.Err() != nil {
+		t.Fatal(dw.Err())
+	}
+	return buf.Bytes()
+}
+
+func TestTimelineRendersFleetAvailability(t *testing.T) {
+	log := buildFleetTestLog(t, false)
+	var out bytes.Buffer
+	if err := Timeline(&out, bytes.NewReader(log), TickRange{}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Backend availability:",
+		"backend 1: UP 0s-155s, DEGRADED x0.25 155s-170s, UP 170s-end",
+		"backend 2: UP 0s-90s, DOWN 90s-150s, UP 150s-end  (3 queries re-dispatched on failover)",
+		"Fleet events:",
+		"backend 2 DOWN — failover, 3 queries re-dispatched to survivors",
+		"backend 2 UP — rejoined with warm-up share",
+		"backend 1 DEGRADED — running at x0.25 speed",
+		"backend 1 restored to full speed",
+		"backend 1 infeasible — migrating Class1 to backend 2",
+		"tick    1 b2", // fleet tick lines carry the backend tag
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fleet timeline missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// An INFEASIBLE verdict at a tick where a backend is down must name the
+// capacity loss; the same verdict before any fleet event must not.
+func TestWhyNamesCapacityLoss(t *testing.T) {
+	log := buildFleetTestLog(t, true)
+	var out bytes.Buffer
+	if err := Why(&out, bytes.NewReader(log), "class=1 tick=2", TickRange{}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "INFEASIBLE") {
+		t.Fatalf("why output missing the INFEASIBLE verdict:\n%s", s)
+	}
+	if !strings.Contains(s, "capacity lost: backend 2 down since t=90s") {
+		t.Errorf("why output does not name the capacity loss:\n%s", s)
+	}
+}
+
+// A single-engine log must render exactly as before: no availability
+// section, no backend tags.
+func TestTimelineSingleEngineUnchangedByFleetSupport(t *testing.T) {
+	log := buildTestLog(t)
+	var out bytes.Buffer
+	if err := Timeline(&out, bytes.NewReader(log), TickRange{}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "Backend availability") || strings.Contains(s, " b1 ") {
+		t.Errorf("single-engine timeline grew fleet artifacts:\n%s", s)
+	}
+}

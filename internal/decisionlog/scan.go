@@ -21,9 +21,16 @@ const (
 
 // ScanJSONL streams a decision log: onMeta is invoked once with the
 // first line (which must be a meta line), then onRecord per decision
-// line in file order. Either callback may be nil to skip. A callback
+// line in file order. Fleet records are skipped — use ScanJSONLWithFleet
+// to receive them. Either callback may be nil to skip. A callback
 // returning an error aborts the scan with that error.
 func ScanJSONL(r io.Reader, onMeta func(Meta) error, onRecord func(Record) error) error {
+	return ScanJSONLWithFleet(r, onMeta, onRecord, nil)
+}
+
+// ScanJSONLWithFleet is ScanJSONL plus a fleet-record callback, invoked
+// per "fleet" line in file order (nil skips them).
+func ScanJSONLWithFleet(r io.Reader, onMeta func(Meta) error, onRecord func(Record) error, onFleet func(FleetRecord) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, scanInitBuf), scanMaxBuf)
 	sawMeta := false
@@ -53,17 +60,36 @@ func ScanJSONL(r io.Reader, onMeta func(Meta) error, onRecord func(Record) error
 			}
 			continue
 		}
-		var rec Record
-		if err := json.Unmarshal(raw, &rec); err != nil {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
 			return fmt.Errorf("decisionlog: line %d: %w", line, err)
 		}
-		if rec.Type != "decision" {
-			return fmt.Errorf("decisionlog: line %d: unknown type %q", line, rec.Type)
-		}
-		if onRecord != nil {
-			if err := onRecord(rec); err != nil {
+		switch probe.Type {
+		case "decision":
+			var rec Record
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return fmt.Errorf("decisionlog: line %d: %w", line, err)
+			}
+			if onRecord != nil {
+				if err := onRecord(rec); err != nil {
+					return err
+				}
+			}
+		case "fleet":
+			if onFleet == nil {
+				continue
+			}
+			var fr FleetRecord
+			if err := json.Unmarshal(raw, &fr); err != nil {
+				return fmt.Errorf("decisionlog: line %d: %w", line, err)
+			}
+			if err := onFleet(fr); err != nil {
 				return err
 			}
+		default:
+			return fmt.Errorf("decisionlog: line %d: unknown type %q", line, probe.Type)
 		}
 	}
 	if err := sc.Err(); err != nil {

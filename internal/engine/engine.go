@@ -194,6 +194,7 @@ type Stats struct {
 	Started        uint64
 	Completed      uint64
 	Aborted        uint64
+	Evacuated      uint64 // pulled off mid-execution for failover re-dispatch
 	CPUSecondsUsed float64
 	IOSecondsUsed  float64
 	BusyTime       float64 // virtual seconds with at least one active query
@@ -397,6 +398,54 @@ func (e *Engine) Abort(q *Query) bool {
 		e.Recycle(q)
 	}
 	return true
+}
+
+// Evacuate pulls every executing query off the engine for re-dispatch
+// elsewhere — the failover path when this engine's backend dies. Each
+// query is returned to StateNew with its demand intact and its partial
+// progress discarded (the surviving backend re-executes from scratch,
+// like a real failover replaying lost in-flight work). The result is
+// sorted by query ID ascending, so the re-dispatch order — and with it
+// every downstream event sequence number — is deterministic. No done,
+// abort, or completion listeners fire: evacuation is not a terminal
+// outcome for the query, only for its placement.
+func (e *Engine) Evacuate() []*Query {
+	e.advanceTo(e.clock.Now())
+	if len(e.active) == 0 {
+		return nil
+	}
+	out := make([]*Query, len(e.active))
+	copy(out, e.active)
+	// Insertion sort by ID: the active slice is small and this avoids a
+	// sort.Slice closure allocation on a path tests exercise heavily.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	for _, q := range out {
+		e.remove(q)
+		q.State = StateNew
+		q.remaining = 0
+		q.rate = 0
+		e.stats.Evacuated++
+	}
+	e.reschedule()
+	return out
+}
+
+// Reclaim returns a non-executing query to StateNew so it can be
+// re-submitted elsewhere — the interceptor-side half of failover
+// evacuation. Accepts queued queries (held by an interceptor) and
+// failed ones (claimed for retry); executing queries must go through
+// Evacuate instead.
+func (e *Engine) Reclaim(q *Query) {
+	if q.State != StateQueued && q.State != StateFailed {
+		panic(fmt.Sprintf("engine: reclaim of query %d in state %v", q.ID, q.State))
+	}
+	q.State = StateNew
+	q.remaining = 0
+	q.rate = 0
 }
 
 // SetSpeed scales every active query's progress rate by f — the

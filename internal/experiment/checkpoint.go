@@ -78,6 +78,9 @@ type RunSpec struct {
 	// Backends records the fleet roster for multi-backend runs (nil for
 	// the classic single-engine rig); resume rebuilds the same fleet.
 	Backends []backend.Spec
+	// NoMitigation records MixedConfig.DisableFleetMitigation; resume
+	// must rebuild the same (absent) failover wiring.
+	NoMitigation bool
 }
 
 // runSnapshot is the gob payload of one checkpoint file.
@@ -108,6 +111,9 @@ type runSnapshot struct {
 	FleetBackends []backend.CheckpointState
 	Router        router.CheckpointState
 	Planner       router.PlannerCheckpointState
+	// FleetFaults holds the per-backend injector states in roster order
+	// when the fleet ran a fault plan (HasFaults set, Faults field unused).
+	FleetFaults []fault.CheckpointState
 }
 
 // solverSpec names a solver for the run spec. Only the built-in
@@ -155,6 +161,7 @@ func specFromConfig(cfg MixedConfig, classes []*workload.Class) RunSpec {
 		HasDecisions: cfg.Decisions != nil,
 		Streaming:    cfg.StreamingClients,
 		Backends:     cfg.Backends,
+		NoMitigation: cfg.DisableFleetMitigation,
 	}
 	if cfg.QS != nil {
 		spec.HasQSCfg = true
@@ -196,8 +203,9 @@ func (s *RunSpec) config(tw, mw, dw io.Writer) (MixedConfig, error) {
 		Metrics:    mw,
 		Decisions:  dw,
 
-		StreamingClients: s.Streaming,
-		Backends:         s.Backends,
+		StreamingClients:       s.Streaming,
+		Backends:               s.Backends,
+		DisableFleetMitigation: s.NoMitigation,
 	}
 	if s.HasQSCfg {
 		qc := s.QS

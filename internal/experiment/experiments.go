@@ -303,10 +303,19 @@ type MixedConfig struct {
 	// fleet: N backends (each with its own engine, patroller, and Query
 	// Scheduler) behind the routing tier, with the hierarchical planner
 	// splitting SystemCostLimit across them by routed demand. Query
-	// Scheduler mode only; Faults and Retry are not supported on fleets.
-	// Zero or one spec takes the classic single-engine path, byte-identical
-	// to a config without this field.
+	// Scheduler mode only. Faults and Retry apply per backend: every
+	// backend gets its own injector (seeded per roster ID) and retry
+	// policy, and backend-scoped fault kinds (crash/brownout/dropout)
+	// target roster IDs directly. Zero or one spec takes the classic
+	// single-engine path, byte-identical to a config without this field.
 	Backends []backend.Spec
+	// DisableFleetMitigation turns off the fleet's failover response:
+	// backend crashes still stall their engines, but the router is never
+	// told (no re-dispatch, no scoring removal) and the planner neither
+	// re-splits the budget away from the dead backend nor migrates
+	// demand on infeasibility. The control arm of the failover
+	// experiment; pointless outside it.
+	DisableFleetMitigation bool
 }
 
 // DefaultMixedConfig runs the given mode over the paper's Figure 3

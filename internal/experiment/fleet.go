@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/decisionlog"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
@@ -48,6 +49,9 @@ type FleetRig struct {
 	Collector *metrics.Collector
 	// Plans records every fleet budget split the planner made.
 	Plans []router.FleetPlan
+	// Faults holds the per-backend fault injectors in roster order (nil
+	// when the run has no fault plan).
+	Faults []*fault.Injector
 }
 
 // FleetResult extends MixedResult (computed from the fleet-global
@@ -70,18 +74,19 @@ type FleetResult struct {
 }
 
 // validateFleet rejects configurations the fleet runner does not
-// support. The routing tier exists to study the hierarchical control
-// plane; fault injection and retry mitigation stay single-engine
-// features until they learn per-backend targeting.
+// support, feature by feature: the mode must be Query Scheduler (the
+// hierarchical control plane is the point of the fleet), and a fault
+// plan's backend-scoped targets must fit the roster. Class-scoped
+// faults and retry policies are fine — each backend gets its own
+// injector and retry policy.
 func validateFleet(cfg MixedConfig) {
 	if cfg.Mode != QueryScheduler {
 		panic(fmt.Sprintf("experiment: a fleet run requires Query Scheduler mode, got %v", cfg.Mode))
 	}
-	if cfg.Faults != nil && !cfg.Faults.Empty() {
-		panic("experiment: fault plans are not supported on fleet runs")
-	}
-	if cfg.Retry != nil {
-		panic("experiment: retry policies are not supported on fleet runs")
+	if cfg.Faults != nil {
+		if mb := cfg.Faults.MaxBackend(); mb > len(cfg.Backends) {
+			panic(fmt.Sprintf("experiment: fault plan targets backend %d of a %d-backend fleet", mb, len(cfg.Backends)))
+		}
 	}
 }
 
@@ -140,8 +145,35 @@ func newFleetRig(cfg MixedConfig) *FleetRig {
 			oltpClients = func() []engine.ClientID { return pool.ActiveClients(id) }
 		}
 	}
-	for _, b := range instances {
-		b.AttachControl(qc, classes, olap, oltpClients)
+	// Per-backend fault injectors, in roster order before any control
+	// attaches (mirroring the single-engine sequence rig → injector →
+	// controller). Each backend's injector runs the whole plan against
+	// its own engine with a per-backend rng stream; backend-scoped
+	// events arm only on their target.
+	var injectors []*fault.Injector
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		injectors = make([]*fault.Injector, len(instances))
+		for i, b := range instances {
+			inj := fault.NewBackendInjector(*cfg.Faults, clock, i+1)
+			inj.AttachEngine(b.Eng)
+			injectors[i] = inj
+		}
+	}
+	for i, b := range instances {
+		qcb := qc
+		if injectors != nil {
+			// Each scheduler's monitor drops snapshots/harvests through its
+			// own backend's injector (dropouts are backend-scoped).
+			qcb.MonitorFaults = injectors[i]
+		}
+		b.AttachControl(qcb, classes, olap, oltpClients)
+		if cfg.Retry != nil {
+			rp := *cfg.Retry
+			if rp.RefreshCost == nil && injectors != nil {
+				rp.RefreshCost = injectors[i].RefreshCost
+			}
+			b.Pat.SetRetryPolicy(&rp)
+		}
 	}
 	for _, b := range instances {
 		b.AttachCollector(classes, cfg.Sched)
@@ -159,6 +191,7 @@ func newFleetRig(cfg MixedConfig) *FleetRig {
 		Classes:   classes,
 		Sched:     cfg.Sched,
 		Collector: global,
+		Faults:    injectors,
 	}
 	// The per-backend control interval is the fleet planning interval:
 	// read it back validated from an attached scheduler rather than
@@ -167,9 +200,66 @@ func newFleetRig(cfg MixedConfig) *FleetRig {
 	frig.Planner = router.StartPlanner(clock, rt, instances, router.PlannerConfig{
 		Interval: qcv.ControlInterval,
 		Total:    qcv.SystemCostLimit,
+		// Migration-before-shedding only arms on faulted, mitigated runs:
+		// an unfaulted fleet keeps the exact planner behaviour (and
+		// output bytes) it had before the health model existed.
+		Migrate: injectors != nil && !cfg.DisableFleetMitigation,
 	})
 	frig.Planner.OnPlan(func(fp router.FleetPlan) { frig.Plans = append(frig.Plans, fp) })
 	return frig
+}
+
+// wireFleetMitigation installs the failover response: the injectors'
+// backend-scoped transitions drive the router's health model, and every
+// availability or mitigation event lands in the decision log as a fleet
+// record. With mitigation disabled nothing is wired — crashes still
+// stall their engines (capacity is really lost), but the router is
+// never told and the planner keeps feeding the dead backend its
+// demand-weighted share; the decision log then carries no fleet records
+// at all, which is itself the signature of the control arm.
+func wireFleetMitigation(frig *FleetRig, o *runObs, cfg MixedConfig) {
+	if frig.Faults == nil || cfg.DisableFleetMitigation {
+		return
+	}
+	note := func(fr decisionlog.FleetRecord) {
+		if o != nil && o.dlog != nil {
+			fr.T = float64(frig.Clock.Now())
+			o.dlog.NoteFleet(fr)
+		}
+	}
+	for i, inj := range frig.Faults {
+		id := frig.Backends[i].ID()
+		inj.SetFleetHooks(fault.FleetHooks{
+			Down: func() {
+				moved := frig.Router.MarkDown(id)
+				note(decisionlog.FleetRecord{Event: "failover", Backend: id, Moved: moved})
+			},
+			Up: func() {
+				frig.Router.MarkUp(id)
+				note(decisionlog.FleetRecord{Event: "recover", Backend: id})
+			},
+			Degraded: func(f float64) {
+				frig.Router.MarkDegraded(id, f)
+				note(decisionlog.FleetRecord{Event: "degraded", Backend: id, Factor: f})
+			},
+			Restored: func() {
+				frig.Router.ClearDegraded(id)
+				note(decisionlog.FleetRecord{Event: "restored", Backend: id})
+			},
+		})
+	}
+	if o != nil && o.dlog != nil {
+		dw := o.dlog
+		frig.Planner.OnDecision(func(d router.FleetDecision) {
+			dw.NoteFleet(decisionlog.FleetRecord{
+				T:       float64(d.Time),
+				Event:   d.Event,
+				Backend: d.Backend,
+				Class:   int(d.Class),
+				Target:  d.Target,
+			})
+		})
+	}
 }
 
 // backendsMeta resolves the roster into the trace/decision-log header
@@ -256,12 +346,17 @@ func attachFleetObs(frig *FleetRig, cfg MixedConfig, resume bool) (*runObs, erro
 	return o, nil
 }
 
-// buildFleetRig is the fleet counterpart of buildMixedRig: rig then
-// observability, in the order resume replays.
+// buildFleetRig is the fleet counterpart of buildMixedRig: rig,
+// observability, then the mitigation wiring (which needs both), in the
+// order resume replays.
 func buildFleetRig(cfg MixedConfig, resume bool) (*FleetRig, *runObs, error) {
 	frig := newFleetRig(cfg)
 	o, err := attachFleetObs(frig, cfg, resume)
-	return frig, o, err
+	if err != nil {
+		return frig, o, err
+	}
+	wireFleetMitigation(frig, o, cfg)
+	return frig, o, nil
 }
 
 // snapshotFleet captures the full fleet state at a quiescent boundary.
@@ -283,6 +378,12 @@ func snapshotFleet(frig *FleetRig, o *runObs, inst *workload.Installation, spec 
 	for _, b := range frig.Backends {
 		snap.FleetBackends = append(snap.FleetBackends, b.CheckpointState())
 	}
+	if frig.Faults != nil {
+		snap.HasFaults = true
+		for _, inj := range frig.Faults {
+			snap.FleetFaults = append(snap.FleetFaults, inj.CheckpointState())
+		}
+	}
 	if o != nil && o.tracer != nil {
 		snap.HasTrace = true
 		snap.Trace = o.tracer.CheckpointState()
@@ -299,13 +400,22 @@ func snapshotFleet(frig *FleetRig, o *runObs, inst *workload.Installation, spec 
 }
 
 // runFleetBoundaries drives a fleet run to the end of the schedule,
-// mirroring runBoundaries (fleets have no fault injector, so there is
-// no crash path).
-func runFleetBoundaries(frig *FleetRig, o *runObs, inst *workload.Installation, spec *RunSpec, cfg MixedConfig, startIdx int) error {
+// mirroring runBoundaries: a run-level fault-plan crash on any backend
+// stops the clock mid-run (crashed=true; nothing written or finished
+// after it), for the recovery experiments to resume from.
+func runFleetBoundaries(frig *FleetRig, o *runObs, inst *workload.Installation, spec *RunSpec, cfg MixedConfig, startIdx int) (crashed bool, err error) {
 	duration := frig.Sched.Duration()
+	died := func() bool {
+		for _, inj := range frig.Faults {
+			if inj.Crashed() {
+				return true
+			}
+		}
+		return false
+	}
 	if cfg.CheckpointEvery <= 0 {
 		frig.Clock.RunUntil(duration)
-		return nil
+		return died(), nil
 	}
 	step := boundaryStep(cfg)
 	// As in runBoundaries: a resume that restored a terminal snapshot must
@@ -318,19 +428,22 @@ func runFleetBoundaries(frig *FleetRig, o *runObs, inst *workload.Installation, 
 			t = duration
 		}
 		frig.Clock.RunUntil(t)
+		if died() {
+			return true, nil
+		}
 		if last {
 			if !atEnd {
 				snap := snapshotFleet(frig, o, inst, spec, idx+1)
 				if werr := checkpoint.Write(cfg.CheckpointDir, idx+1, snap); werr != nil {
-					return werr
+					return false, werr
 				}
 			}
-			return nil
+			return false, nil
 		}
 		if (idx+1)%cfg.CheckpointEvery == 0 {
 			snap := snapshotFleet(frig, o, inst, spec, idx+1)
 			if werr := checkpoint.Write(cfg.CheckpointDir, idx+1, snap); werr != nil {
-				return werr
+				return false, werr
 			}
 		}
 	}
@@ -348,6 +461,12 @@ func collectFleet(cfg MixedConfig, frig *FleetRig, obsErr error) *FleetResult {
 	}
 	fillMixedTables(res, frig.Collector)
 	res.ExportErr = obsErr
+	for _, inj := range frig.Faults {
+		res.Faults.Add(inj.Stats())
+	}
+	for _, b := range frig.Backends {
+		res.PatStats.Add(b.Pat.Stats())
+	}
 
 	fr := &FleetResult{
 		MixedResult: res,
@@ -397,14 +516,16 @@ func RunFleet(cfg MixedConfig) *FleetResult {
 		spec = specFromConfig(cfg, frig.Classes)
 	}
 	inst := frig.Sched.Install(frig.Clock, frig.Pool, nil)
-	runErr := runFleetBoundaries(frig, o, inst, &spec, cfg, 0)
+	crashed, runErr := runFleetBoundaries(frig, o, inst, &spec, cfg, 0)
 	if obsErr == nil {
 		obsErr = runErr
 	}
-	if obsErr == nil {
+	if obsErr == nil && !crashed {
 		obsErr = o.finish()
 	}
-	return collectFleet(cfg, frig, obsErr)
+	fr := collectFleet(cfg, frig, obsErr)
+	fr.Crashed = crashed
+	return fr
 }
 
 // resumeFleet restores a fleet checkpoint onto a freshly rebuilt fleet
@@ -420,6 +541,9 @@ func resumeFleet(cfg MixedConfig, snap *runSnapshot) (*FleetResult, error) {
 	if len(snap.FleetBackends) != len(frig.Backends) {
 		return nil, fmt.Errorf("experiment: checkpoint carries %d backends for a %d-backend fleet",
 			len(snap.FleetBackends), len(frig.Backends))
+	}
+	if snap.HasFaults != (frig.Faults != nil) || len(snap.FleetFaults) != len(frig.Faults) {
+		return nil, fmt.Errorf("experiment: checkpoint fault state does not match its run spec")
 	}
 	frig.Clock.Restore(snap.Clock)
 	for i, b := range frig.Backends {
@@ -439,6 +563,9 @@ func resumeFleet(cfg MixedConfig, snap *runSnapshot) (*FleetResult, error) {
 		b.Collector.RestoreCheckpoint(snap.FleetBackends[i].Collector)
 	}
 	frig.Collector.RestoreCheckpoint(snap.Collector)
+	for i, inj := range frig.Faults {
+		inj.RestoreCheckpoint(snap.FleetFaults[i])
+	}
 	if o.tracer != nil {
 		o.tracer.RestoreCheckpoint(snap.Trace)
 	}
@@ -450,10 +577,12 @@ func resumeFleet(cfg MixedConfig, snap *runSnapshot) (*FleetResult, error) {
 	}
 
 	spec := snap.Spec
-	runErr := runFleetBoundaries(frig, o, inst, &spec, cfg, snap.Index)
+	crashed, runErr := runFleetBoundaries(frig, o, inst, &spec, cfg, snap.Index)
 	obsErr = runErr
-	if obsErr == nil {
+	if obsErr == nil && !crashed {
 		obsErr = o.finish()
 	}
-	return collectFleet(cfg, frig, obsErr), nil
+	fr := collectFleet(cfg, frig, obsErr)
+	fr.Crashed = crashed
+	return fr, nil
 }

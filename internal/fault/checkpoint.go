@@ -26,12 +26,26 @@ type AbortRecord struct {
 	Attempt int
 }
 
+// BackendEventRecord is one pending backend availability transition
+// (crash, recovery, brownout edge).
+type BackendEventRecord struct {
+	Ref    simclock.EventRef
+	Code   int
+	Factor float64
+}
+
 // CheckpointState is the injector's serializable state.
 type CheckpointState struct {
 	RNG       uint64
 	Stats     Stats
 	Slowdowns []SlowdownRecord // pending transitions, in scheduling order
 	Aborts    []AbortRecord    // sorted by event seq
+	// Backend holds pending backend availability transitions, in
+	// scheduling order. Transitions that already fired are NOT re-armed:
+	// the fleet's post-failover state lives in the engine, router, and
+	// planner checkpoints, so a resume past a crash stays failed-over
+	// without replaying the failover.
+	Backend []BackendEventRecord
 }
 
 // CheckpointState captures the injector at a quiescent boundary. Only
@@ -49,6 +63,11 @@ func (in *Injector) CheckpointState() CheckpointState {
 		st.Aborts = append(st.Aborts, AbortRecord{Ref: pa.ref, Query: pa.query, Class: pa.class, Attempt: pa.attempt})
 	}
 	sort.Slice(st.Aborts, func(i, j int) bool { return st.Aborts[i].Ref.Seq < st.Aborts[j].Ref.Seq })
+	for _, be := range in.backendEvents {
+		if be.ref.At > now {
+			st.Backend = append(st.Backend, BackendEventRecord{Ref: be.ref, Code: be.code, Factor: be.factor})
+		}
+	}
 	return st
 }
 
@@ -72,5 +91,10 @@ func (in *Injector) RestoreCheckpoint(st CheckpointState) {
 		pa := &pendingAbort{ref: ar.Ref, query: ar.Query, class: ar.Class, attempt: ar.Attempt}
 		in.clock.RestoreEvent(pa.ref, in.restoredAbortFn(pa))
 		in.aborts[pa.ref.Seq] = pa
+	}
+	in.backendEvents = in.backendEvents[:0]
+	for _, br := range st.Backend {
+		in.clock.RestoreEvent(br.Ref, in.backendEventFn(br.Code, br.Factor))
+		in.backendEvents = append(in.backendEvents, backendEvent{ref: br.Ref, code: br.Code, factor: br.Factor})
 	}
 }

@@ -32,6 +32,12 @@ const (
 	KindSnapshotDrop = "snapshot_drop"
 	KindHarvestDrop  = "harvest_drop"
 	KindCrash        = "crash"
+	// Backend-scoped kinds: faults that hit one fleet backend instead of
+	// the whole run. Injected only by backend injectors (NewBackendInjector).
+	KindBackendCrash    = "backend_crash"
+	KindBackendRecover  = "backend_recover"
+	KindBackendBrownout = "backend_brownout"
+	KindBackendDropout  = "backend_dropout"
 )
 
 // Window is a half-open interval [Start, End) of virtual seconds.
@@ -67,6 +73,34 @@ type Slowdown struct {
 	Factor float64
 }
 
+// BackendCrash kills one fleet backend at a virtual time: its engine
+// stalls (SetSpeed 0) and the router's health model takes it out of
+// scoring. A positive RecoverAt brings the backend back; zero means it
+// stays dead for the rest of the run.
+type BackendCrash struct {
+	// Backend is the 1-based roster ID of the backend to kill.
+	Backend   int
+	At        float64
+	RecoverAt float64
+}
+
+// BackendSlowdown is a brownout: one backend's engine runs at Factor
+// speed inside the window (Factor 0 would be a crash; use BackendCrash
+// for that, so brownout factors live in (0, 1)).
+type BackendSlowdown struct {
+	Backend int
+	Window  Window
+	Factor  float64
+}
+
+// BackendOutage severs one backend's monitor/planner reporting inside
+// the window: every snapshot poll and control-interval harvest on that
+// backend is lost, exactly as if its telemetry link dropped.
+type BackendOutage struct {
+	Backend int
+	Window  Window
+}
+
 // Plan is one deterministic fault scenario. The zero value injects
 // nothing.
 type Plan struct {
@@ -100,6 +134,13 @@ type Plan struct {
 	// recovery experiments to exercise checkpoint/resume; a resumed run
 	// does not re-arm the crash.
 	Crash float64
+	// BackendCrashes kill individual fleet backends (with optional
+	// recovery). Fleet runs only; single-engine runs reject them.
+	BackendCrashes []BackendCrash
+	// BackendBrownouts degrade individual backends inside windows.
+	BackendBrownouts []BackendSlowdown
+	// BackendDropouts sever individual backends' monitor reporting.
+	BackendDropouts []BackendOutage
 }
 
 // Empty reports whether the plan injects nothing at all.
@@ -107,7 +148,36 @@ func (p Plan) Empty() bool {
 	return len(p.AbortRate) == 0 && len(p.AbortBursts) == 0 &&
 		len(p.Misestimate) == 0 && len(p.Slowdowns) == 0 &&
 		p.SnapshotDrop <= 0 && len(p.SnapshotOutages) == 0 && len(p.HarvestOutages) == 0 &&
-		p.Crash <= 0
+		p.Crash <= 0 && !p.HasBackendFaults()
+}
+
+// HasBackendFaults reports whether the plan contains any backend-scoped
+// faults — those require a fleet run (two or more backends).
+func (p Plan) HasBackendFaults() bool {
+	return len(p.BackendCrashes) > 0 || len(p.BackendBrownouts) > 0 || len(p.BackendDropouts) > 0
+}
+
+// MaxBackend returns the highest backend ID any backend-scoped fault
+// references (0 when there are none), so a runner can reject plans that
+// name backends outside its roster.
+func (p Plan) MaxBackend() int {
+	max := 0
+	for _, bc := range p.BackendCrashes {
+		if bc.Backend > max {
+			max = bc.Backend
+		}
+	}
+	for _, bs := range p.BackendBrownouts {
+		if bs.Backend > max {
+			max = bs.Backend
+		}
+	}
+	for _, bo := range p.BackendDropouts {
+		if bo.Backend > max {
+			max = bo.Backend
+		}
+	}
+	return max
 }
 
 // Validate checks rates, multipliers, and window shapes.
@@ -159,22 +229,95 @@ func (p Plan) Validate() error {
 	if p.Crash < 0 || math.IsNaN(p.Crash) || math.IsInf(p.Crash, 0) {
 		return fmt.Errorf("fault: crash time %v is invalid", p.Crash)
 	}
+	crashes := append([]BackendCrash(nil), p.BackendCrashes...)
+	sort.Slice(crashes, func(i, j int) bool {
+		if crashes[i].Backend != crashes[j].Backend {
+			return crashes[i].Backend < crashes[j].Backend
+		}
+		return crashes[i].At < crashes[j].At
+	})
+	for i, bc := range crashes {
+		if bc.Backend < 1 {
+			return fmt.Errorf("fault: backend crash references backend %d (IDs are 1-based)", bc.Backend)
+		}
+		if bc.At <= 0 || math.IsNaN(bc.At) || math.IsInf(bc.At, 0) {
+			return fmt.Errorf("fault: backend %d crash time %v is invalid", bc.Backend, bc.At)
+		}
+		if bc.RecoverAt != 0 && (bc.RecoverAt <= bc.At || math.IsNaN(bc.RecoverAt) || math.IsInf(bc.RecoverAt, 0)) {
+			return fmt.Errorf("fault: backend %d recovery time %v must follow crash time %v", bc.Backend, bc.RecoverAt, bc.At)
+		}
+		if i > 0 && crashes[i-1].Backend == bc.Backend {
+			prev := crashes[i-1]
+			if prev.RecoverAt == 0 || bc.At < prev.RecoverAt {
+				return fmt.Errorf("fault: backend %d crash at t=%v overlaps an earlier outage", bc.Backend, bc.At)
+			}
+		}
+	}
+	brown := append([]BackendSlowdown(nil), p.BackendBrownouts...)
+	sort.Slice(brown, func(i, j int) bool {
+		if brown[i].Backend != brown[j].Backend {
+			return brown[i].Backend < brown[j].Backend
+		}
+		return brown[i].Window.Start < brown[j].Window.Start
+	})
+	for i, bs := range brown {
+		if bs.Backend < 1 {
+			return fmt.Errorf("fault: backend brownout references backend %d (IDs are 1-based)", bs.Backend)
+		}
+		if err := bs.Window.validate("backend brownout"); err != nil {
+			return err
+		}
+		if bs.Factor <= 0 || bs.Factor >= 1 || math.IsNaN(bs.Factor) {
+			return fmt.Errorf("fault: backend brownout factor %v out of (0, 1)", bs.Factor)
+		}
+		if i > 0 && brown[i-1].Backend == bs.Backend && bs.Window.Start < brown[i-1].Window.End {
+			return fmt.Errorf("fault: backend %d brownout windows overlap at t=%v", bs.Backend, bs.Window.Start)
+		}
+	}
+	for _, bo := range p.BackendDropouts {
+		if bo.Backend < 1 {
+			return fmt.Errorf("fault: backend dropout references backend %d (IDs are 1-based)", bo.Backend)
+		}
+		if err := bo.Window.validate("backend dropout"); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Stats counts injections, total and per kind.
 type Stats struct {
-	Aborts        uint64
-	Misestimates  uint64
-	Slowdowns     uint64
-	SnapshotDrops uint64
-	HarvestDrops  uint64
-	Crashes       uint64
+	Aborts           uint64
+	Misestimates     uint64
+	Slowdowns        uint64
+	SnapshotDrops    uint64
+	HarvestDrops     uint64
+	Crashes          uint64
+	BackendCrashes   uint64
+	BackendRecovers  uint64
+	BackendBrownouts uint64
+	BackendDropouts  uint64
 }
 
 // Total sums all injection counters.
 func (s Stats) Total() uint64 {
-	return s.Aborts + s.Misestimates + s.Slowdowns + s.SnapshotDrops + s.HarvestDrops + s.Crashes
+	return s.Aborts + s.Misestimates + s.Slowdowns + s.SnapshotDrops + s.HarvestDrops + s.Crashes +
+		s.BackendCrashes + s.BackendRecovers + s.BackendBrownouts + s.BackendDropouts
+}
+
+// Add folds another stats block into s — fleet runs sum their
+// per-backend injectors' counters into one run-level block.
+func (s *Stats) Add(o Stats) {
+	s.Aborts += o.Aborts
+	s.Misestimates += o.Misestimates
+	s.Slowdowns += o.Slowdowns
+	s.SnapshotDrops += o.SnapshotDrops
+	s.HarvestDrops += o.HarvestDrops
+	s.Crashes += o.Crashes
+	s.BackendCrashes += o.BackendCrashes
+	s.BackendRecovers += o.BackendRecovers
+	s.BackendBrownouts += o.BackendBrownouts
+	s.BackendDropouts += o.BackendDropouts
 }
 
 // Injector executes a Plan against one engine + monitor pair. Construct
@@ -188,12 +331,22 @@ type Injector struct {
 	src   *rng.Source
 	stats Stats
 
+	// backendID scopes the injector to one fleet backend (1-based); 0 is
+	// a classic single-engine injector. Backend-scoped faults fire only
+	// on the injector whose backendID matches, and the run-level crash is
+	// armed only by backend 1 (exactly once per fleet).
+	backendID int
+	//lint:ignore ckptcover wiring installed by SetFleetHooks on both fresh and restored runs
+	hooks FleetHooks
+
 	// slowEvents records every scheduled slowdown transition with its
 	// event ref; aborts tracks pending doomed-query aborts by event seq.
-	// Both exist so a checkpoint can re-arm exactly the still-pending
-	// fault events on resume.
-	slowEvents []slowEvent
-	aborts     map[uint64]*pendingAbort
+	// backendEvents records scheduled backend crash/recover/brownout
+	// transitions the same way. All exist so a checkpoint can re-arm
+	// exactly the still-pending fault events on resume.
+	slowEvents    []slowEvent
+	aborts        map[uint64]*pendingAbort
+	backendEvents []backendEvent
 	//lint:ignore ckptcover restore itself clears the crash flag; a restored injector is by definition post-crash
 	crashed bool
 
@@ -201,6 +354,19 @@ type Injector struct {
 	// class is 0 for class-less kinds (slowdown, monitor drops). The obs
 	// wiring uses this to expose fault_injected_total.
 	OnInject func(kind string, class engine.ClassID)
+}
+
+// FleetHooks are the fleet-facing callbacks a backend injector fires on
+// its backend's availability transitions — the experiment wiring routes
+// them into the router's health model and the decision log. A crash or
+// brownout always stalls/slows the local engine regardless of hooks, so
+// a mitigation-off fleet still loses the capacity; the hooks are the
+// mitigation.
+type FleetHooks struct {
+	Down     func()               // backend crash fired
+	Up       func()               // backend recovered
+	Degraded func(factor float64) // brownout window opened
+	Restored func()               // brownout window closed
 }
 
 // slowEvent is one scheduled engine-speed transition.
@@ -218,8 +384,24 @@ type pendingAbort struct {
 	attempt int
 }
 
+// Backend transition codes, serialized in BackendEventRecord.
+const (
+	bevCrash = iota
+	bevRecover
+	bevBrownoutStart
+	bevBrownoutEnd
+)
+
+// backendEvent is one scheduled backend availability transition.
+type backendEvent struct {
+	ref    simclock.EventRef
+	code   int
+	factor float64 // brownout speed factor; unused for crash/recover
+}
+
 // NewInjector builds an injector for the plan on the given clock. The
-// plan must validate.
+// plan must validate. Single-engine runs only: backend-scoped faults
+// need NewBackendInjector (one per roster slot).
 func NewInjector(plan Plan, clock *simclock.Clock) *Injector {
 	if clock == nil {
 		panic("fault: nil clock")
@@ -227,8 +409,38 @@ func NewInjector(plan Plan, clock *simclock.Clock) *Injector {
 	if err := plan.Validate(); err != nil {
 		panic(err)
 	}
+	if plan.HasBackendFaults() {
+		panic("fault: backend-scoped faults require a fleet (use NewBackendInjector)")
+	}
 	return &Injector{plan: plan, clock: clock, src: rng.New(plan.Seed)}
 }
+
+// NewBackendInjector builds the injector for one fleet backend
+// (1-based roster ID). Class-scoped faults (aborts, misestimation,
+// engine-wide slowdowns, monitor drops) apply to this backend's engine
+// and monitor like any single-engine run; backend-scoped faults fire
+// only where the plan's Backend field matches. Each backend draws from
+// its own RNG stream, decorrelated from its siblings by the roster ID,
+// so a fleet's abort storms don't strike every box in lockstep. The
+// run-level Crash is armed by backend 1 alone.
+func NewBackendInjector(plan Plan, clock *simclock.Clock, backendID int) *Injector {
+	if clock == nil {
+		panic("fault: nil clock")
+	}
+	if backendID < 1 {
+		panic("fault: backend injector IDs are 1-based")
+	}
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	seed := plan.Seed + uint64(backendID)*0x9e3779b97f4a7c15
+	return &Injector{plan: plan, clock: clock, src: rng.New(seed), backendID: backendID}
+}
+
+// SetFleetHooks installs the fleet-facing availability callbacks. Call
+// before the simulation runs (fresh or resumed); unset hooks are
+// simply skipped, which is the mitigation-off configuration.
+func (in *Injector) SetFleetHooks(h FleetHooks) { in.hooks = h }
 
 // Plan returns the injector's fault plan.
 func (in *Injector) Plan() Plan { return in.plan }
@@ -272,13 +484,69 @@ func (in *Injector) AttachEngine(eng *engine.Engine) {
 		in.armSlowdown(s.Window.Start, s.Factor, true)
 		in.armSlowdown(s.Window.End, 1, false)
 	}
-	if in.plan.Crash > 0 {
+	for _, bc := range in.plan.BackendCrashes {
+		if bc.Backend != in.backendID {
+			continue
+		}
+		in.armBackendEvent(bc.At, bevCrash, 0)
+		if bc.RecoverAt > 0 {
+			in.armBackendEvent(bc.RecoverAt, bevRecover, 1)
+		}
+	}
+	for _, bs := range in.plan.BackendBrownouts {
+		if bs.Backend != in.backendID {
+			continue
+		}
+		in.armBackendEvent(bs.Window.Start, bevBrownoutStart, bs.Factor)
+		in.armBackendEvent(bs.Window.End, bevBrownoutEnd, 1)
+	}
+	if in.plan.Crash > 0 && in.backendID <= 1 {
 		in.clock.At(in.plan.Crash, func() {
 			in.crashed = true
 			in.stats.Crashes++
 			in.note(KindCrash, 0)
 			in.clock.Stop()
 		})
+	}
+}
+
+// armBackendEvent schedules one backend availability transition and
+// records its ref for checkpointing.
+func (in *Injector) armBackendEvent(at float64, code int, factor float64) {
+	ref := in.clock.AtRef(at, in.backendEventFn(code, factor))
+	in.backendEvents = append(in.backendEvents, backendEvent{ref: ref, code: code, factor: factor})
+}
+
+func (in *Injector) backendEventFn(code int, factor float64) simclock.EventFunc {
+	return func() {
+		switch code {
+		case bevCrash:
+			in.stats.BackendCrashes++
+			in.note(KindBackendCrash, 0)
+			in.eng.SetSpeed(0)
+			if in.hooks.Down != nil {
+				in.hooks.Down()
+			}
+		case bevRecover:
+			in.stats.BackendRecovers++
+			in.note(KindBackendRecover, 0)
+			in.eng.SetSpeed(1)
+			if in.hooks.Up != nil {
+				in.hooks.Up()
+			}
+		case bevBrownoutStart:
+			in.stats.BackendBrownouts++
+			in.note(KindBackendBrownout, 0)
+			in.eng.SetSpeed(factor)
+			if in.hooks.Degraded != nil {
+				in.hooks.Degraded(factor)
+			}
+		case bevBrownoutEnd:
+			in.eng.SetSpeed(1)
+			if in.hooks.Restored != nil {
+				in.hooks.Restored()
+			}
+		}
 	}
 }
 
@@ -375,6 +643,9 @@ func (in *Injector) restoredAbortFn(pa *pendingAbort) simclock.EventFunc {
 // windows drop deterministically; otherwise SnapshotDrop draws from the
 // injector's RNG.
 func (in *Injector) DropSnapshot(t simclock.Time) bool {
+	if in.inBackendDropout(t) {
+		return true
+	}
 	for _, w := range in.plan.SnapshotOutages {
 		if w.Contains(t) {
 			in.stats.SnapshotDrops++
@@ -394,10 +665,30 @@ func (in *Injector) DropSnapshot(t simclock.Time) bool {
 // t is lost (windows only; losing an entire harvest is an outage-class
 // event, not per-poll noise).
 func (in *Injector) DropHarvest(t simclock.Time) bool {
+	if in.inBackendDropout(t) {
+		return true
+	}
 	for _, w := range in.plan.HarvestOutages {
 		if w.Contains(t) {
 			in.stats.HarvestDrops++
 			in.note(KindHarvestDrop, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// inBackendDropout reports whether this injector's backend is inside a
+// dropout window at t — all of its monitor reporting (snapshot polls
+// and whole harvests) is severed.
+func (in *Injector) inBackendDropout(t simclock.Time) bool {
+	if in.backendID == 0 {
+		return false
+	}
+	for _, o := range in.plan.BackendDropouts {
+		if o.Backend == in.backendID && o.Window.Contains(t) {
+			in.stats.BackendDropouts++
+			in.note(KindBackendDropout, 0)
 			return true
 		}
 	}

@@ -283,3 +283,47 @@ func TestExamplePlansParse(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSpecBackendFaults(t *testing.T) {
+	spec := `{
+		"seed": 3,
+		"backend_crashes": [{"backend": 3, "at": 1200, "recover_at": 2400}],
+		"backend_brownouts": [{"backend": 2, "start": 600, "end": 900, "factor": 0.25}],
+		"backend_dropouts": [{"backend": 1, "start": 600, "end": 900}]
+	}`
+	p, err := ParseSpec(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.BackendCrashes) != 1 || p.BackendCrashes[0] != (BackendCrash{Backend: 3, At: 1200, RecoverAt: 2400}) {
+		t.Fatalf("crashes = %+v", p.BackendCrashes)
+	}
+	if len(p.BackendBrownouts) != 1 || p.BackendBrownouts[0].Backend != 2 || p.BackendBrownouts[0].Factor != 0.25 {
+		t.Fatalf("brownouts = %+v", p.BackendBrownouts)
+	}
+	if len(p.BackendDropouts) != 1 || p.BackendDropouts[0].Backend != 1 {
+		t.Fatalf("dropouts = %+v", p.BackendDropouts)
+	}
+	if p.Empty() {
+		t.Error("backend-fault plan reported Empty")
+	}
+	if got := p.MaxBackend(); got != 3 {
+		t.Errorf("MaxBackend = %d, want 3", got)
+	}
+}
+
+func TestParseSpecRejectsBadBackendFaults(t *testing.T) {
+	cases := map[string]string{
+		"zero backend":       `{"backend_crashes": [{"backend": 0, "at": 100}]}`,
+		"negative at":        `{"backend_crashes": [{"backend": 1, "at": -5}]}`,
+		"recover before at":  `{"backend_crashes": [{"backend": 1, "at": 100, "recover_at": 50}]}`,
+		"brownout factor 1":  `{"backend_brownouts": [{"backend": 1, "start": 0, "end": 10, "factor": 1}]}`,
+		"brownout factor 0":  `{"backend_brownouts": [{"backend": 1, "start": 0, "end": 10, "factor": 0}]}`,
+		"dropout bad window": `{"backend_dropouts": [{"backend": 1, "start": 10, "end": 5}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseSpec(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

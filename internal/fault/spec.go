@@ -10,8 +10,14 @@
 //	  "slowdowns": [{"start": 28800, "end": 30000, "factor": 0.25}],
 //	  "snapshot_drop": 0.5,
 //	  "snapshot_outages": [{"start": 14400, "end": 18000}],
-//	  "harvest_outages": [{"start": 14400, "end": 18000}]
+//	  "harvest_outages": [{"start": 14400, "end": 18000}],
+//	  "backend_crashes": [{"backend": 3, "at": 1200, "recover_at": 2400}],
+//	  "backend_brownouts": [{"backend": 2, "start": 600, "end": 900, "factor": 0.25}],
+//	  "backend_dropouts": [{"backend": 1, "start": 600, "end": 900}]
 //	}
+//
+// The backend_* fields are fleet-only (1-based roster IDs); single-
+// engine runs reject plans that use them.
 package fault
 
 import (
@@ -41,16 +47,38 @@ type jsonSlowdown struct {
 	Factor float64 `json:"factor"`
 }
 
+type jsonBackendCrash struct {
+	Backend   int     `json:"backend"`
+	At        float64 `json:"at"`
+	RecoverAt float64 `json:"recover_at"`
+}
+
+type jsonBackendSlowdown struct {
+	Backend int     `json:"backend"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+	Factor  float64 `json:"factor"`
+}
+
+type jsonBackendOutage struct {
+	Backend int     `json:"backend"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+}
+
 type jsonPlan struct {
-	Seed            uint64             `json:"seed"`
-	AbortRate       map[string]float64 `json:"abort_rate"`
-	AbortBursts     []jsonBurst        `json:"abort_bursts"`
-	Misestimate     map[string]float64 `json:"misestimate"`
-	Slowdowns       []jsonSlowdown     `json:"slowdowns"`
-	SnapshotDrop    float64            `json:"snapshot_drop"`
-	SnapshotOutages []jsonWindow       `json:"snapshot_outages"`
-	HarvestOutages  []jsonWindow       `json:"harvest_outages"`
-	Crash           float64            `json:"crash"`
+	Seed             uint64                `json:"seed"`
+	AbortRate        map[string]float64    `json:"abort_rate"`
+	AbortBursts      []jsonBurst           `json:"abort_bursts"`
+	Misestimate      map[string]float64    `json:"misestimate"`
+	Slowdowns        []jsonSlowdown        `json:"slowdowns"`
+	SnapshotDrop     float64               `json:"snapshot_drop"`
+	SnapshotOutages  []jsonWindow          `json:"snapshot_outages"`
+	HarvestOutages   []jsonWindow          `json:"harvest_outages"`
+	Crash            float64               `json:"crash"`
+	BackendCrashes   []jsonBackendCrash    `json:"backend_crashes"`
+	BackendBrownouts []jsonBackendSlowdown `json:"backend_brownouts"`
+	BackendDropouts  []jsonBackendOutage   `json:"backend_dropouts"`
 }
 
 // ParseSpec reads a JSON fault plan. Unknown fields are rejected (a typo
@@ -93,6 +121,24 @@ func ParseSpec(r io.Reader) (Plan, error) {
 	}
 	for _, w := range js.HarvestOutages {
 		p.HarvestOutages = append(p.HarvestOutages, Window(w))
+	}
+	for _, bc := range js.BackendCrashes {
+		p.BackendCrashes = append(p.BackendCrashes, BackendCrash{
+			Backend: bc.Backend, At: bc.At, RecoverAt: bc.RecoverAt,
+		})
+	}
+	for _, bs := range js.BackendBrownouts {
+		p.BackendBrownouts = append(p.BackendBrownouts, BackendSlowdown{
+			Backend: bs.Backend,
+			Window:  Window{Start: bs.Start, End: bs.End},
+			Factor:  bs.Factor,
+		})
+	}
+	for _, bo := range js.BackendDropouts {
+		p.BackendDropouts = append(p.BackendDropouts, BackendOutage{
+			Backend: bo.Backend,
+			Window:  Window{Start: bo.Start, End: bo.End},
+		})
 	}
 	if err := p.Validate(); err != nil {
 		return Plan{}, err

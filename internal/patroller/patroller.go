@@ -9,6 +9,7 @@ package patroller
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/simclock"
@@ -25,6 +26,10 @@ const (
 	// Failed marks a query aborted during execution. A retried query
 	// gets a fresh control-table row; the failed row stays Failed.
 	Failed
+	// Evacuated marks a query pulled off this backend by a fleet
+	// failover. The query lives on — re-dispatched to a survivor, where
+	// it gets a fresh row — but this backend's row is closed.
+	Evacuated
 )
 
 func (s QueryState) String() string {
@@ -37,6 +42,8 @@ func (s QueryState) String() string {
 		return "completed"
 	case Failed:
 		return "failed"
+	case Evacuated:
+		return "evacuated"
 	default:
 		return fmt.Sprintf("QueryState(%d)", int(s))
 	}
@@ -124,6 +131,24 @@ type Stats struct {
 	// Exhausted counts queries whose failure was terminal because the
 	// retry budget was spent (or no retry policy was armed).
 	Exhausted uint64
+	// Evacuated counts control-table rows closed because a fleet
+	// failover pulled the query off this backend (held, executing, or
+	// awaiting retry).
+	Evacuated uint64
+}
+
+// Add folds another stats block into s — fleet runs sum their
+// per-backend patrollers' counters into one run-level block.
+func (s *Stats) Add(o Stats) {
+	s.Intercepted += o.Intercepted
+	s.Released += o.Released
+	s.Completed += o.Completed
+	s.WaitSeconds += o.WaitSeconds
+	s.Failed += o.Failed
+	s.TimedOut += o.TimedOut
+	s.Retried += o.Retried
+	s.Exhausted += o.Exhausted
+	s.Evacuated += o.Evacuated
 }
 
 // RetryPolicy arms the patroller's per-query timeout and bounded-retry
@@ -428,6 +453,9 @@ func (p *Patroller) scheduleRetry(old *engine.Query, delay float64) {
 func (p *Patroller) retryFn(pr *pendingRetry) simclock.EventFunc {
 	return func() {
 		delete(p.retries, pr.ref.Seq)
+		if pr.old == nil {
+			return // withdrawn by a fleet evacuation; the event fires empty
+		}
 		p.resubmit(pr.old)
 	}
 }
@@ -456,6 +484,78 @@ func (p *Patroller) resubmit(old *engine.Query) {
 	p.requeueHead = true
 	p.eng.Submit(q)
 	p.requeueHead = false
+}
+
+// EvacuateHeld drains every held query, in arrival order, for failover
+// re-dispatch: each row closes as Evacuated and the query object is
+// reclaimed to StateNew so a surviving backend's engine accepts it as a
+// fresh submission. Used by the router's health model when this
+// patroller's backend dies.
+func (p *Patroller) EvacuateHeld() []*engine.Query {
+	if len(p.held) == 0 {
+		return nil
+	}
+	out := make([]*engine.Query, 0, len(p.held))
+	for _, id := range p.order {
+		e, ok := p.held[id]
+		if !ok {
+			continue // stale ID left behind by compaction bookkeeping
+		}
+		delete(p.held, id)
+		e.info.State = Evacuated
+		e.info.DoneTime = p.clock.Now()
+		q := e.q
+		p.eng.Reclaim(q)
+		p.stats.Evacuated++
+		p.releaseEntry(e)
+		out = append(out, q)
+	}
+	p.order = p.order[:0]
+	return out
+}
+
+// EvacuateRetries withdraws every pending retry, in event-sequence
+// order, for failover re-dispatch. The armed backoff events stay in the
+// clock but fire empty (they are not cancellable), which keeps fresh
+// and resumed runs byte-identical: an empty fire has no side effects.
+func (p *Patroller) EvacuateRetries() []*engine.Query {
+	if len(p.retries) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, 0, len(p.retries))
+	for s := range p.retries {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]*engine.Query, 0, len(seqs))
+	for _, s := range seqs {
+		pr := p.retries[s]
+		delete(p.retries, s)
+		q := pr.old
+		pr.old = nil
+		p.eng.Reclaim(q)
+		p.stats.Evacuated++
+		out = append(out, q)
+	}
+	return out
+}
+
+// ForgetActive closes the control-table row of a query the engine
+// evacuated out from under this patroller (fleet failover): the entry
+// leaves the active set, its timeout disarms, and the row closes as
+// Evacuated. Unmanaged or unknown IDs return false.
+func (p *Patroller) ForgetActive(id engine.QueryID) bool {
+	e, ok := p.active[id]
+	if !ok {
+		return false
+	}
+	delete(p.active, id)
+	p.cancelTimeout(id)
+	e.info.State = Evacuated
+	e.info.DoneTime = p.clock.Now()
+	p.stats.Evacuated++
+	p.releaseEntry(e)
+	return true
 }
 
 // cancelTimeout disarms a query's pending timeout event, if any.

@@ -12,13 +12,23 @@ type CheckpointState struct {
 	// Routed / Cost mirror the per-backend tallies, roster order.
 	Routed []int64
 	Cost   []float64
+	// Down / Degraded are the health model, roster order; Migrations
+	// are the active class drains, sorted by class. A resume past a
+	// failover restores the failed-over fleet without replaying the
+	// failover itself.
+	Down       []bool
+	Degraded   []float64
+	Migrations []MigrationRecord
 }
 
 // CheckpointState captures the router at a quiescent boundary.
 func (r *Router) CheckpointState() CheckpointState {
 	return CheckpointState{
-		Routed: append([]int64(nil), r.routed...),
-		Cost:   append([]float64(nil), r.cost...),
+		Routed:     append([]int64(nil), r.routed...),
+		Cost:       append([]float64(nil), r.cost...),
+		Down:       append([]bool(nil), r.down...),
+		Degraded:   append([]float64(nil), r.degraded...),
+		Migrations: r.Migrations(),
 	}
 }
 
@@ -29,6 +39,24 @@ func (r *Router) RestoreCheckpoint(st CheckpointState) {
 	}
 	copy(r.routed, st.Routed)
 	copy(r.cost, st.Cost)
+	// Down/Degraded may be absent in pre-failover checkpoints (all
+	// healthy); a roster mismatch otherwise is still an error.
+	if len(st.Down) > 0 {
+		if len(st.Down) != len(r.down) {
+			panic("router: checkpoint roster size mismatch")
+		}
+		copy(r.down, st.Down)
+	}
+	if len(st.Degraded) > 0 {
+		if len(st.Degraded) != len(r.degraded) {
+			panic("router: checkpoint roster size mismatch")
+		}
+		copy(r.degraded, st.Degraded)
+	}
+	r.migrations = nil
+	for _, m := range st.Migrations {
+		r.SetMigration(m.Class, m.Source)
+	}
 }
 
 // PlannerCheckpointState is the fleet planner's serializable state.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/backend"
+	"repro/internal/engine"
 	"repro/internal/simclock"
 )
 
@@ -26,8 +27,16 @@ type PlannerConfig struct {
 	Alpha float64
 	// MinShare is the budget fraction every backend keeps even with
 	// zero routed demand, so an idle backend can still admit the first
-	// queries routed its way. Zero = DefaultMinShare.
+	// queries routed its way. Zero = DefaultMinShare. It doubles as the
+	// warm-up floor: a recovered backend rejoins with zeroed demand and
+	// lives on this share until routing rebuilds its EWMA.
 	MinShare float64
+	// Migrate enables the migration-before-shedding policy: when a
+	// surviving backend's solver reports an infeasible plan, the planner
+	// drains the binding class to the least-loaded healthy peer instead
+	// of letting the backend shed it. Off, the planner only re-splits
+	// the budget (the mitigation-off fleet of the failover experiment).
+	Migrate bool
 }
 
 // Planner defaults.
@@ -41,8 +50,24 @@ type FleetPlan struct {
 	Time simclock.Time
 	// Demand[i] is roster backend i's smoothed routed-cost demand.
 	Demand []float64
-	// Limits[i] is the SystemCostLimit handed to roster backend i.
+	// Limits[i] is the SystemCostLimit handed to roster backend i
+	// (0 for a down backend: it gets no budget and no actuation).
 	Limits []float64
+}
+
+// FleetDecision is one fleet-level control action beyond the routine
+// budget split: a class migration starting or ending, or a shed verdict
+// (infeasible with no migration target — repeated each tick the
+// condition holds). The decision log persists these so qreport can
+// attribute SLO misses to capacity loss.
+type FleetDecision struct {
+	Time  simclock.Time
+	Event string // "migration", "migration-end", "shed"
+	// Backend is the decision's subject (the infeasible source), 1-based.
+	Backend int
+	Class   engine.ClassID
+	// Target is the backend receiving migrated demand (0 when n/a).
+	Target int
 }
 
 // Planner re-splits the global budget across a fleet each interval.
@@ -51,9 +76,10 @@ type Planner struct {
 	backends []*backend.Instance
 	cfg      PlannerConfig
 
-	ewma   []float64
-	ticker *simclock.Ticker
-	onPlan []func(FleetPlan)
+	ewma       []float64
+	ticker     *simclock.Ticker
+	onPlan     []func(FleetPlan)
+	onDecision []func(FleetDecision)
 }
 
 // StartPlanner arms the fleet budget split on the shared clock. The
@@ -99,40 +125,130 @@ func StartPlanner(clock *simclock.Clock, r *Router, backends []*backend.Instance
 // OnPlan registers a split listener.
 func (p *Planner) OnPlan(fn func(FleetPlan)) { p.onPlan = append(p.onPlan, fn) }
 
+// OnDecision registers a fleet-decision listener (migration/shed
+// events; the decision-log wiring).
+func (p *Planner) OnDecision(fn func(FleetDecision)) { p.onDecision = append(p.onDecision, fn) }
+
 // tick is one fleet planning cycle: harvest routed demand, smooth,
-// split the budget proportionally with the min-share floor, and
-// re-target every backend's scheduler.
+// split the budget across the healthy backends proportionally with the
+// min-share floor, re-target every live scheduler, and run the
+// migration-before-shedding policy over the survivors' solver verdicts.
+//
+// Health awareness: a down backend's EWMA zeroes immediately — its
+// demand is being served elsewhere now — so the whole budget moves to
+// the survivors this same tick, and a later recovery starts from the
+// min-share warm-up floor instead of a stale pre-crash share. A
+// degraded (browned-out) backend keeps routing but its demand weight is
+// discounted by the brownout factor: a box at quarter speed holding
+// nominal demand earns a quarter of the budget pull, shifting admission
+// capacity toward backends that can actually burn it.
 func (p *Planner) tick() {
 	cost := p.router.TakeCost()
 	total := 0.0
+	healthy := 0
+	weights := make([]float64, len(p.ewma))
 	for i := range p.ewma {
+		if p.router.IsDown(i + 1) {
+			p.ewma[i] = 0
+			continue
+		}
+		healthy++
 		p.ewma[i] = (1-p.cfg.Alpha)*p.ewma[i] + p.cfg.Alpha*cost[i]
-		total += p.ewma[i]
+		weights[i] = p.ewma[i]
+		if f := p.router.DegradedFactor(i + 1); f > 0 {
+			weights[i] *= f
+		}
+		total += weights[i]
 	}
-	n := float64(len(p.backends))
+	nh := float64(healthy)
 	limits := make([]float64, len(p.backends))
-	if total <= 0 {
-		// Nothing routed anywhere yet: hold the equal split.
-		for i := range limits {
-			limits[i] = p.cfg.Total / n
+	for i := range limits {
+		if p.router.IsDown(i + 1) {
+			continue // limit 0: no budget, no actuation
 		}
-	} else {
+		if total <= 0 {
+			// Nothing routed anywhere yet: equal split over the living.
+			limits[i] = p.cfg.Total / nh
+			continue
+		}
 		// Proportional share with a floor: the floored fraction is
-		// reserved equally, the remainder follows demand.
-		reserved := p.cfg.MinShare * n
-		for i := range limits {
-			share := p.cfg.MinShare + (1-reserved)*(p.ewma[i]/total)
-			limits[i] = p.cfg.Total * share
-		}
+		// reserved equally, the remainder follows weighted demand.
+		reserved := p.cfg.MinShare * nh
+		share := p.cfg.MinShare + (1-reserved)*(weights[i]/total)
+		limits[i] = p.cfg.Total * share
 	}
 	for i, b := range p.backends {
-		b.QS.SetSystemCostLimit(limits[i])
+		if limits[i] > 0 {
+			b.QS.SetSystemCostLimit(limits[i])
+		}
+	}
+	if p.cfg.Migrate {
+		p.migrate()
 	}
 	if len(p.onPlan) > 0 {
 		plan := FleetPlan{Time: simclock.Time(p.clockNow()), Demand: append([]float64(nil), p.ewma...), Limits: limits}
 		for _, fn := range p.onPlan {
 			fn(plan)
 		}
+	}
+}
+
+// migrate is the migration-before-shedding policy, run each tick over
+// the survivors' latest solver verdicts. An infeasible backend's
+// binding class is drained to the healthy peer with the least smoothed
+// demand (lowest roster index on ties); the drain ends when the source
+// plans feasibly again (or dies). Only when no healthy peer exists —
+// the whole fleet is down to one box that still cannot meet its goals —
+// does the planner concede a shed verdict, which it re-emits every tick
+// the condition persists.
+func (p *Planner) migrate() {
+	for _, m := range p.router.Migrations() {
+		if p.router.IsDown(m.Source) {
+			p.router.ClearMigration(m.Class)
+			p.decide(FleetDecision{Event: "migration-end", Backend: m.Source, Class: m.Class})
+			continue
+		}
+		rec, ok := p.backends[m.Source-1].QS.LastPlan()
+		if ok && !rec.Held && !rec.Search.Infeasible {
+			p.router.ClearMigration(m.Class)
+			p.decide(FleetDecision{Event: "migration-end", Backend: m.Source, Class: m.Class})
+		}
+	}
+	for i, b := range p.backends {
+		if p.router.IsDown(i + 1) {
+			continue
+		}
+		rec, ok := b.QS.LastPlan()
+		if !ok || rec.Held || !rec.Search.Infeasible {
+			continue
+		}
+		class := rec.Search.Binding
+		if class == 0 || p.router.MigrationSource(class) != 0 {
+			continue // no binding class named, or a drain is already running
+		}
+		target := -1
+		for j := range p.backends {
+			if j == i || p.router.IsDown(j+1) {
+				continue
+			}
+			if target < 0 || p.ewma[j] < p.ewma[target] {
+				target = j
+			}
+		}
+		if target < 0 {
+			p.decide(FleetDecision{Event: "shed", Backend: i + 1, Class: class})
+			continue
+		}
+		p.router.SetMigration(class, i+1)
+		p.decide(FleetDecision{Event: "migration", Backend: i + 1, Class: class, Target: target + 1})
+	}
+}
+
+// decide stamps and fans out one fleet decision.
+func (p *Planner) decide(d FleetDecision) {
+	d.Time = simclock.Time(p.clockNow())
+	for _, fn := range p.onDecision {
+		fn(d)
 	}
 }
 

@@ -102,9 +102,22 @@ type Router struct {
 	routed []int64
 	cost   []float64
 
-	onRoute []func(q *engine.Query, d Decision)
+	// Health model (roster order): a down backend is excluded from
+	// scoring entirely; a degraded one keeps routing (its load signal
+	// already repels queries) but carries its brownout factor so the
+	// fleet planner can discount its demand. migrations maps a class to
+	// the 1-based backend currently being drained of that class's
+	// demand (the migration-before-shedding policy).
+	down       []bool
+	degraded   []float64
+	migrations map[engine.ClassID]int
+
+	onRoute   []func(q *engine.Query, d Decision)
+	onReroute []func(q *engine.Query, from, to int)
 	//lint:ignore ckptcover reused scoring scratch; dead between Submit calls
 	scratch []float64
+	//lint:ignore ckptcover transient: the last Submit's choice, read only inside MarkDown's re-dispatch loop
+	lastBackend int
 }
 
 // New builds a router over the backends (roster order = tie-break
@@ -126,6 +139,8 @@ func New(backends []backend.Backend, scorers []Weighted) *Router {
 		scorers:  scorers,
 		routed:   make([]int64, len(backends)),
 		cost:     make([]float64, len(backends)),
+		down:     make([]bool, len(backends)),
+		degraded: make([]float64, len(backends)),
 		scratch:  make([]float64, len(backends)),
 	}
 }
@@ -147,22 +162,43 @@ func (r *Router) OnRoute(fn func(q *engine.Query, d Decision)) {
 // recycle, so this is safe by construction.
 func (r *Router) AcquireQuery() *engine.Query { return &engine.Query{} }
 
-// Submit scores every backend for the query, routes it to the argmax
-// (lowest roster index wins ties), and fires the routing listeners.
+// Submit scores every healthy backend for the query, routes it to the
+// argmax (lowest roster index wins ties), and fires the routing
+// listeners. Down backends are excluded outright; a backend being
+// drained of the query's class (an active migration) is skipped unless
+// it is the only healthy choice left.
 func (r *Router) Submit(q *engine.Query) {
-	best := 0
+	avoid := 0
+	if len(r.migrations) > 0 {
+		avoid = r.migrations[q.Class]
+	}
+	best := -1
 	for i, b := range r.backends {
+		if r.down[i] {
+			r.scratch[i] = 0
+			continue
+		}
 		s := 0.0
 		for _, ws := range r.scorers {
 			s += ws.Weight * ws.Scorer.Score(b, q)
 		}
 		r.scratch[i] = s
-		if s > r.scratch[best] {
+		if i+1 == avoid {
+			continue // drained for this class; scored for the log only
+		}
+		if best < 0 || s > r.scratch[best] {
 			best = i
 		}
 	}
+	if best < 0 && avoid > 0 && !r.down[avoid-1] {
+		best = avoid - 1 // the migration source is the only healthy backend
+	}
+	if best < 0 {
+		panic("router: no healthy backend to route to")
+	}
 	r.routed[best]++
 	r.cost[best] += q.Cost
+	r.lastBackend = r.backends[best].ID()
 	r.backends[best].Engine().Submit(q)
 	if len(r.onRoute) > 0 {
 		d := Decision{Backend: r.backends[best].ID(), Scores: r.scratch}

@@ -35,6 +35,7 @@ func (s *stub) Affinity(class engine.ClassID) float64 {
 	}
 	return 1
 }
+func (s *stub) Evacuate() []*engine.Query { return s.eng.Evacuate() }
 
 func testRouter(t *testing.T, scorers []Weighted) (*Router, []*stub) {
 	t.Helper()
@@ -227,5 +228,121 @@ func TestPlannerCheckpointRoundtrip(t *testing.T) {
 	got := p2.CheckpointState()
 	if got.EWMA[0] != st.EWMA[0] || got.EWMA[1] != st.EWMA[1] {
 		t.Fatalf("restored EWMA %v, want %v", got.EWMA, st.EWMA)
+	}
+}
+
+func TestRouterFailoverRedispatchesToSurvivors(t *testing.T) {
+	r, _ := testRouter(t, DefaultScorers())
+	type hop struct{ from, to int }
+	var hops []hop
+	r.OnReroute(func(q *engine.Query, from, to int) { hops = append(hops, hop{from, to}) })
+	q := submitOne(r, 1) // equal backends: tie-break routes to backend 1
+	if got := r.Routed(); got[0] != 1 {
+		t.Fatalf("routed = %v, want the query on backend 1", got)
+	}
+	moved := r.MarkDown(1)
+	if moved != 1 {
+		t.Fatalf("MarkDown moved %d queries, want 1", moved)
+	}
+	if q.Attempt != 1 {
+		t.Errorf("re-dispatched query Attempt = %d, want 1 (continuation marker)", q.Attempt)
+	}
+	// The survivor with the lowest roster index takes the evacuee.
+	if got := r.Routed(); got[1] != 1 {
+		t.Errorf("routed = %v, want the evacuee on backend 2", got)
+	}
+	if len(hops) != 1 || hops[0] != (hop{1, 2}) {
+		t.Errorf("reroute hops = %v, want one 1->2", hops)
+	}
+	if !r.IsDown(1) || r.HealthyCount() != 2 {
+		t.Errorf("IsDown(1)=%v healthy=%d, want down with 2 survivors", r.IsDown(1), r.HealthyCount())
+	}
+	// Marking an already-down backend again is a no-op.
+	if again := r.MarkDown(1); again != 0 {
+		t.Errorf("second MarkDown moved %d queries, want 0", again)
+	}
+}
+
+// The tie-break regression the failover path must preserve: a backend
+// removed mid-tick leaves ties to the lowest surviving index, and a
+// rejoined backend immediately wins ties again.
+func TestRouterRemovalAndRejoinTieBreak(t *testing.T) {
+	r, _ := testRouter(t, DefaultScorers())
+	r.MarkDown(1)
+	submitOne(r, 1)
+	if got := r.Routed(); got[1] != 1 || got[0] != 0 {
+		t.Fatalf("routed = %v, want ties on backend 2 while 1 is down", got)
+	}
+	r.MarkUp(1)
+	submitOne(r, 1)
+	if got := r.Routed(); got[0] != 1 {
+		t.Fatalf("routed = %v, want the rejoined backend 1 to win ties again", got)
+	}
+}
+
+func TestRouterLastHealthyBackendDownPanics(t *testing.T) {
+	r, _ := testRouter(t, DefaultScorers())
+	r.MarkDown(1)
+	r.MarkDown(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("marking the last healthy backend down did not panic")
+		}
+	}()
+	r.MarkDown(3)
+}
+
+func TestRouterMigrationDrainsOnlyTheClass(t *testing.T) {
+	r, _ := testRouter(t, DefaultScorers())
+	r.SetMigration(1, 1)
+	submitOne(r, 1)
+	submitOne(r, 2)
+	got := r.Routed()
+	if got[1] != 1 {
+		t.Errorf("routed = %v, want the drained class on backend 2", got)
+	}
+	if got[0] != 1 {
+		t.Errorf("routed = %v, want the unmigrated class still on backend 1", got)
+	}
+	r.ClearMigration(1)
+	submitOne(r, 1)
+	if got := r.Routed(); got[0] != 2 {
+		t.Errorf("routed = %v, want backend 1 to win ties again after the drain ends", got)
+	}
+}
+
+func TestRouterMigrationSourceIsLastResort(t *testing.T) {
+	r, _ := testRouter(t, DefaultScorers())
+	r.MarkDown(2)
+	r.MarkDown(3)
+	r.SetMigration(1, 1)
+	submitOne(r, 1)
+	if got := r.Routed(); got[0] != 1 {
+		t.Fatalf("routed = %v, want the migration source used when it is the only healthy backend", got)
+	}
+}
+
+func TestRouterDegradedFactorBounds(t *testing.T) {
+	r, _ := testRouter(t, DefaultScorers())
+	r.MarkDegraded(2, 0.25)
+	if got := r.DegradedFactor(2); got != 0.25 {
+		t.Fatalf("DegradedFactor = %v, want 0.25", got)
+	}
+	// A degraded backend still routes (only the planner discounts it).
+	r.MarkDown(1)
+	submitOne(r, 1)
+	if got := r.Routed(); got[1] != 1 {
+		t.Errorf("routed = %v, want the degraded backend still accepting queries", got)
+	}
+	r.ClearDegraded(2)
+	if got := r.DegradedFactor(2); got != 0 {
+		t.Fatalf("DegradedFactor after clear = %v, want 0", got)
+	}
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() { recover() }()
+			r.MarkDegraded(2, bad)
+			t.Errorf("MarkDegraded(%v) did not panic", bad)
+		}()
 	}
 }

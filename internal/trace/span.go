@@ -242,7 +242,7 @@ func appendJSONString(buf []byte, s string) []byte {
 
 // kindFromString inverts Kind.String for trace file parsing.
 func kindFromString(s string) (Kind, error) {
-	for k := QuerySubmit; k <= QueryRouted; k++ {
+	for k := QuerySubmit; k <= QueryRerouted; k++ {
 		if k.String() == s {
 			return k, nil
 		}

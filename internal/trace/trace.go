@@ -39,6 +39,10 @@ const (
 	// with the chosen backend (1-based) in Value. Single-backend runs
 	// never emit it, keeping their exports byte-identical.
 	QueryRouted
+	// QueryRerouted is a failover re-dispatch: a query evacuated from a
+	// crashed backend landing on a survivor. Value carries the new
+	// backend (1-based); Detail names both ends ("backend=F->T").
+	QueryRerouted
 )
 
 func (k Kind) String() string {
@@ -63,6 +67,8 @@ func (k Kind) String() string {
 		return "retry"
 	case QueryRouted:
 		return "route"
+	case QueryRerouted:
+		return "reroute"
 	default:
 		//lint:ignore hotalloc unreachable for the known kinds emitted on the hot path
 		return fmt.Sprintf("Kind(%d)", int(k))
@@ -100,7 +106,7 @@ func (e Event) String() string {
 
 // numKinds sizes the dense per-kind counter array (kinds are small
 // consecutive constants; anything else spills to farCounts).
-const numKinds = int(QueryRouted) + 1
+const numKinds = int(QueryRerouted) + 1
 
 // traceBatchSize bounds the batched-dispatch buffer: Emit appends events
 // here and the JSONL encoding happens in batches — when the buffer
@@ -379,12 +385,28 @@ func AttachRouter(t *Tracer, r *router.Router, clock *simclock.Clock) {
 			Query: q.ID, Client: q.Client, Value: float64(d.Backend),
 			Detail: t.detailBackend(d.Backend)})
 	})
+	r.OnReroute(func(q *engine.Query, from, to int) {
+		t.Emit(Event{Time: clock.Now(), Kind: QueryRerouted, Class: q.Class,
+			Query: q.ID, Client: q.Client, Value: float64(to),
+			Detail: t.detailReroute(from, to)})
+	})
 }
 
 //qlint:hotpath
 func (t *Tracer) detailBackend(b int) string {
 	buf := append(t.detailBuf[:0], "backend="...)
 	buf = strconv.AppendInt(buf, int64(b), 10)
+	t.detailBuf = buf
+	return string(buf)
+}
+
+// detailReroute renders a failover move — not hot-path: re-dispatches
+// happen once per evacuated query per crash, not per submitted query.
+func (t *Tracer) detailReroute(from, to int) string {
+	buf := append(t.detailBuf[:0], "backend="...)
+	buf = strconv.AppendInt(buf, int64(from), 10)
+	buf = append(buf, "->"...)
+	buf = strconv.AppendInt(buf, int64(to), 10)
 	t.detailBuf = buf
 	return string(buf)
 }
